@@ -1,0 +1,431 @@
+// Package adapt is a Go implementation of ADAPT — the
+// availability-aware MapReduce data placement strategy of Jin, Yang,
+// Sun and Raicu (ICDCS 2012) — together with every substrate the
+// paper's evaluation needs: the stochastic availability model
+// (eqs. 2–5), the placement algorithms (ADAPT's Algorithm 1, stock
+// random HDFS placement, and the naive availability-proportional
+// strawman), an HDFS-model distributed file system with the
+// prototype's copyFromLocal/cp/adapt client commands, a Hadoop-analog
+// discrete-event simulator for non-dedicated clusters, a runnable
+// mini MapReduce engine (TeraSort, WordCount, Grep), SETI@home-style
+// failure-trace generation, and the experiment harness that
+// regenerates each of the paper's tables and figures.
+//
+// # Quick start
+//
+//	g := adapt.NewRNG(1)
+//	cluster, _ := adapt.NewEmulationCluster(adapt.EmulationClusterConfig{
+//		Nodes:            128,
+//		InterruptedRatio: 0.5,
+//	}, g)
+//	policy, _ := adapt.NewAdaptPolicy(cluster, 12 /* γ seconds per block */)
+//	result, _ := adapt.RunScenario(adapt.Scenario{
+//		Config:   adapt.SimConfig{Cluster: cluster},
+//		Policy:   policy,
+//		Blocks:   128 * 20,
+//		Replicas: 1,
+//	}, g)
+//	fmt.Printf("map phase: %.0fs, locality %.1f%%\n",
+//		result.Elapsed, 100*result.Locality())
+//
+// The public surface is a facade over the internal packages; every
+// identifier here is an alias or thin wrapper, so the documentation on
+// the aliased types applies directly.
+package adapt
+
+import (
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/experiments"
+	"github.com/adaptsim/adapt/internal/hadoopsim"
+	"github.com/adaptsim/adapt/internal/mapreduce"
+	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/model"
+	"github.com/adaptsim/adapt/internal/netsim"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+	"github.com/adaptsim/adapt/internal/trace"
+	"github.com/adaptsim/adapt/internal/workload"
+)
+
+// ---- randomness -------------------------------------------------------------
+
+// RNG is the deterministic random stream all stochastic components
+// consume.
+type RNG = stats.RNG
+
+// NewRNG returns a seeded generator; equal seeds give equal streams.
+func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
+
+// Distribution is a probability distribution over non-negative values.
+type Distribution = stats.Distribution
+
+// Re-exported distribution constructors.
+var (
+	NewExponentialDist   = stats.NewExponential
+	ExponentialFromMean  = stats.ExponentialFromMean
+	NewLogNormalDist     = stats.NewLogNormal
+	LogNormalFromMeanCoV = stats.LogNormalFromMeanCoV
+	NewWeibullDist       = stats.NewWeibull
+	NewParetoDist        = stats.NewPareto
+	NewDeterministicDist = stats.NewDeterministic
+)
+
+// ---- the availability model (paper §III) -------------------------------------
+
+// Availability carries a host's interruption rate λ and mean recovery
+// time μ; it implements the paper's equations (2)–(5) as methods
+// (ExpectedRework, ExpectedDowntime, ExpectedAttempts,
+// ExpectedTaskTime, Efficiency).
+type Availability = model.Availability
+
+// FromMTBI builds an Availability from a mean time between
+// interruptions and a mean recovery time.
+func FromMTBI(mtbi, mu float64) Availability { return model.FromMTBI(mtbi, mu) }
+
+// TaskSimConfig and SimulateTaskTime expose the single-task
+// Monte-Carlo validator of the analytic model.
+type TaskSimConfig = model.TaskSimConfig
+
+// SimulateTaskTime runs one Monte-Carlo realization of a task under
+// the paper's interruption process.
+func SimulateTaskTime(cfg TaskSimConfig, g *RNG) (float64, error) {
+	return model.SimulateTaskTime(cfg, g)
+}
+
+// ---- clusters and traces -----------------------------------------------------
+
+// Cluster is the host population placements and simulations run
+// against.
+type Cluster = cluster.Cluster
+
+// Node is one participating host.
+type Node = cluster.Node
+
+// NodeID indexes a node within its cluster.
+type NodeID = cluster.NodeID
+
+// AvailabilityGroup is one emulation availability class (paper
+// Table 2).
+type AvailabilityGroup = cluster.Group
+
+// EmulationClusterConfig configures the paper's emulated environment.
+type EmulationClusterConfig = cluster.EmulationConfig
+
+// NewCluster builds a cluster from explicit nodes.
+func NewCluster(nodes []Node) (*Cluster, error) { return cluster.New(nodes) }
+
+// NewEmulationCluster builds the §V-A emulated cluster (Table 2
+// groups, configurable interrupted ratio).
+func NewEmulationCluster(cfg EmulationClusterConfig, g *RNG) (*Cluster, error) {
+	return cluster.NewEmulation(cfg, g)
+}
+
+// Table2Groups returns the four availability groups of paper Table 2.
+func Table2Groups() []AvailabilityGroup { return cluster.Table2Groups() }
+
+// HeartbeatEstimator is the NameNode-style online (λ, μ) estimator.
+type HeartbeatEstimator = cluster.HeartbeatEstimator
+
+// NewHeartbeatEstimator returns an empty estimator.
+func NewHeartbeatEstimator() *HeartbeatEstimator { return cluster.NewHeartbeatEstimator() }
+
+// Trace types: per-host interruption histories in the style of the
+// Failure Trace Archive.
+type (
+	Trace      = trace.Trace
+	TraceEvent = trace.Event
+	TraceSet   = trace.Set
+	TraceStats = trace.Stats
+)
+
+// TraceGeneratorConfig parameterizes the synthetic SETI@home-style
+// trace generator calibrated against the paper's Table 1.
+type TraceGeneratorConfig = trace.GeneratorConfig
+
+// DefaultSETITraceConfig returns the Table 1-calibrated generator
+// configuration.
+func DefaultSETITraceConfig(hosts int) TraceGeneratorConfig {
+	return trace.DefaultSETIConfig(hosts)
+}
+
+// GenerateTraces produces a synthetic failure-trace population.
+func GenerateTraces(cfg TraceGeneratorConfig, g *RNG) (*TraceSet, error) {
+	return trace.Generate(cfg, g)
+}
+
+// ComputeTraceStats pools Table 1-style statistics over a trace set.
+func ComputeTraceStats(s *TraceSet) TraceStats { return trace.ComputeStats(s) }
+
+// Trace CSV codec.
+var (
+	WriteTraceCSV = trace.WriteCSV
+	ReadTraceCSV  = trace.ReadCSV
+)
+
+// ClusterFromTraces builds a cluster whose nodes replay the traces and
+// carry availability estimated from them.
+func ClusterFromTraces(s *TraceSet) (*Cluster, error) { return cluster.NewFromTraces(s) }
+
+// SampleClusterFromTraces samples n hosts from the set, as the paper
+// sampled 16384 SETI@home hosts.
+func SampleClusterFromTraces(s *TraceSet, n int, g *RNG) (*Cluster, error) {
+	return cluster.SampleFromTraces(s, n, g)
+}
+
+// ---- placement (the paper's core contribution) -------------------------------
+
+// PlacementPolicy chooses replica holders for a file's blocks.
+type PlacementPolicy = placement.Policy
+
+// Placer assigns the blocks of one file.
+type Placer = placement.Placer
+
+// Assignment is a complete block → replica-holders mapping.
+type Assignment = placement.Assignment
+
+// RandomPolicy is stock HDFS placement (uniform random).
+type RandomPolicy = placement.Random
+
+// WeightedPolicy is the availability-aware machinery behind ADAPT and
+// the naive strategy.
+type WeightedPolicy = placement.Weighted
+
+// NewAdaptPolicy returns ADAPT (Algorithm 1): nodes weighted by
+// 1/E[T] at failure-free task length gamma seconds.
+func NewAdaptPolicy(c *Cluster, gamma float64) (*WeightedPolicy, error) {
+	return placement.NewAdapt(c, gamma)
+}
+
+// NewNaivePolicy returns the §V-C strawman weighted by steady-state
+// availability (MTBI−μ)/MTBI.
+func NewNaivePolicy(c *Cluster) (*WeightedPolicy, error) {
+	return placement.NewNaive(c)
+}
+
+// NewRandomPolicy returns stock HDFS placement.
+func NewRandomPolicy(c *Cluster) *RandomPolicy { return &placement.Random{Cluster: c} }
+
+// PlaceAll drives a policy over m blocks with k replicas.
+func PlaceAll(p PlacementPolicy, m, k int, g *RNG) (*Assignment, error) {
+	return placement.PlaceAll(p, m, k, g)
+}
+
+// PlacementThreshold returns the per-node cap m(k+1)/n of §IV-C.
+func PlacementThreshold(m, k, n int) int { return placement.Threshold(m, k, n) }
+
+// ---- simulation ---------------------------------------------------------------
+
+// SimConfig parameterizes one simulated map phase (Hadoop-analog
+// simulator).
+type SimConfig = hadoopsim.Config
+
+// Scenario bundles a policy with a simulator configuration.
+type Scenario = hadoopsim.Scenario
+
+// RunResult is a simulated run's metrics: elapsed time, locality, and
+// the rework/recovery/migration/misc overhead breakdown.
+type RunResult = metrics.RunResult
+
+// OverheadBreakdown is the §V-C overhead accounting.
+type OverheadBreakdown = metrics.Breakdown
+
+// OverheadRatio is a breakdown normalized by the failure-free base.
+type OverheadRatio = metrics.Ratio
+
+// RunAggregate averages results over repeated trials.
+type RunAggregate = metrics.Aggregate
+
+// RunSimulation simulates one map phase over a fixed assignment.
+func RunSimulation(cfg SimConfig, g *RNG) (RunResult, error) {
+	return hadoopsim.Run(cfg, g)
+}
+
+// RunScenario places blocks with the scenario's policy and simulates
+// the map phase.
+func RunScenario(sc Scenario, g *RNG) (RunResult, error) {
+	return hadoopsim.RunScenario(sc, g)
+}
+
+// RunTrials repeats a scenario and aggregates (the paper averages 10
+// runs per scenario).
+func RunTrials(sc Scenario, trials int, g *RNG) (RunAggregate, error) {
+	return hadoopsim.RunTrials(sc, trials, g)
+}
+
+// SimJournal records simulator events for post-run analysis
+// (timelines, attempt histograms, per-node downtime). Attach one via
+// SimConfig.Journal.
+type SimJournal = hadoopsim.Journal
+
+// SimEvent and SimEventKind are journal entries and their tags.
+type (
+	SimEvent     = hadoopsim.Event
+	SimEventKind = hadoopsim.EventKind
+)
+
+// LatencyPercentiles summarizes task latencies at p50/p95/p99.
+var LatencyPercentiles = hadoopsim.LatencyPercentiles
+
+// SchedulerPolicy selects the simulated JobTracker strategy.
+type SchedulerPolicy = hadoopsim.SchedulerPolicy
+
+// Scheduler strategies: stock Hadoop locality-first stealing, and the
+// availability-aware extension (paper §VII future work) that gates
+// steals on the model.
+const (
+	SchedulerLocalityFirst     = hadoopsim.SchedulerLocalityFirst
+	SchedulerAvailabilityAware = hadoopsim.SchedulerAvailabilityAware
+)
+
+// Multi-job workloads: a FIFO job queue sharing one non-dedicated
+// cluster, each job placing its blocks at submission.
+type (
+	JobSpec        = hadoopsim.JobSpec
+	MultiJobConfig = hadoopsim.MultiJobConfig
+	JobResult      = hadoopsim.JobResult
+	MultiJobResult = hadoopsim.MultiJobResult
+)
+
+// RunMultiJob simulates a FIFO multi-job workload.
+func RunMultiJob(cfg MultiJobConfig, g *RNG) (*MultiJobResult, error) {
+	return hadoopsim.RunMultiJob(cfg, g)
+}
+
+// NetworkConfig describes per-node link capacities.
+type NetworkConfig = netsim.Config
+
+// NetworkFromMegabits builds a symmetric network configuration from a
+// Mb/s figure (the paper sweeps 4–32 Mb/s).
+func NetworkFromMegabits(mbps float64) NetworkConfig { return netsim.FromMegabits(mbps) }
+
+// ---- distributed file system ---------------------------------------------------
+
+// NameNode, DataNode, and DFSClient model the HDFS subsystem the
+// prototype modifies.
+type (
+	NameNode  = dfs.NameNode
+	DataNode  = dfs.DataNode
+	DFSClient = dfs.Client
+	FileMeta  = dfs.FileMeta
+	BlockMeta = dfs.BlockMeta
+	BlockID   = dfs.BlockID
+)
+
+// NewNameNode builds a NameNode (plus one DataNode per cluster node).
+func NewNameNode(c *Cluster) (*NameNode, error) { return dfs.NewNameNode(c) }
+
+// NewDFSClient builds a client with the prototype's shell surface:
+// CopyFromLocal/Cp with an ADAPT flag, Adapt, Rebalance.
+func NewDFSClient(nn *NameNode, g *RNG) (*DFSClient, error) { return dfs.NewClient(nn, g) }
+
+// ---- MapReduce engine -----------------------------------------------------------
+
+// The mini MapReduce engine executes real Map/Reduce functions over
+// dfs data under simulated non-dedicated timing.
+type (
+	MRJob          = mapreduce.Job
+	MRResult       = mapreduce.Result
+	MREngine       = mapreduce.Engine
+	MREngineConfig = mapreduce.EngineConfig
+	Mapper         = mapreduce.Mapper
+	Reducer        = mapreduce.Reducer
+	MapperFunc     = mapreduce.MapperFunc
+	ReducerFunc    = mapreduce.ReducerFunc
+	Partitioner    = mapreduce.Partitioner
+)
+
+// ReducerPlacement selects reduce-task hosting: stock random, or the
+// availability-aware extension (paper §VII future work).
+type ReducerPlacement = mapreduce.ReducerPlacement
+
+// Reducer placement modes.
+const (
+	ReducersRandom            = mapreduce.ReducersRandom
+	ReducersAvailabilityAware = mapreduce.ReducersAvailabilityAware
+)
+
+// ReplicationReport summarizes a DFSClient.MaintainReplication pass
+// (HDFS-style under-replication repair).
+type ReplicationReport = dfs.ReplicationReport
+
+// NewMREngine builds a MapReduce engine over a NameNode.
+func NewMREngine(nn *NameNode, cfg MREngineConfig) (*MREngine, error) {
+	return mapreduce.NewEngine(nn, cfg)
+}
+
+// ---- workloads -------------------------------------------------------------------
+
+// Benchmark workloads (Terasort per §V-A, plus WordCount and Grep).
+var (
+	TeraGen          = workload.TeraGen
+	TeraSortJob      = workload.TeraSortJob
+	SampleBoundaries = workload.SampleBoundaries
+	CheckSorted      = workload.CheckSorted
+	WordCountJob     = workload.WordCountJob
+	GrepJob          = workload.GrepJob
+	ParseCounts      = workload.ParseCounts
+)
+
+// ---- experiments (paper tables & figures) -----------------------------------------
+
+// Experiment configurations and runners regenerating the paper's
+// evaluation.
+type (
+	ExperimentSeries      = experiments.Series
+	EmulationConfig       = experiments.EmulationConfig
+	SimulationConfig      = experiments.SimulationConfig
+	EmulationResult       = experiments.EmulationResult
+	SimulationResult      = experiments.SimulationResult
+	ResultTable           = experiments.Table
+	HeadlineCell          = experiments.HeadlineCell
+	ModelValidationRow    = experiments.ModelValidationRow
+	Table1Config          = experiments.Table1Config
+	Table1Result          = experiments.Table1Result
+	ModelValidationConfig = experiments.ModelValidationConfig
+	SensitivityConfig     = experiments.SensitivityConfig
+	SensitivityRow        = experiments.SensitivityRow
+	AblationConfig        = experiments.AblationConfig
+	AblationRow           = experiments.AblationRow
+)
+
+// Strategy identifiers.
+const (
+	StrategyRandom = experiments.StrategyRandom
+	StrategyAdapt  = experiments.StrategyAdapt
+	StrategyNaive  = experiments.StrategyNaive
+)
+
+// SimMode selects trace handling for the simulation experiments:
+// parametric regeneration from estimated (λ, μ) — the default, the
+// paper's "inject failures based on the data" — or verbatim replay.
+type SimMode = experiments.SimMode
+
+// Simulation modes.
+const (
+	SimModeParametric = experiments.SimModeParametric
+	SimModeReplay     = experiments.SimModeReplay
+)
+
+// Experiment runners (one per paper table/figure).
+var (
+	PaperEmulationConfig    = experiments.PaperEmulationConfig
+	PaperSimulationConfig   = experiments.PaperSimulationConfig
+	DefaultSimulationConfig = experiments.DefaultSimulationConfig
+	Figure3a                = experiments.Figure3a
+	Figure3b                = experiments.Figure3b
+	Figure3c                = experiments.Figure3c
+	Figure5a                = experiments.Figure5a
+	Figure5b                = experiments.Figure5b
+	Figure5c                = experiments.Figure5c
+	Table1                  = experiments.Table1
+	Headline                = experiments.Headline
+	HeadlineTable           = experiments.HeadlineTable
+	ModelValidation         = experiments.ModelValidation
+	ModelValidationTable    = experiments.ModelValidationTable
+	DefaultsTable           = experiments.DefaultsTable
+	Sensitivity             = experiments.Sensitivity
+	SensitivityTable        = experiments.SensitivityTable
+	Ablation                = experiments.Ablation
+	AblationTable           = experiments.AblationTable
+)

@@ -1,0 +1,195 @@
+// Command adapt-bench regenerates the ADAPT paper's evaluation: every
+// table and figure of §V plus the §III model validation, printed as
+// aligned text tables (or markdown for EXPERIMENTS.md).
+//
+// Usage:
+//
+//	adapt-bench -exp all                 # everything, laptop scale
+//	adapt-bench -exp fig3a -paper        # one figure at paper scale
+//	adapt-bench -exp fig5a -scale 0.25   # quarter-scale quick look
+//	adapt-bench -exp table1 -markdown
+//
+// Experiments: defaults, table1, model, headline, fig3a, fig3b,
+// fig3c, fig4a, fig4b, fig4c, fig5a, fig5b, fig5c, all. (Figures 4x
+// are the locality views of the fig3x runs.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	adapt "github.com/adaptsim/adapt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adapt-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	exp      string
+	paper    bool
+	scale    float64
+	trials   int
+	seed     uint64
+	markdown bool
+	charts   bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adapt-bench", flag.ContinueOnError)
+	opt := options{}
+	fs.StringVar(&opt.exp, "exp", "all", "experiment id (all, defaults, table1, model, headline, sensitivity, ablation, fig3a..fig3c, fig4a..fig4c, fig5a..fig5c)")
+	fs.BoolVar(&opt.paper, "paper", false, "run at full paper scale (slow)")
+	fs.Float64Var(&opt.scale, "scale", 1, "scale factor in (0,1] applied to cluster sizes and trials")
+	fs.IntVar(&opt.trials, "trials", 0, "override trials per scenario (0 = config default)")
+	var seed uint64
+	fs.Uint64Var(&seed, "seed", 1, "base random seed")
+	fs.BoolVar(&opt.markdown, "markdown", false, "emit markdown tables")
+	fs.BoolVar(&opt.charts, "charts", false, "also render ASCII charts at the default sweep point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt.seed = seed
+
+	ids := []string{opt.exp}
+	if opt.exp == "all" {
+		ids = []string{
+			"defaults", "table1", "model", "headline",
+			"fig3a", "fig3b", "fig3c", "fig5a", "fig5b", "fig5c",
+			"sensitivity", "ablation",
+		}
+	}
+	for _, id := range ids {
+		tables, err := runExperiment(id, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			if opt.markdown {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+	return nil
+}
+
+func (o options) emulation() adapt.EmulationConfig {
+	cfg := adapt.PaperEmulationConfig()
+	if !o.paper {
+		cfg = cfg.Scale(0.5) // 64 nodes by default
+	}
+	cfg = cfg.Scale(o.scale)
+	cfg.Seed = o.seed
+	if o.trials > 0 {
+		cfg.Trials = o.trials
+	}
+	return cfg
+}
+
+func (o options) simulation() adapt.SimulationConfig {
+	var cfg adapt.SimulationConfig
+	if o.paper {
+		cfg = adapt.PaperSimulationConfig()
+	} else {
+		cfg = adapt.DefaultSimulationConfig() // 1024 hosts
+		cfg = cfg.Scale(0.25)                 // 256 hosts for interactive runs
+	}
+	cfg = cfg.Scale(o.scale)
+	cfg.Seed = o.seed
+	if o.trials > 0 {
+		cfg.Trials = o.trials
+	}
+	return cfg
+}
+
+func runExperiment(id string, opt options) ([]*adapt.ResultTable, error) {
+	switch strings.ToLower(id) {
+	case "defaults":
+		return []*adapt.ResultTable{adapt.DefaultsTable()}, nil
+	case "table1":
+		hosts := 4096
+		if opt.paper {
+			hosts = 16384
+		}
+		res, err := adapt.Table1(adapt.Table1Config{Hosts: hosts, Seed: opt.seed})
+		if err != nil {
+			return nil, err
+		}
+		return []*adapt.ResultTable{res.Table()}, nil
+	case "model":
+		rows, err := adapt.ModelValidation(adapt.ModelValidationConfig{Seed: opt.seed})
+		if err != nil {
+			return nil, err
+		}
+		return []*adapt.ResultTable{adapt.ModelValidationTable(rows)}, nil
+	case "headline":
+		cells, err := adapt.Headline(opt.emulation())
+		if err != nil {
+			return nil, err
+		}
+		return []*adapt.ResultTable{adapt.HeadlineTable(cells)}, nil
+	case "ablation":
+		rows, err := adapt.Ablation(adapt.AblationConfig{Base: opt.emulation()})
+		if err != nil {
+			return nil, err
+		}
+		return []*adapt.ResultTable{adapt.AblationTable(rows)}, nil
+	case "sensitivity":
+		rows, err := adapt.Sensitivity(adapt.SensitivityConfig{Base: opt.simulation()})
+		if err != nil {
+			return nil, err
+		}
+		return []*adapt.ResultTable{adapt.SensitivityTable(rows)}, nil
+	case "fig3a", "fig4a":
+		return emulationTables(adapt.Figure3a, opt, id)
+	case "fig3b", "fig4b":
+		return emulationTables(adapt.Figure3b, opt, id)
+	case "fig3c", "fig4c":
+		return emulationTables(adapt.Figure3c, opt, id)
+	case "fig5a":
+		return simulationTables(adapt.Figure5a, opt)
+	case "fig5b":
+		return simulationTables(adapt.Figure5b, opt)
+	case "fig5c":
+		return simulationTables(adapt.Figure5c, opt)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+func emulationTables(run func(adapt.EmulationConfig) (*adapt.EmulationResult, error), opt options, id string) ([]*adapt.ResultTable, error) {
+	res, err := run(opt.emulation())
+	if err != nil {
+		return nil, err
+	}
+	if opt.charts && len(res.XVals) > 0 {
+		x := res.XVals[len(res.XVals)/2]
+		if strings.HasPrefix(id, "fig4") {
+			fmt.Println(res.LocalityChart(x))
+		} else {
+			fmt.Println(res.ElapsedChart(x))
+		}
+	}
+	if strings.HasPrefix(id, "fig4") {
+		return []*adapt.ResultTable{res.LocalityTable()}, nil
+	}
+	return []*adapt.ResultTable{res.ElapsedTable(), res.LocalityTable()}, nil
+}
+
+func simulationTables(run func(adapt.SimulationConfig) (*adapt.SimulationResult, error), opt options) ([]*adapt.ResultTable, error) {
+	res, err := run(opt.simulation())
+	if err != nil {
+		return nil, err
+	}
+	if opt.charts && len(res.XVals) > 0 {
+		fmt.Println(res.OverheadChart(res.XVals[len(res.XVals)/2]))
+	}
+	return []*adapt.ResultTable{res.OverheadTable()}, nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunDefaultsExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "defaults"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1Markdown(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHeadlineScaled(t *testing.T) {
+	if err := run([]string{"-exp", "headline", "-scale", "0.25", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig4View(t *testing.T) {
+	if err := run([]string{"-exp", "fig4a", "-scale", "0.2", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Command adapt-calibrate fits the synthetic trace generator to a
+// real failure-trace CSV (the layout adapt-tracegen writes, or a
+// Failure Trace Archive export converted to host,start,duration
+// rows): it measures the pooled MTBI/duration statistics, fits
+// log-normal models to both, reports goodness-of-fit (KS), and prints
+// the generator configuration that reproduces the population — the
+// path for replacing the calibrated SETI@home substitute with real
+// data.
+//
+// Example:
+//
+//	adapt-tracegen -hosts 512 -out traces.csv
+//	adapt-calibrate -in traces.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	adapt "github.com/adaptsim/adapt"
+	"github.com/adaptsim/adapt/internal/stats"
+	"github.com/adaptsim/adapt/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adapt-calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("adapt-calibrate", flag.ContinueOnError)
+	var (
+		in    = fs.String("in", "", "trace CSV to calibrate against (required)")
+		alpha = fs.Float64("alpha", 0.01, "KS significance level (0.10, 0.05, 0.01)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "adapt-calibrate: close:", cerr)
+		}
+	}()
+
+	set, err := adapt.ReadTraceCSV(f)
+	if err != nil {
+		return err
+	}
+	st := adapt.ComputeTraceStats(set)
+	fmt.Fprintf(w, "population:  %d hosts, %d interruptions over %.0f s\n",
+		st.Hosts, st.Interruptions, set.Horizon)
+	fmt.Fprintf(w, "MTBI:        mean %.4g s  CoV %.3f\n", st.MTBI.Mean(), st.MTBI.CoV())
+	fmt.Fprintf(w, "duration:    mean %.4g s  CoV %.3f\n", st.Duration.Mean(), st.Duration.CoV())
+
+	// Pool the samples for the fits.
+	var gaps, durs []float64
+	for i := range set.Traces {
+		gaps = append(gaps, set.Traces[i].MTBIs()...)
+		durs = append(durs, set.Traces[i].Durations()...)
+	}
+	if err := fitAndReport(w, "MTBI", gaps, *alpha); err != nil {
+		return err
+	}
+	if err := fitAndReport(w, "duration", durs, *alpha); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nrecommended generator configuration:")
+	fmt.Fprintf(w, "  cfg := adapt.DefaultSETITraceConfig(hosts)\n")
+	fmt.Fprintf(w, "  cfg.MTBIMean = %.6g\n", st.MTBI.Mean())
+	fmt.Fprintf(w, "  cfg.MTBICoV = %.6g\n", st.MTBI.CoV())
+	fmt.Fprintf(w, "  cfg.DurationMean = %.6g\n", st.Duration.Mean())
+	fmt.Fprintf(w, "  cfg.DurationCoV = %.6g\n", st.Duration.CoV())
+	fmt.Fprintf(w, "  cfg.Horizon = %.6g\n", set.Horizon)
+
+	// Per-host availability profile: how many hosts are effectively
+	// dedicated / stable / unstable under the estimates the NameNode
+	// would compute.
+	var dedicated, stable, unstable int
+	for i := range set.Traces {
+		a := set.Traces[i].EstimateAvailability()
+		switch {
+		case a.Dedicated():
+			dedicated++
+		case a.Utilization() >= 1:
+			unstable++
+		default:
+			stable++
+		}
+	}
+	fmt.Fprintf(w, "\nhost availability profile: %d dedicated, %d stable, %d unstable (lambda*mu >= 1)\n",
+		dedicated, stable, unstable)
+	return nil
+}
+
+func fitAndReport(w io.Writer, label string, sample []float64, alpha float64) error {
+	if len(sample) < 8 {
+		fmt.Fprintf(w, "%s: too few observations (%d) for a fit\n", label, len(sample))
+		return nil
+	}
+	positive := sample[:0:0]
+	for _, v := range sample {
+		if v > 0 {
+			positive = append(positive, v)
+		}
+	}
+	if len(positive) < 8 {
+		fmt.Fprintf(w, "%s: too few positive observations for a fit\n", label)
+		return nil
+	}
+	ln, err := stats.FitLogNormal(positive)
+	if err != nil {
+		return fmt.Errorf("fit %s: %w", label, err)
+	}
+	cdf, err := stats.CDF(ln)
+	if err != nil {
+		return err
+	}
+	ks, err := stats.KSStatistic(positive, cdf)
+	if err != nil {
+		return err
+	}
+	crit, err := stats.KSCritical(len(positive), alpha)
+	if err != nil {
+		return err
+	}
+	verdict := "accept"
+	if ks > crit {
+		verdict = "reject"
+	}
+	fmt.Fprintf(w, "%s fit:    lognormal(mu=%.3f, sigma=%.3f)  KS=%.4f crit=%.4f -> %s at alpha=%g\n",
+		label, ln.Mu, ln.Sigma, ks, crit, verdict, alpha)
+	return nil
+}
+
+// Ensure the trace package is linked for its CSV format documentation.
+var _ = trace.SETIMTBIMean

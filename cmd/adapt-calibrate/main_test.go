@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	adapt "github.com/adaptsim/adapt"
+)
+
+func writeTraces(t *testing.T, hosts int) string {
+	t.Helper()
+	set, err := adapt.GenerateTraces(adapt.DefaultSETITraceConfig(hosts), adapt.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adapt.WriteTraceCSV(f, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCalibrateEndToEnd(t *testing.T) {
+	path := writeTraces(t, 100)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"population:", "MTBI fit:", "duration fit:",
+		"recommended generator configuration", "host availability profile",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCalibrateMissingArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.csv"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCalibrateBadAlpha(t *testing.T) {
+	path := writeTraces(t, 50)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-alpha", "0.5"}, &out); err == nil {
+		t.Fatal("unsupported alpha accepted")
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunDefaultDemo(t *testing.T) {
+	if err := run([]string{"-nodes", "16", "-blocks-per-node", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithReplication(t *testing.T) {
+	if err := run([]string{"-nodes", "12", "-blocks-per-node", "4", "-replicas", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Command adapt-sim runs one parameterized map-phase simulation on a
+// non-dedicated cluster and prints its metrics — the single-run
+// companion to adapt-bench.
+//
+// Two cluster modes:
+//
+//	-mode emulation   Table 2 availability groups (default)
+//	-mode trace       synthetic SETI@home-style failure traces
+//
+// Examples:
+//
+//	adapt-sim -nodes 128 -blocks-per-node 20 -strategy adapt -replicas 1
+//	adapt-sim -mode trace -nodes 1024 -strategy random -replicas 2 -bandwidth 4
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	adapt "github.com/adaptsim/adapt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adapt-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adapt-sim", flag.ContinueOnError)
+	var (
+		mode          = fs.String("mode", "emulation", "cluster mode: emulation | trace")
+		nodes         = fs.Int("nodes", 128, "cluster size")
+		blocksPerNode = fs.Int("blocks-per-node", 20, "input blocks per node")
+		ratio         = fs.Float64("interrupted-ratio", 0.5, "emulation: fraction of interrupted nodes")
+		bandwidth     = fs.Float64("bandwidth", 8, "link speed in Mb/s")
+		blockMB       = fs.Float64("block-mb", 64, "block size in MB")
+		gamma         = fs.Float64("gamma", 12, "failure-free seconds per 64 MB map task")
+		strategy      = fs.String("strategy", "adapt", "placement strategy: random | adapt | naive")
+		replicas      = fs.Int("replicas", 1, "replication degree")
+		trials        = fs.Int("trials", 1, "independent runs to average")
+		seed          = fs.Uint64("seed", 1, "random seed")
+		meanMTBI      = fs.Float64("trace-mtbi", 3000, "trace mode: compressed pooled mean MTBI (s)")
+		noSpec        = fs.Bool("no-speculation", false, "disable speculative execution")
+		scheduler     = fs.String("scheduler", "locality-first", "scheduler: locality-first | availability-aware")
+		timeline      = fs.Bool("timeline", false, "print a bucketed event timeline of the first trial")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g := adapt.NewRNG(*seed)
+	var c *adapt.Cluster
+	switch *mode {
+	case "emulation":
+		var err error
+		c, err = adapt.NewEmulationCluster(adapt.EmulationClusterConfig{
+			Nodes:            *nodes,
+			InterruptedRatio: *ratio,
+			Shuffle:          true,
+		}, g.Split())
+		if err != nil {
+			return err
+		}
+	case "trace":
+		cfg := adapt.DefaultSETITraceConfig(*nodes)
+		cfg.TimeScale = *meanMTBI / 160290.0
+		cfg.Horizon = 50000 / cfg.TimeScale
+		set, err := adapt.GenerateTraces(cfg, g.Split())
+		if err != nil {
+			return err
+		}
+		c, err = adapt.ClusterFromTraces(set)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	taskGamma := *gamma * *blockMB / 64
+	var policy adapt.PlacementPolicy
+	switch *strategy {
+	case "random":
+		policy = adapt.NewRandomPolicy(c)
+	case "adapt":
+		p, err := adapt.NewAdaptPolicy(c, taskGamma)
+		if err != nil {
+			return err
+		}
+		policy = p
+	case "naive":
+		p, err := adapt.NewNaivePolicy(c)
+		if err != nil {
+			return err
+		}
+		policy = p
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	if *trials < 1 {
+		return errors.New("trials must be >= 1")
+	}
+	var sched adapt.SchedulerPolicy
+	switch *scheduler {
+	case "locality-first":
+		sched = adapt.SchedulerLocalityFirst
+	case "availability-aware":
+		sched = adapt.SchedulerAvailabilityAware
+	default:
+		return fmt.Errorf("unknown scheduler %q", *scheduler)
+	}
+	sc := adapt.Scenario{
+		Config: adapt.SimConfig{
+			Cluster:            c,
+			BlockBytes:         *blockMB * 1024 * 1024,
+			Gamma:              *gamma,
+			Network:            adapt.NetworkFromMegabits(*bandwidth),
+			DisableSpeculation: *noSpec,
+			Scheduler:          sched,
+		},
+		Policy:   policy,
+		Blocks:   *nodes * *blocksPerNode,
+		Replicas: *replicas,
+	}
+	var journal *adapt.SimJournal
+	if *timeline {
+		journal = &adapt.SimJournal{}
+		sc.Config.Journal = journal
+	}
+	agg, err := adapt.RunTrials(sc, *trials, g.Split())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster:        %d nodes (%s mode), %d interrupted\n",
+		c.Len(), *mode, c.InterruptedCount())
+	fmt.Printf("workload:       %d blocks x %g MB, gamma %.1fs, %d replica(s), %s placement\n",
+		sc.Blocks, *blockMB, taskGamma, *replicas, *strategy)
+	fmt.Printf("network:        %g Mb/s\n", *bandwidth)
+	fmt.Printf("trials:         %d\n", agg.Runs)
+	fmt.Printf("map elapsed:    %.1f s (stderr %.1f)\n", agg.Elapsed.Mean(), agg.Elapsed.StdErr())
+	fmt.Printf("data locality:  %.1f%%\n", 100*agg.Locality.Mean())
+	ratios := agg.MeanRatio()
+	fmt.Printf("overhead:       rework %.1f%%  recovery %.1f%%  migration %.1f%%  misc %.1f%%  (total %.1f%%)\n",
+		100*ratios.Rework, 100*ratios.Recovery, 100*ratios.Migration, 100*ratios.Misc, 100*ratios.Total())
+	if journal != nil {
+		lats := journal.TaskLatencies(nil)
+		p50, p95, p99 := adapt.LatencyPercentiles(lats)
+		fmt.Printf("task latency:   p50 %.1fs  p95 %.1fs  p99 %.1fs (across trials)\n", p50, p95, p99)
+		fmt.Println()
+		fmt.Print(journal.Timeline(10))
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunEmulationMode(t *testing.T) {
+	err := run([]string{
+		"-nodes", "16", "-blocks-per-node", "5",
+		"-strategy", "adapt", "-trials", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceMode(t *testing.T) {
+	err := run([]string{
+		"-mode", "trace", "-nodes", "32", "-blocks-per-node", "5",
+		"-strategy", "random", "-trials", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNaiveStrategy(t *testing.T) {
+	err := run([]string{
+		"-nodes", "16", "-blocks-per-node", "5",
+		"-strategy", "naive", "-trials", "1", "-no-speculation",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "bogus"},
+		{"-strategy", "bogus", "-nodes", "8", "-blocks-per-node", "2"},
+		{"-trials", "0", "-nodes", "8", "-blocks-per-node", "2"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

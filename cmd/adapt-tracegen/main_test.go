@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStatsOnly(t *testing.T) {
+	if err := run([]string{"-hosts", "50", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "traces.csv")
+	if err := run([]string{"-hosts", "20", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# horizon ") {
+		t.Fatalf("unexpected header: %q", string(data[:40]))
+	}
+}
+
+func TestRunCompressedTimeAxis(t *testing.T) {
+	if err := run([]string{"-hosts", "20", "-mtbi", "3000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBadOutPath(t *testing.T) {
+	if err := run([]string{"-hosts", "5", "-out", "/nonexistent-dir/x.csv"}); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

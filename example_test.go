@@ -1,0 +1,101 @@
+package adapt_test
+
+// Runnable godoc examples for the public API. Deterministic seeds
+// make the outputs stable, so these double as documentation and as
+// regression tests.
+
+import (
+	"fmt"
+
+	adapt "github.com/adaptsim/adapt"
+)
+
+// ExampleAvailability demonstrates the paper's analytic model
+// (eqs. 2–5) on a Table 2 host.
+func ExampleAvailability() {
+	a := adapt.FromMTBI(10, 4) // MTBI 10 s, mean recovery 4 s
+	fmt.Printf("E[S] failed attempts: %.2f\n", a.ExpectedAttempts(12))
+	fmt.Printf("E[Y] downtime:        %.2f s\n", a.ExpectedDowntime())
+	fmt.Printf("E[T] task time:       %.2f s\n", a.ExpectedTaskTime(12))
+	fmt.Printf("efficiency:           %.4f\n", a.Efficiency(12))
+	// Output:
+	// E[S] failed attempts: 2.32
+	// E[Y] downtime:        6.67 s
+	// E[T] task time:       38.67 s
+	// efficiency:           0.0259
+}
+
+// ExampleNewAdaptPolicy shows ADAPT shifting blocks away from
+// volatile nodes.
+func ExampleNewAdaptPolicy() {
+	g := adapt.NewRNG(1)
+	cluster, err := adapt.NewEmulationCluster(adapt.EmulationClusterConfig{
+		Nodes:            8,
+		InterruptedRatio: 0.5,
+	}, g)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	policy, err := adapt.NewAdaptPolicy(cluster, 12)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	asn, err := adapt.PlaceAll(policy, 8000, 1, g)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	counts := asn.CountPerNode()
+	// Nodes 0-3 are the Table 2 interrupted groups; 4-7 are reliable.
+	volatile := counts[0] + counts[1] + counts[2] + counts[3]
+	reliable := counts[4] + counts[5] + counts[6] + counts[7]
+	fmt.Printf("volatile share: %d%%\n", volatile*100/8000)
+	fmt.Printf("reliable share: %d%%\n", reliable*100/8000)
+	// Output:
+	// volatile share: 26%
+	// reliable share: 73%
+}
+
+// ExamplePlacementThreshold shows the §IV-C per-node capacity cap.
+func ExamplePlacementThreshold() {
+	// 2560 blocks, 1 replica, 128 nodes: 20 blocks/node on average,
+	// capped at twice that.
+	fmt.Println(adapt.PlacementThreshold(2560, 1, 128))
+	// Output:
+	// 40
+}
+
+// ExampleRunScenario runs one simulated map phase end to end.
+func ExampleRunScenario() {
+	g := adapt.NewRNG(7)
+	cluster, err := adapt.NewEmulationCluster(adapt.EmulationClusterConfig{
+		Nodes:            16,
+		InterruptedRatio: 0.5,
+	}, g.Split())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	policy, err := adapt.NewAdaptPolicy(cluster, 12)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := adapt.RunScenario(adapt.Scenario{
+		Config:   adapt.SimConfig{Cluster: cluster},
+		Policy:   policy,
+		Blocks:   16 * 10,
+		Replicas: 1,
+	}, g.Split())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("tasks completed: %d\n", res.TotalTasks)
+	fmt.Printf("locality above 75%%: %v\n", res.Locality() > 0.75)
+	// Output:
+	// tasks completed: 160
+	// locality above 75%: true
+}

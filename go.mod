@@ -1,0 +1,3 @@
+module github.com/adaptsim/adapt
+
+go 1.22

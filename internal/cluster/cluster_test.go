@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/model"
+	"github.com/adaptsim/adapt/internal/stats"
+	"github.com/adaptsim/adapt/internal/trace"
+)
+
+func TestNewAssignsIDsAndDefaults(t *testing.T) {
+	c, err := New([]Node{{}, {Name: "custom"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Node(0).ID != 0 || c.Node(1).ID != 1 {
+		t.Fatal("ids not dense")
+	}
+	if c.Node(0).Name != "node-0" || c.Node(1).Name != "custom" {
+		t.Fatalf("names: %q %q", c.Node(0).Name, c.Node(1).Name)
+	}
+	if c.Node(0).ComputeRate != 1 {
+		t.Fatal("compute rate default missing")
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNodesReturnsCopy(t *testing.T) {
+	c, err := New([]Node{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := c.Nodes()
+	nodes[0].Name = "mutated"
+	if c.Node(0).Name == "mutated" {
+		t.Fatal("Nodes aliased internal slice")
+	}
+}
+
+func TestTable2Groups(t *testing.T) {
+	gs := Table2Groups()
+	want := []Group{{10, 4}, {10, 8}, {20, 4}, {20, 8}}
+	if len(gs) != 4 {
+		t.Fatalf("groups = %v", gs)
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Fatalf("group %d = %+v, want %+v", i, gs[i], want[i])
+		}
+	}
+}
+
+func TestNewEmulationDefaultPoint(t *testing.T) {
+	// Paper Table 3 default: 128 nodes, half interrupted, four groups.
+	c, err := NewEmulation(EmulationConfig{Nodes: 128, InterruptedRatio: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 128 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if got := c.InterruptedCount(); got != 64 {
+		t.Fatalf("interrupted = %d, want 64", got)
+	}
+	// Groups filled evenly: 16 nodes each.
+	counts := map[int]int{}
+	for _, n := range c.Nodes() {
+		counts[n.Group]++
+	}
+	for gi := 0; gi < 4; gi++ {
+		if counts[gi] != 16 {
+			t.Fatalf("group %d count = %d, want 16", gi, counts[gi])
+		}
+	}
+	if counts[-1] != 64 {
+		t.Fatalf("reliable count = %d, want 64", counts[-1])
+	}
+	// Availability parameters match Table 2.
+	n0 := c.Node(0)
+	if math.Abs(n0.Availability.MTBI()-10) > 1e-12 || n0.Availability.Mu != 4 {
+		t.Fatalf("node 0 availability = %v", n0.Availability)
+	}
+}
+
+func TestNewEmulationRatios(t *testing.T) {
+	for _, ratio := range []float64{0.25, 0.5, 0.75} {
+		c, err := NewEmulation(EmulationConfig{Nodes: 128, InterruptedRatio: ratio}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(128*ratio + 0.5)
+		if got := c.InterruptedCount(); got != want {
+			t.Fatalf("ratio %g: interrupted = %d, want %d", ratio, got, want)
+		}
+	}
+}
+
+func TestNewEmulationShuffleDeterministic(t *testing.T) {
+	cfg := EmulationConfig{Nodes: 64, InterruptedRatio: 0.5, Shuffle: true}
+	a, err := NewEmulation(cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEmulation(cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Node(NodeID(i)).Group != b.Node(NodeID(i)).Group {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+	if a.InterruptedCount() != 32 {
+		t.Fatalf("interrupted = %d", a.InterruptedCount())
+	}
+	// Shuffle without an RNG is an error.
+	if _, err := NewEmulation(cfg, nil); err == nil {
+		t.Fatal("shuffle without RNG accepted")
+	}
+}
+
+func TestNewEmulationValidation(t *testing.T) {
+	if _, err := NewEmulation(EmulationConfig{Nodes: 0}, nil); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewEmulation(EmulationConfig{Nodes: 4, InterruptedRatio: 1.5}, nil); !errors.Is(err, ErrBadRatio) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := EmulationConfig{Nodes: 4, InterruptedRatio: 0.5, Groups: []Group{{MTBI: -1}}}
+	if _, err := NewEmulation(bad, nil); err == nil {
+		t.Fatal("invalid group accepted")
+	}
+	// Unstable group (service >= MTBI) must be rejected.
+	unstable := EmulationConfig{Nodes: 4, InterruptedRatio: 0.5, Groups: []Group{{MTBI: 4, Service: 5}}}
+	if _, err := NewEmulation(unstable, nil); err == nil {
+		t.Fatal("unstable group accepted")
+	}
+}
+
+func TestEfficiencies(t *testing.T) {
+	c, err := NewEmulation(EmulationConfig{Nodes: 8, InterruptedRatio: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effs := c.Efficiencies(12)
+	// Reliable nodes (last 4) should be the most efficient.
+	for i := 0; i < 4; i++ {
+		if effs[i] >= effs[4] {
+			t.Fatalf("interrupted node %d efficiency %g >= reliable %g", i, effs[i], effs[4])
+		}
+	}
+	if math.Abs(effs[4]-1.0/12.0) > 1e-12 {
+		t.Fatalf("reliable efficiency = %g, want 1/12", effs[4])
+	}
+}
+
+func TestNewFromTraces(t *testing.T) {
+	set, err := trace.Generate(trace.DefaultSETIConfig(20), stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewFromTraces(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 20 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	for _, n := range c.Nodes() {
+		if n.Trace == nil {
+			t.Fatal("node missing trace")
+		}
+		if n.Trace.Host != n.Name {
+			t.Fatalf("name mismatch: %q vs %q", n.Name, n.Trace.Host)
+		}
+	}
+}
+
+func TestSampleFromTraces(t *testing.T) {
+	set, err := trace.Generate(trace.DefaultSETIConfig(50), stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SampleFromTraces(set, 10, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Distinct hosts.
+	seen := map[string]bool{}
+	for _, n := range c.Nodes() {
+		if seen[n.Name] {
+			t.Fatalf("duplicate host %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	if _, err := SampleFromTraces(set, 100, stats.NewRNG(7)); err == nil {
+		t.Fatal("oversampling accepted")
+	}
+	if _, err := SampleFromTraces(set, 0, stats.NewRNG(7)); err == nil {
+		t.Fatal("zero sample accepted")
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	n := Node{}
+	if n.Interrupted() {
+		t.Fatal("zero node interrupted")
+	}
+	n.Availability = model.FromMTBI(10, 4)
+	if !n.Interrupted() {
+		t.Fatal("parametric node not interrupted")
+	}
+	tr := &trace.Trace{Horizon: 10}
+	n2 := Node{Trace: tr}
+	if n2.Interrupted() {
+		t.Fatal("empty trace counts as interrupted")
+	}
+	tr.Events = []trace.Event{{Start: 1, Duration: 1}}
+	if !n2.Interrupted() {
+		t.Fatal("trace with events not interrupted")
+	}
+}
+
+func TestWithoutTraces(t *testing.T) {
+	set, err := trace.Generate(trace.DefaultSETIConfig(10), stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewFromTraces(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.WithoutTraces()
+	if p.Len() != c.Len() {
+		t.Fatalf("len = %d", p.Len())
+	}
+	for i := 0; i < p.Len(); i++ {
+		if p.Node(NodeID(i)).Trace != nil {
+			t.Fatalf("node %d still carries a trace", i)
+		}
+		if p.Node(NodeID(i)).Availability != c.Node(NodeID(i)).Availability {
+			t.Fatalf("node %d availability changed", i)
+		}
+	}
+	// The original cluster is untouched.
+	if c.Node(0).Trace == nil {
+		t.Fatal("WithoutTraces mutated the source cluster")
+	}
+}
+
+func TestAvailabilities(t *testing.T) {
+	c, err := NewEmulation(EmulationConfig{Nodes: 8, InterruptedRatio: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avails := c.Availabilities()
+	if len(avails) != 8 {
+		t.Fatalf("len = %d", len(avails))
+	}
+	if avails[0].Dedicated() {
+		t.Fatal("interrupted node reported dedicated")
+	}
+	if !avails[7].Dedicated() {
+		t.Fatal("reliable node not dedicated")
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/adaptsim/adapt/internal/model"
+)
+
+// HeartbeatEstimator reproduces the ADAPT NameNode's lightweight
+// availability bookkeeping (§IV-B1): it does not retain heartbeat
+// history, only a two-double running estimate of (λ, μ) per node,
+// updated as interruptions are observed (heartbeat misses followed by
+// rejoins).
+//
+// The estimator is safe for concurrent use; the real NameNode receives
+// heartbeats from many DataNodes at once.
+type HeartbeatEstimator struct {
+	mu    sync.Mutex
+	nodes map[NodeID]*nodeStats
+}
+
+type nodeStats struct {
+	observedFor   float64 // total observation seconds
+	interruptions int64
+	totalDowntime float64
+}
+
+// NewHeartbeatEstimator returns an empty estimator.
+func NewHeartbeatEstimator() *HeartbeatEstimator {
+	return &HeartbeatEstimator{nodes: make(map[NodeID]*nodeStats)}
+}
+
+// ObserveUptime records that a node was observed (heartbeating) for d
+// additional seconds. Negative durations are rejected.
+func (h *HeartbeatEstimator) ObserveUptime(id NodeID, d float64) error {
+	if d < 0 {
+		return fmt.Errorf("cluster: negative observation window %g", d)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stats(id).observedFor += d
+	return nil
+}
+
+// ObserveInterruption records one interruption with the given downtime
+// (the gap between the last heartbeat and the rejoin).
+func (h *HeartbeatEstimator) ObserveInterruption(id NodeID, downtime float64) error {
+	if downtime < 0 {
+		return fmt.Errorf("cluster: negative downtime %g", downtime)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.stats(id)
+	s.interruptions++
+	s.totalDowntime += downtime
+	s.observedFor += downtime
+	return nil
+}
+
+func (h *HeartbeatEstimator) stats(id NodeID) *nodeStats {
+	s, ok := h.nodes[id]
+	if !ok {
+		s = &nodeStats{}
+		h.nodes[id] = s
+	}
+	return s
+}
+
+// Estimate returns the current (λ, μ) estimate for a node. A node
+// never observed, or observed with no interruptions, estimates as
+// dedicated.
+func (h *HeartbeatEstimator) Estimate(id NodeID) model.Availability {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.nodes[id]
+	if !ok || s.interruptions == 0 || s.observedFor <= 0 {
+		return model.Availability{}
+	}
+	return model.Availability{
+		Lambda: float64(s.interruptions) / s.observedFor,
+		Mu:     s.totalDowntime / float64(s.interruptions),
+	}
+}
+
+// Snapshot returns estimates for all observed nodes.
+func (h *HeartbeatEstimator) Snapshot() map[NodeID]model.Availability {
+	h.mu.Lock()
+	ids := make([]NodeID, 0, len(h.nodes))
+	for id := range h.nodes {
+		ids = append(ids, id)
+	}
+	h.mu.Unlock()
+	out := make(map[NodeID]model.Availability, len(ids))
+	for _, id := range ids {
+		out[id] = h.Estimate(id)
+	}
+	return out
+}
+
+// ApplyTo overwrites the availability of every cluster node for which
+// the estimator has data, returning the number updated. This is the
+// path by which the live NameNode keeps the performance predictor
+// fresh.
+func (h *HeartbeatEstimator) ApplyTo(c *Cluster) int {
+	n := 0
+	for i := 0; i < c.Len(); i++ {
+		id := NodeID(i)
+		h.mu.Lock()
+		_, ok := h.nodes[id]
+		h.mu.Unlock()
+		if !ok {
+			continue
+		}
+		c.Node(id).Availability = h.Estimate(id)
+		n++
+	}
+	return n
+}

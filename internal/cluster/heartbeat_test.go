@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHeartbeatEstimatorBasic(t *testing.T) {
+	h := NewHeartbeatEstimator()
+	id := NodeID(3)
+
+	// Unknown node estimates dedicated.
+	if !h.Estimate(id).Dedicated() {
+		t.Fatal("unknown node not dedicated")
+	}
+
+	// Observe 1000 s with 5 interruptions of 4 s each.
+	if err := h.ObserveUptime(id, 980); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.ObserveInterruption(id, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := h.Estimate(id)
+	if math.Abs(a.Lambda-5.0/1000.0) > 1e-12 {
+		t.Fatalf("lambda = %g, want 0.005", a.Lambda)
+	}
+	if math.Abs(a.Mu-4) > 1e-12 {
+		t.Fatalf("mu = %g, want 4", a.Mu)
+	}
+}
+
+func TestHeartbeatEstimatorRejectsNegative(t *testing.T) {
+	h := NewHeartbeatEstimator()
+	if err := h.ObserveUptime(0, -1); err == nil {
+		t.Fatal("negative uptime accepted")
+	}
+	if err := h.ObserveInterruption(0, -1); err == nil {
+		t.Fatal("negative downtime accepted")
+	}
+}
+
+func TestHeartbeatEstimatorNoInterruptions(t *testing.T) {
+	h := NewHeartbeatEstimator()
+	if err := h.ObserveUptime(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Estimate(1).Dedicated() {
+		t.Fatal("uninterrupted node should estimate dedicated")
+	}
+}
+
+func TestHeartbeatEstimatorSnapshotAndApply(t *testing.T) {
+	h := NewHeartbeatEstimator()
+	if err := h.ObserveUptime(0, 96); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ObserveInterruption(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot size = %d", len(snap))
+	}
+	if a := snap[0]; math.Abs(a.Lambda-0.01) > 1e-12 {
+		t.Fatalf("snapshot lambda = %g", a.Lambda)
+	}
+
+	c, err := New([]Node{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := h.ApplyTo(c); n != 1 {
+		t.Fatalf("applied to %d nodes, want 1", n)
+	}
+	if c.Node(0).Availability.Dedicated() {
+		t.Fatal("node 0 not updated")
+	}
+	if !c.Node(1).Availability.Dedicated() {
+		t.Fatal("node 1 unexpectedly updated")
+	}
+}
+
+func TestHeartbeatEstimatorConcurrent(t *testing.T) {
+	h := NewHeartbeatEstimator()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := NodeID(w % 4)
+			for i := 0; i < 100; i++ {
+				_ = h.ObserveUptime(id, 1)
+				_ = h.ObserveInterruption(id, 0.5)
+				_ = h.Estimate(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for id := NodeID(0); id < 4; id++ {
+		a := h.Estimate(id)
+		// Each of the 4 ids was touched by 2 workers: 200 uptime
+		// seconds, 200 interruptions of 0.5 s.
+		if math.Abs(a.Mu-0.5) > 1e-12 {
+			t.Fatalf("node %d mu = %g", id, a.Mu)
+		}
+		wantLambda := 200.0 / 300.0
+		if math.Abs(a.Lambda-wantLambda) > 1e-9 {
+			t.Fatalf("node %d lambda = %g, want %g", id, a.Lambda, wantLambda)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package dfs
+
+import (
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// Client mirrors the prototype's HDFS shell surface (§IV-A): the
+// natively-supported copyFromLocal and cp extended with an ADAPT
+// enable flag, and the newly added adapt command that reshapes an
+// existing file's placement, implemented like HDFS's rebalance.
+type Client struct {
+	nn *NameNode
+	g  *stats.RNG
+
+	// BlockSize used for new files (default 64 MB).
+	BlockSize int64
+	// Replication used for new files (default 1, as in the paper's
+	// storage-efficiency argument; HDFS itself defaults to 3).
+	Replication int
+	// Gamma is the failure-free per-block task time the performance
+	// predictor uses to weigh nodes (paper default 12 s per 64 MB).
+	Gamma float64
+}
+
+// NewClient builds a client over a NameNode. The RNG drives placement
+// randomness (both stock and ADAPT placement are randomized).
+func NewClient(nn *NameNode, g *stats.RNG) (*Client, error) {
+	if nn == nil {
+		return nil, fmt.Errorf("dfs: client needs a namenode")
+	}
+	if g == nil {
+		return nil, placement.ErrNilRNG
+	}
+	return &Client{
+		nn:          nn,
+		g:           g,
+		BlockSize:   DefaultBlockSize,
+		Replication: 1,
+		Gamma:       12,
+	}, nil
+}
+
+// policy returns the block distributor for the requested mode: stock
+// random placement, or ADAPT weights from the performance predictor.
+func (c *Client) policy(useAdapt bool) (placement.Policy, error) {
+	if !useAdapt {
+		return &placement.Random{Cluster: c.nn.Cluster()}, nil
+	}
+	gamma := c.Gamma
+	if gamma <= 0 {
+		gamma = 12
+	}
+	return placement.NewAdapt(c.nn.Cluster(), gamma)
+}
+
+// CopyFromLocal stores data as a new file. useAdapt selects the
+// availability-aware distributor (the prototype's extra shell flag).
+func (c *Client) CopyFromLocal(name string, data []byte, useAdapt bool) (*FileMeta, error) {
+	pol, err := c.policy(useAdapt)
+	if err != nil {
+		return nil, err
+	}
+	return c.nn.createFile(name, data, c.BlockSize, c.Replication, pol, c.g.Split())
+}
+
+// Cp copies an existing file to a new name, placing the copy's blocks
+// with the selected distributor.
+func (c *Client) Cp(src, dst string, useAdapt bool) (*FileMeta, error) {
+	data, err := c.nn.ReadFile(src)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: cp %q: %w", src, err)
+	}
+	srcMeta, err := c.nn.Stat(src)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := c.policy(useAdapt)
+	if err != nil {
+		return nil, err
+	}
+	return c.nn.createFile(dst, data, srcMeta.BlockSize, srcMeta.Replication, pol, c.g.Split())
+}
+
+// Adapt is the new shell command: it redistributes the blocks of an
+// existing file according to the availability-aware algorithm, moving
+// only the replicas whose holder changed (analogous to the rebalance
+// facility, §IV-B2). It returns the number of replicas moved.
+func (c *Client) Adapt(name string) (int, error) {
+	pol, err := c.policy(true)
+	if err != nil {
+		return 0, err
+	}
+	return c.redistribute(name, pol)
+}
+
+// Rebalance redistributes an existing file's blocks with the stock
+// uniform policy — the baseline the adapt command is analogous to.
+func (c *Client) Rebalance(name string) (int, error) {
+	pol, err := c.policy(false)
+	if err != nil {
+		return 0, err
+	}
+	return c.redistribute(name, pol)
+}
+
+func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
+	fm, err := c.nn.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	placer, err := pol.NewPlacer(len(fm.Blocks), fm.Replication, c.g.Split())
+	if err != nil {
+		return 0, fmt.Errorf("dfs: adapt %q: %w", name, err)
+	}
+
+	moved := 0
+	newBlocks := make([]BlockMeta, len(fm.Blocks))
+	for i, bm := range fm.Blocks {
+		holders, err := placer.PlaceBlock()
+		if err != nil {
+			return moved, fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err)
+		}
+		// Keep overlap, copy to new holders, drop removed ones.
+		oldSet := make(map[cluster.NodeID]bool, len(bm.Replicas))
+		for _, r := range bm.Replicas {
+			oldSet[r] = true
+		}
+		newSet := make(map[cluster.NodeID]bool, len(holders))
+		for _, h := range holders {
+			newSet[h] = true
+		}
+
+		var data []byte
+		for _, h := range holders {
+			if oldSet[h] {
+				continue
+			}
+			if data == nil {
+				data, err = c.nn.ReadBlock(bm)
+				if err != nil {
+					return moved, fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err)
+				}
+			}
+			dn, err := c.nn.DataNode(h)
+			if err != nil {
+				return moved, err
+			}
+			if err := dn.Put(bm.ID, data); err != nil {
+				return moved, fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err)
+			}
+			moved++
+		}
+		for _, r := range bm.Replicas {
+			if !newSet[r] {
+				dn, err := c.nn.DataNode(r)
+				if err != nil {
+					return moved, err
+				}
+				dn.Delete(bm.ID)
+			}
+		}
+		nb := bm
+		nb.Replicas = holders
+		newBlocks[i] = nb
+	}
+
+	// Publish the new locations.
+	c.nn.mu.Lock()
+	defer c.nn.mu.Unlock()
+	live, ok := c.nn.files[name]
+	if !ok {
+		return moved, fmt.Errorf("%w: %q (deleted during adapt)", ErrFileNotFound, name)
+	}
+	live.Blocks = newBlocks
+	return moved, nil
+}

@@ -1,0 +1,402 @@
+// Package dfs is an in-memory model of the HDFS subsystem the ADAPT
+// prototype modifies (§IV): a NameNode holding file→block→location
+// metadata with a heartbeat collector and a performance predictor, a
+// set of DataNodes storing block contents, and client operations
+// mirroring the prototype's three interfaces — CopyFromLocal and Cp
+// with an ADAPT on/off flag, plus the new "adapt" shell command that
+// redistributes an existing file's blocks availability-aware (the
+// analogue of HDFS rebalance).
+//
+// Files are split into fixed-size blocks; each block is stored on k
+// replica DataNodes selected by a pluggable placement policy, exactly
+// where the prototype hooks Algorithm 1 into the block distributor.
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// DefaultBlockSize is the HDFS default of 64 MB.
+const DefaultBlockSize = 64 * 1024 * 1024
+
+// BlockID identifies a block globally.
+type BlockID int64
+
+// BlockMeta describes one block of a file.
+type BlockMeta struct {
+	ID       BlockID
+	File     string
+	Index    int   // position within the file
+	Size     int64 // bytes (last block may be short)
+	Replicas []cluster.NodeID
+}
+
+// FileMeta is the NameNode-side description of a file.
+type FileMeta struct {
+	Name        string
+	Size        int64
+	BlockSize   int64
+	Replication int
+	Blocks      []BlockMeta
+}
+
+// Errors.
+var (
+	ErrFileExists     = errors.New("dfs: file already exists")
+	ErrFileNotFound   = errors.New("dfs: file not found")
+	ErrBlockNotFound  = errors.New("dfs: block not found")
+	ErrNoReplica      = errors.New("dfs: no live replica")
+	ErrBadBlockSize   = errors.New("dfs: block size must be positive")
+	ErrBadReplication = errors.New("dfs: replication must be >= 1")
+)
+
+// DataNode stores block contents for one cluster node. A DataNode can
+// be marked down to emulate interruptions; reads against a down node
+// fail, while its stored blocks persist (the paper's §II-B: data
+// survives on persistent storage across interruptions).
+type DataNode struct {
+	id cluster.NodeID
+
+	mu     sync.RWMutex
+	up     bool
+	blocks map[BlockID][]byte
+}
+
+// NewDataNode creates an empty, up DataNode.
+func NewDataNode(id cluster.NodeID) *DataNode {
+	return &DataNode{id: id, up: true, blocks: make(map[BlockID][]byte)}
+}
+
+// ID returns the node id.
+func (d *DataNode) ID() cluster.NodeID { return d.id }
+
+// Up reports whether the node is serving requests.
+func (d *DataNode) Up() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.up
+}
+
+// SetUp marks the node up or down.
+func (d *DataNode) SetUp(up bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.up = up
+}
+
+// Put stores a block replica. Writes require a live node.
+func (d *DataNode) Put(id BlockID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.up {
+		return fmt.Errorf("dfs: datanode %d is down", d.id)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.blocks[id] = buf
+	return nil
+}
+
+// Get reads a block replica.
+func (d *DataNode) Get(id BlockID) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if !d.up {
+		return nil, fmt.Errorf("dfs: datanode %d is down", d.id)
+	}
+	data, ok := d.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: block %d on datanode %d", ErrBlockNotFound, id, d.id)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Delete removes a block replica (no-op if absent). Deletes are
+// metadata-driven and succeed even while the node is down, matching
+// HDFS's lazy block invalidation on rejoin.
+func (d *DataNode) Delete(id BlockID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.blocks, id)
+}
+
+// Has reports whether the node stores the block (regardless of up
+// state — the bits are on disk).
+func (d *DataNode) Has(id BlockID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.blocks[id]
+	return ok
+}
+
+// BlockCount returns how many replicas the node stores.
+func (d *DataNode) BlockCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.blocks)
+}
+
+// UsedBytes returns the bytes stored.
+func (d *DataNode) UsedBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total int64
+	for _, b := range d.blocks {
+		total += int64(len(b))
+	}
+	return total
+}
+
+// NameNode is the metadata service: file table, block locations, the
+// heartbeat-fed availability estimates, and the performance predictor
+// that turns them into placement weights.
+type NameNode struct {
+	mu        sync.Mutex
+	cluster   *cluster.Cluster
+	files     map[string]*FileMeta
+	nextBlock BlockID
+	datanodes []*DataNode
+	heartbeat *cluster.HeartbeatEstimator
+}
+
+// NewNameNode builds a NameNode and one DataNode per cluster node.
+func NewNameNode(c *cluster.Cluster) (*NameNode, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, cluster.ErrNoNodes
+	}
+	nn := &NameNode{
+		cluster:   c,
+		files:     make(map[string]*FileMeta),
+		heartbeat: cluster.NewHeartbeatEstimator(),
+	}
+	nn.datanodes = make([]*DataNode, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		nn.datanodes[i] = NewDataNode(cluster.NodeID(i))
+	}
+	return nn, nil
+}
+
+// Cluster returns the underlying cluster.
+func (nn *NameNode) Cluster() *cluster.Cluster { return nn.cluster }
+
+// DataNode returns the DataNode for a cluster node.
+func (nn *NameNode) DataNode(id cluster.NodeID) (*DataNode, error) {
+	if int(id) < 0 || int(id) >= len(nn.datanodes) {
+		return nil, fmt.Errorf("dfs: no datanode %d", id)
+	}
+	return nn.datanodes[id], nil
+}
+
+// Heartbeat returns the heartbeat estimator (the ADAPT performance
+// predictor's input, §IV-B1).
+func (nn *NameNode) Heartbeat() *cluster.HeartbeatEstimator { return nn.heartbeat }
+
+// RefreshAvailability folds the heartbeat estimates into the cluster's
+// availability parameters, as the prototype does when its two-double
+// per-node structure changes. It returns the number of nodes updated.
+func (nn *NameNode) RefreshAvailability() int {
+	return nn.heartbeat.ApplyTo(nn.cluster)
+}
+
+// Stat returns a file's metadata (deep copy).
+func (nn *NameNode) Stat(name string) (*FileMeta, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	fm, ok := nn.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrFileNotFound, name)
+	}
+	return copyFileMeta(fm), nil
+}
+
+// List returns all file names in lexical order.
+func (nn *NameNode) List() []string {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	names := make([]string, 0, len(nn.files))
+	for n := range nn.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Exists reports whether a file exists.
+func (nn *NameNode) Exists(name string) bool {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	_, ok := nn.files[name]
+	return ok
+}
+
+// Delete removes a file and its block replicas.
+func (nn *NameNode) Delete(name string) error {
+	nn.mu.Lock()
+	fm, ok := nn.files[name]
+	if !ok {
+		nn.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrFileNotFound, name)
+	}
+	delete(nn.files, name)
+	nn.mu.Unlock()
+	for _, bm := range fm.Blocks {
+		for _, r := range bm.Replicas {
+			nn.datanodes[r].Delete(bm.ID)
+		}
+	}
+	return nil
+}
+
+// BlockDistribution returns per-node replica counts for a file.
+func (nn *NameNode) BlockDistribution(name string) ([]int, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	fm, ok := nn.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrFileNotFound, name)
+	}
+	counts := make([]int, nn.cluster.Len())
+	for _, bm := range fm.Blocks {
+		for _, r := range bm.Replicas {
+			counts[r]++
+		}
+	}
+	return counts, nil
+}
+
+// TotalBlocks returns the number of blocks across all files.
+func (nn *NameNode) TotalBlocks() int {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	n := 0
+	for _, fm := range nn.files {
+		n += len(fm.Blocks)
+	}
+	return n
+}
+
+func copyFileMeta(fm *FileMeta) *FileMeta {
+	out := *fm
+	out.Blocks = make([]BlockMeta, len(fm.Blocks))
+	copy(out.Blocks, fm.Blocks)
+	for i := range out.Blocks {
+		rs := make([]cluster.NodeID, len(fm.Blocks[i].Replicas))
+		copy(rs, fm.Blocks[i].Replicas)
+		out.Blocks[i].Replicas = rs
+	}
+	return &out
+}
+
+// createFile registers metadata and writes replicas through the given
+// placer. Callers hold no lock.
+func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replication int, pol placement.Policy, g *stats.RNG) (*FileMeta, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadBlockSize, blockSize)
+	}
+	if replication < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadReplication, replication)
+	}
+	nn.mu.Lock()
+	if _, ok := nn.files[name]; ok {
+		nn.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrFileExists, name)
+	}
+	nn.mu.Unlock()
+
+	nBlocks := int((int64(len(data)) + blockSize - 1) / blockSize)
+	if nBlocks == 0 {
+		nBlocks = 1 // empty files still get one (empty) block
+	}
+	placer, err := pol.NewPlacer(nBlocks, replication, g)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: create %q: %w", name, err)
+	}
+
+	fm := &FileMeta{
+		Name:        name,
+		Size:        int64(len(data)),
+		BlockSize:   blockSize,
+		Replication: replication,
+		Blocks:      make([]BlockMeta, 0, nBlocks),
+	}
+	for i := 0; i < nBlocks; i++ {
+		lo := int64(i) * blockSize
+		hi := lo + blockSize
+		if hi > int64(len(data)) {
+			hi = int64(len(data))
+		}
+		var chunk []byte
+		if lo < hi {
+			chunk = data[lo:hi]
+		}
+		holders, err := placer.PlaceBlock()
+		if err != nil {
+			return nil, fmt.Errorf("dfs: create %q block %d: %w", name, i, err)
+		}
+		nn.mu.Lock()
+		id := nn.nextBlock
+		nn.nextBlock++
+		nn.mu.Unlock()
+		for _, h := range holders {
+			if err := nn.datanodes[h].Put(id, chunk); err != nil {
+				return nil, fmt.Errorf("dfs: create %q block %d: %w", name, i, err)
+			}
+		}
+		fm.Blocks = append(fm.Blocks, BlockMeta{
+			ID: id, File: name, Index: i, Size: hi - lo, Replicas: holders,
+		})
+	}
+
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.files[name]; ok {
+		return nil, fmt.Errorf("%w: %q (raced)", ErrFileExists, name)
+	}
+	nn.files[name] = fm
+	return copyFileMeta(fm), nil
+}
+
+// ReadBlock fetches one block's bytes from any live replica.
+func (nn *NameNode) ReadBlock(bm BlockMeta) ([]byte, error) {
+	for _, r := range bm.Replicas {
+		dn := nn.datanodes[r]
+		if !dn.Up() {
+			continue
+		}
+		data, err := dn.Get(bm.ID)
+		if err == nil {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: block %d of %q", ErrNoReplica, bm.ID, bm.File)
+}
+
+// ReadFile reassembles a whole file from live replicas.
+func (nn *NameNode) ReadFile(name string) ([]byte, error) {
+	fm, err := nn.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(int(fm.Size))
+	for _, bm := range fm.Blocks {
+		data, err := nn.ReadBlock(bm)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := buf.Write(data); err != nil {
+			return nil, fmt.Errorf("dfs: read %q: %w", name, err)
+		}
+	}
+	return buf.Bytes(), nil
+}

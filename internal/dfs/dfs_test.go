@@ -1,0 +1,447 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+func testCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.NewEmulation(cluster.EmulationConfig{Nodes: n, InterruptedRatio: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testClient(t *testing.T, n int, blockSize int64) (*NameNode, *Client) {
+	t.Helper()
+	nn, err := NewNameNode(testCluster(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(nn, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.BlockSize = blockSize
+	return nn, cl
+}
+
+// payload builds deterministic content of the given length.
+func payload(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	return data
+}
+
+func TestCopyFromLocalAndReadBack(t *testing.T) {
+	nn, cl := testClient(t, 8, 100)
+	data := payload(950) // 10 blocks: 9 full + 1 half
+	fm, err := cl.CopyFromLocal("f", data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Blocks) != 10 {
+		t.Fatalf("blocks = %d, want 10", len(fm.Blocks))
+	}
+	if fm.Blocks[9].Size != 50 {
+		t.Fatalf("last block size = %d, want 50", fm.Blocks[9].Size)
+	}
+	got, err := nn.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestCopyFromLocalAdaptSkewsPlacement(t *testing.T) {
+	// With ADAPT enabled, reliable nodes (second half of the
+	// emulation cluster) must hold more blocks than volatile ones.
+	nn, cl := testClient(t, 16, 10)
+	cl.Gamma = 12
+	data := payload(10 * 16 * 50) // 800 blocks
+	if _, err := cl.CopyFromLocal("f", data, true); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := nn.BlockDistribution("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var volatileTotal, reliableTotal int
+	for i, n := range nn.Cluster().Nodes() {
+		if n.Group >= 0 {
+			volatileTotal += counts[i]
+		} else {
+			reliableTotal += counts[i]
+		}
+	}
+	if reliableTotal <= volatileTotal {
+		t.Fatalf("reliable %d <= volatile %d under ADAPT", reliableTotal, volatileTotal)
+	}
+}
+
+func TestCopyFromLocalDuplicate(t *testing.T) {
+	_, cl := testClient(t, 4, 100)
+	if _, err := cl.CopyFromLocal("f", payload(10), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CopyFromLocal("f", payload(10), false); !errors.Is(err, ErrFileExists) {
+		t.Fatalf("err = %v, want ErrFileExists", err)
+	}
+}
+
+func TestEmptyFileGetsOneBlock(t *testing.T) {
+	nn, cl := testClient(t, 4, 100)
+	fm, err := cl.CopyFromLocal("empty", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Blocks) != 1 || fm.Blocks[0].Size != 0 {
+		t.Fatalf("blocks = %+v", fm.Blocks)
+	}
+	data, err := nn.ReadFile("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestReplicationStoresAllReplicas(t *testing.T) {
+	nn, cl := testClient(t, 8, 100)
+	cl.Replication = 3
+	fm, err := cl.CopyFromLocal("f", payload(500), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bm := range fm.Blocks {
+		if len(bm.Replicas) != 3 {
+			t.Fatalf("block %d replicas = %v", bm.Index, bm.Replicas)
+		}
+		for _, r := range bm.Replicas {
+			dn, err := nn.DataNode(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dn.Has(bm.ID) {
+				t.Fatalf("replica %d missing on node %d", bm.ID, r)
+			}
+		}
+	}
+}
+
+func TestReadFromSurvivingReplica(t *testing.T) {
+	nn, cl := testClient(t, 4, 100)
+	cl.Replication = 2
+	data := payload(250)
+	fm, err := cl.CopyFromLocal("f", data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down the first replica holder of the first block; every block
+	// keeps at least its second replica unless it shares that node,
+	// in which case its own second replica still serves it.
+	dn, err := nn.DataNode(fm.Blocks[0].Replicas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn.SetUp(false)
+	got, err := nn.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read with downed replicas mismatched")
+	}
+}
+
+func TestReadFailsWithNoLiveReplica(t *testing.T) {
+	nn, cl := testClient(t, 4, 100)
+	fm, err := cl.CopyFromLocal("f", payload(100), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fm.Blocks[0].Replicas {
+		dn, err := nn.DataNode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn.SetUp(false)
+	}
+	if _, err := nn.ReadFile("f"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestCp(t *testing.T) {
+	nn, cl := testClient(t, 8, 100)
+	data := payload(430)
+	if _, err := cl.CopyFromLocal("src", data, false); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := cl.Cp("src", "dst", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Name != "dst" {
+		t.Fatalf("name = %q", fm.Name)
+	}
+	got, err := nn.ReadFile("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("copy content mismatch")
+	}
+	if _, err := cl.Cp("missing", "x", false); !errors.Is(err, ErrFileNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAdaptRedistributes(t *testing.T) {
+	nn, cl := testClient(t, 16, 10)
+	data := payload(10 * 16 * 40) // 640 blocks
+	if _, err := cl.CopyFromLocal("f", data, false); err != nil {
+		t.Fatal(err)
+	}
+	before, err := nn.BlockDistribution("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := cl.Adapt("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("adapt moved nothing on a heterogeneous cluster")
+	}
+	after, err := nn.BlockDistribution("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareReliable := func(counts []int) float64 {
+		var rel, total int
+		for i, n := range nn.Cluster().Nodes() {
+			total += counts[i]
+			if n.Group < 0 {
+				rel += counts[i]
+			}
+		}
+		return float64(rel) / float64(total)
+	}
+	if shareReliable(after) <= shareReliable(before) {
+		t.Fatalf("adapt did not shift blocks to reliable nodes: %.3f -> %.3f",
+			shareReliable(before), shareReliable(after))
+	}
+	// Contents intact after the move.
+	got, err := nn.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content changed during adapt")
+	}
+	// Replica sets on datanodes match metadata exactly.
+	fm, err := nn.Stat("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bm := range fm.Blocks {
+		for _, r := range bm.Replicas {
+			dn, err := nn.DataNode(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dn.Has(bm.ID) {
+				t.Fatalf("metadata says node %d holds block %d but it does not", r, bm.ID)
+			}
+		}
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	nn, cl := testClient(t, 8, 10)
+	data := payload(8 * 10 * 30)
+	if _, err := cl.CopyFromLocal("f", data, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Rebalance("f"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nn.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content changed during rebalance")
+	}
+}
+
+func TestDeleteRemovesReplicas(t *testing.T) {
+	nn, cl := testClient(t, 4, 100)
+	fm, err := cl.CopyFromLocal("f", payload(300), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if nn.Exists("f") {
+		t.Fatal("file still listed")
+	}
+	for _, bm := range fm.Blocks {
+		for _, r := range bm.Replicas {
+			dn, err := nn.DataNode(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dn.Has(bm.ID) {
+				t.Fatalf("block %d still on node %d", bm.ID, r)
+			}
+		}
+	}
+	if err := nn.Delete("f"); !errors.Is(err, ErrFileNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestListAndStat(t *testing.T) {
+	nn, cl := testClient(t, 4, 100)
+	for _, name := range []string{"b", "a", "c"} {
+		if _, err := cl.CopyFromLocal(name, payload(10), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := nn.List()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+	fm, err := nn.Stat("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stat returns a copy: mutating it must not corrupt the namenode.
+	fm.Blocks[0].Replicas[0] = 99
+	fm2, err := nn.Stat("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm2.Blocks[0].Replicas[0] == 99 {
+		t.Fatal("Stat leaked internal state")
+	}
+	if _, err := nn.Stat("zzz"); !errors.Is(err, ErrFileNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDataNodeDownRejectsIO(t *testing.T) {
+	dn := NewDataNode(0)
+	if err := dn.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	dn.SetUp(false)
+	if err := dn.Put(2, []byte("y")); err == nil {
+		t.Fatal("put on down node succeeded")
+	}
+	if _, err := dn.Get(1); err == nil {
+		t.Fatal("get on down node succeeded")
+	}
+	if !dn.Has(1) {
+		t.Fatal("bits should persist through downtime")
+	}
+	dn.SetUp(true)
+	if _, err := dn.Get(1); err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+}
+
+func TestDataNodeAccounting(t *testing.T) {
+	dn := NewDataNode(3)
+	if err := dn.Put(1, payload(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dn.Put(2, payload(50)); err != nil {
+		t.Fatal(err)
+	}
+	if dn.BlockCount() != 2 || dn.UsedBytes() != 150 {
+		t.Fatalf("count=%d used=%d", dn.BlockCount(), dn.UsedBytes())
+	}
+	dn.Delete(1)
+	if dn.BlockCount() != 1 || dn.UsedBytes() != 50 {
+		t.Fatalf("after delete: count=%d used=%d", dn.BlockCount(), dn.UsedBytes())
+	}
+}
+
+func TestDataNodePutCopies(t *testing.T) {
+	dn := NewDataNode(0)
+	data := []byte{1, 2, 3}
+	if err := dn.Put(1, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	got, err := dn.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("Put aliased caller buffer")
+	}
+	got[1] = 99
+	again, err := dn.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[1] != 2 {
+		t.Fatal("Get leaked internal buffer")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	nn, _ := testClient(t, 4, 100)
+	if _, err := NewClient(nil, stats.NewRNG(1)); err == nil {
+		t.Fatal("nil namenode accepted")
+	}
+	if _, err := NewClient(nn, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	cl, err := NewClient(nn, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.BlockSize = 0
+	if _, err := cl.CopyFromLocal("f", payload(10), false); !errors.Is(err, ErrBadBlockSize) {
+		t.Fatalf("err = %v", err)
+	}
+	cl.BlockSize = 100
+	cl.Replication = 0
+	if _, err := cl.CopyFromLocal("f", payload(10), false); !errors.Is(err, ErrBadReplication) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRefreshAvailability(t *testing.T) {
+	nn, _ := testClient(t, 4, 100)
+	hb := nn.Heartbeat()
+	if err := hb.ObserveUptime(0, 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := hb.ObserveInterruption(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := nn.RefreshAvailability(); n != 1 {
+		t.Fatalf("refreshed %d nodes, want 1", n)
+	}
+	if nn.Cluster().Node(0).Availability.Dedicated() {
+		t.Fatal("node 0 availability not refreshed")
+	}
+}

@@ -1,0 +1,177 @@
+package dfs
+
+import (
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+)
+
+// ReplicationReport summarizes a MaintainReplication pass.
+type ReplicationReport struct {
+	// Healthy counts blocks already at their target live replication.
+	Healthy int
+	// Repaired counts replicas added.
+	Repaired int
+	// Unrepairable counts blocks with no live replica to copy from;
+	// they recover only when a holder rejoins.
+	Unrepairable int
+}
+
+// MaintainReplication restores each block of the file to its target
+// replication degree counting only replicas on live DataNodes — the
+// HDFS NameNode's under-replication repair, which the paper's
+// replication comparisons presume. New replicas are placed with the
+// availability-aware distributor when useAdapt is set, else uniformly
+// at random among live nodes.
+//
+// Blocks whose every holder is down cannot be repaired (their bytes
+// are unreachable) and are reported as such.
+func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationReport, error) {
+	var report ReplicationReport
+	fm, err := c.nn.Stat(name)
+	if err != nil {
+		return report, err
+	}
+
+	// Candidate target nodes: live DataNodes, weighted by the policy.
+	weights, err := c.repairWeights(useAdapt)
+	if err != nil {
+		return report, err
+	}
+
+	g := c.g.Split()
+	newBlocks := make([]BlockMeta, len(fm.Blocks))
+	copy(newBlocks, fm.Blocks)
+	for i, bm := range fm.Blocks {
+		live := 0
+		holderSet := make(map[cluster.NodeID]bool, len(bm.Replicas))
+		for _, r := range bm.Replicas {
+			holderSet[r] = true
+			dn, err := c.nn.DataNode(r)
+			if err != nil {
+				return report, err
+			}
+			if dn.Up() {
+				live++
+			}
+		}
+		if live >= fm.Replication {
+			report.Healthy++
+			continue
+		}
+		if live == 0 {
+			report.Unrepairable++
+			continue
+		}
+		data, err := c.nn.ReadBlock(bm)
+		if err != nil {
+			report.Unrepairable++
+			continue
+		}
+		holders := append([]cluster.NodeID(nil), bm.Replicas...)
+		for live < fm.Replication {
+			target, ok := pickWeighted(weights, holderSet, c.nn, g.Float64())
+			if !ok {
+				break // no live node left to host another replica
+			}
+			dn, err := c.nn.DataNode(target)
+			if err != nil {
+				return report, err
+			}
+			if err := dn.Put(bm.ID, data); err != nil {
+				// Node raced down; exclude and retry.
+				holderSet[target] = true
+				continue
+			}
+			holderSet[target] = true
+			holders = append(holders, target)
+			live++
+			report.Repaired++
+		}
+		nb := bm
+		nb.Replicas = holders
+		newBlocks[i] = nb
+	}
+
+	c.nn.mu.Lock()
+	defer c.nn.mu.Unlock()
+	liveMeta, ok := c.nn.files[name]
+	if !ok {
+		return report, fmt.Errorf("%w: %q (deleted during repair)", ErrFileNotFound, name)
+	}
+	liveMeta.Blocks = newBlocks
+	return report, nil
+}
+
+// repairWeights returns per-node placement weights for repair targets.
+func (c *Client) repairWeights(useAdapt bool) ([]float64, error) {
+	cl := c.nn.Cluster()
+	ws := make([]float64, cl.Len())
+	if useAdapt {
+		gamma := c.Gamma
+		if gamma <= 0 {
+			gamma = 12
+		}
+		copy(ws, cl.Efficiencies(gamma))
+		// Guard against an all-zero weight vector (every node
+		// unstable): fall back to uniform.
+		var total float64
+		for _, w := range ws {
+			total += w
+		}
+		if total > 0 {
+			return ws, nil
+		}
+	}
+	for i := range ws {
+		ws[i] = 1
+	}
+	return ws, nil
+}
+
+// pickWeighted draws a live node not in exclude, proportionally to
+// weights, using the supplied uniform variate.
+func pickWeighted(weights []float64, exclude map[cluster.NodeID]bool, nn *NameNode, u float64) (cluster.NodeID, bool) {
+	var total float64
+	for i, w := range weights {
+		id := cluster.NodeID(i)
+		if w <= 0 || exclude[id] {
+			continue
+		}
+		dn, err := nn.DataNode(id)
+		if err != nil || !dn.Up() {
+			continue
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	r := u * total
+	for i, w := range weights {
+		id := cluster.NodeID(i)
+		if w <= 0 || exclude[id] {
+			continue
+		}
+		dn, err := nn.DataNode(id)
+		if err != nil || !dn.Up() {
+			continue
+		}
+		r -= w
+		if r <= 0 {
+			return id, true
+		}
+	}
+	// Floating-point slack: return the last eligible.
+	for i := len(weights) - 1; i >= 0; i-- {
+		id := cluster.NodeID(i)
+		if weights[i] <= 0 || exclude[id] {
+			continue
+		}
+		dn, err := nn.DataNode(id)
+		if err == nil && dn.Up() {
+			return id, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblation(t *testing.T) {
+	rows, err := Ablation(AblationConfig{Base: tinyEmulation()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 collision + 2 speculation + 2 threshold + 2 replicas +
+	// 2 scheduler.
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	groups := map[string]int{}
+	for _, r := range rows {
+		groups[r.Group]++
+		if r.Elapsed <= 0 || r.Locality <= 0 || r.Locality > 1 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+	for _, g := range []string{"collision", "speculation", "threshold", "replicas", "scheduler"} {
+		if groups[g] != 2 {
+			t.Fatalf("group %s has %d rows", g, groups[g])
+		}
+	}
+	tbl := AblationTable(rows).String()
+	if !strings.Contains(tbl, "by-rate") || !strings.Contains(tbl, "availability-aware") {
+		t.Fatalf("table: %s", tbl)
+	}
+}

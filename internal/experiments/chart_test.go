@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/metrics"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", "s", []Bar{
+		{Label: "a", Value: 100},
+		{Label: "bb", Value: 50},
+		{Label: "c", Value: 0},
+	})
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The max bar is full width; half-value bar about half.
+	full := strings.Count(lines[1], "█")
+	half := strings.Count(lines[2], "█")
+	if full != chartWidth {
+		t.Fatalf("full bar = %d chars", full)
+	}
+	if half < chartWidth/2-1 || half > chartWidth/2+1 {
+		t.Fatalf("half bar = %d chars", half)
+	}
+	if zero := strings.Count(lines[3], "█"); zero != 0 {
+		t.Fatalf("zero bar = %d chars", zero)
+	}
+}
+
+func TestBarChartEmptyAndNaN(t *testing.T) {
+	out := BarChart("t", "", nil)
+	if !strings.Contains(out, "t") {
+		t.Fatal("empty chart broken")
+	}
+	nan := BarChart("t", "", []Bar{{Label: "x", Value: nanValue()}})
+	if !strings.Contains(nan, "x") {
+		t.Fatal("NaN bar broken")
+	}
+}
+
+func nanValue() float64 {
+	var z float64
+	return z / z
+}
+
+func TestStackedChart(t *testing.T) {
+	out := StackedChart("overhead", []StackedBar{
+		{Label: "random/1rep", Ratios: metrics.Ratio{Rework: 0.1, Recovery: 0.2, Migration: 0.5, Misc: 0.2}},
+		{Label: "adapt/1rep", Ratios: metrics.Ratio{Migration: 0.1, Misc: 0.15}},
+	})
+	if !strings.Contains(out, "legend") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "random/1rep") || !strings.Contains(out, "adapt/1rep") {
+		t.Fatal("missing labels")
+	}
+	// The larger total must render more fill characters.
+	lines := strings.Split(out, "\n")
+	countFill := func(s string) int {
+		return strings.Count(s, "#") + strings.Count(s, "R") +
+			strings.Count(s, "M") + strings.Count(s, ".")
+	}
+	var rnd, adp int
+	for _, l := range lines {
+		if strings.Contains(l, "random/1rep") {
+			rnd = countFill(l)
+		}
+		if strings.Contains(l, "adapt/1rep |") {
+			adp = countFill(l)
+		}
+	}
+	if rnd <= adp {
+		t.Fatalf("fills: random %d, adapt %d", rnd, adp)
+	}
+}
+
+func TestResultCharts(t *testing.T) {
+	res, err := Figure3a(tinyEmulation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := res.ElapsedChart("0.50")
+	if !strings.Contains(ec, "elapsed seconds") || !strings.Contains(ec, "adapt/1rep") {
+		t.Fatalf("elapsed chart: %s", ec)
+	}
+	lc := res.LocalityChart("0.50")
+	if !strings.Contains(lc, "data locality") {
+		t.Fatalf("locality chart: %s", lc)
+	}
+
+	sim, err := Figure5a(SimulationConfig{
+		Hosts: 48, TasksPerNode: 10, Trials: 1, Seed: 2,
+		Series: []Series{{StrategyRandom, 1}, {StrategyAdapt, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := sim.OverheadChart("8")
+	if !strings.Contains(oc, "overhead ratio") || !strings.Contains(oc, "legend") {
+		t.Fatalf("overhead chart: %s", oc)
+	}
+}

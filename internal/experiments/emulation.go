@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/hadoopsim"
+	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/netsim"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// EmulationConfig mirrors the paper's emulated environment (§V-A,
+// Tables 2 and 3): an n-node cluster with a fixed ratio of
+// interrupted nodes split evenly across the Table 2 availability
+// groups, 20 blocks per node of Terasort-shaped work, and a throttled
+// symmetric network.
+type EmulationConfig struct {
+	Nodes            int     // default 128 (Table 3)
+	BlocksPerNode    int     // default 20 (§V-A)
+	InterruptedRatio float64 // default 0.5 (Table 3)
+	BandwidthMbps    float64 // default 8 (Table 3)
+	BlockMB          float64 // default 64 (Table 3)
+	Gamma            float64 // default 12 s per 64 MB block
+	Trials           int     // default 10 runs per scenario (§V-A)
+	Seed             uint64
+	Series           []Series        // default EmulationSeries()
+	Groups           []cluster.Group // default Table2Groups()
+}
+
+// PaperEmulationConfig returns the full-size configuration of
+// Tables 2–3.
+func PaperEmulationConfig() EmulationConfig {
+	return EmulationConfig{
+		Nodes:            128,
+		BlocksPerNode:    20,
+		InterruptedRatio: 0.5,
+		BandwidthMbps:    8,
+		BlockMB:          64,
+		Gamma:            12,
+		Trials:           10,
+		Seed:             1,
+	}
+}
+
+// Scale shrinks the cluster and trial count by factor f (0 < f <= 1)
+// for quick runs; per-node load and all rates stay unchanged so the
+// result shapes are preserved.
+func (c EmulationConfig) Scale(f float64) EmulationConfig {
+	if f <= 0 || f > 1 {
+		return c
+	}
+	out := c
+	out.Nodes = maxInt(8, int(float64(c.Nodes)*f))
+	out.Trials = maxInt(2, int(float64(c.Trials)*f))
+	return out
+}
+
+func (c EmulationConfig) withDefaults() EmulationConfig {
+	d := PaperEmulationConfig()
+	if c.Nodes == 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.BlocksPerNode == 0 {
+		c.BlocksPerNode = d.BlocksPerNode
+	}
+	if c.InterruptedRatio == 0 {
+		c.InterruptedRatio = d.InterruptedRatio
+	}
+	if c.BandwidthMbps == 0 {
+		c.BandwidthMbps = d.BandwidthMbps
+	}
+	if c.BlockMB == 0 {
+		c.BlockMB = d.BlockMB
+	}
+	if c.Gamma == 0 {
+		c.Gamma = d.Gamma
+	}
+	if c.Trials == 0 {
+		c.Trials = d.Trials
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if len(c.Series) == 0 {
+		c.Series = EmulationSeries()
+	}
+	return c
+}
+
+// EmulationCell is one measured point of Figures 3/4: a series at a
+// sweep value.
+type EmulationCell struct {
+	X      float64
+	XLabel string
+	Series Series
+	// Elapsed is the mean map-phase time (Figure 3) with its standard
+	// error across trials.
+	Elapsed       float64
+	ElapsedStdErr float64
+	// Locality is the mean data locality (Figure 4).
+	Locality float64
+	// Overheads carries the mean overhead ratios for deeper analysis.
+	Overheads metrics.Ratio
+}
+
+// EmulationResult is a complete sweep (one sub-figure of 3 and 4).
+type EmulationResult struct {
+	Name   string
+	XTitle string
+	XVals  []string
+	Series []Series
+	Cells  map[string]map[string]EmulationCell // x label -> series label -> cell
+}
+
+// Cell returns a measured point.
+func (r *EmulationResult) Cell(xLabel string, s Series) (EmulationCell, bool) {
+	row, ok := r.Cells[xLabel]
+	if !ok {
+		return EmulationCell{}, false
+	}
+	c, ok := row[s.Label()]
+	return c, ok
+}
+
+// ElapsedTable renders the Figure 3 view (seconds).
+func (r *EmulationResult) ElapsedTable() *Table {
+	return r.table("Elapsed time (s) — "+r.Name, func(c EmulationCell) string {
+		return fmtSeconds(c.Elapsed)
+	})
+}
+
+// LocalityTable renders the Figure 4 view (percent local tasks).
+func (r *EmulationResult) LocalityTable() *Table {
+	return r.table("Data locality — "+r.Name, func(c EmulationCell) string {
+		return fmtPercent(c.Locality)
+	})
+}
+
+func (r *EmulationResult) table(title string, cell func(EmulationCell) string) *Table {
+	t := &Table{Title: title, Header: []string{r.XTitle}}
+	for _, s := range r.Series {
+		t.Header = append(t.Header, s.Label())
+	}
+	for _, x := range r.XVals {
+		row := []string{x}
+		for _, s := range r.Series {
+			c, ok := r.Cell(x, s)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, cell(c))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// runEmulationPoint executes all series at one parameter point.
+func runEmulationPoint(cfg EmulationConfig, x float64, xLabel string, res *EmulationResult) error {
+	g := stats.NewRNG(cfg.Seed)
+	emuCfg := cluster.EmulationConfig{
+		Nodes:            cfg.Nodes,
+		InterruptedRatio: cfg.InterruptedRatio,
+		Groups:           cfg.Groups,
+		Shuffle:          true,
+	}
+	c, err := cluster.NewEmulation(emuCfg, g.Split())
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", res.Name, err)
+	}
+	taskGamma := cfg.Gamma * cfg.BlockMB / 64
+	blocks := cfg.Nodes * cfg.BlocksPerNode
+
+	row := make(map[string]EmulationCell, len(cfg.Series))
+	for _, series := range cfg.Series {
+		pol, err := policyFor(series.Strategy, c, taskGamma)
+		if err != nil {
+			return err
+		}
+		sc := hadoopsim.Scenario{
+			Config: hadoopsim.Config{
+				Cluster:    c,
+				BlockBytes: cfg.BlockMB * 1024 * 1024,
+				Gamma:      cfg.Gamma,
+				Network:    netsim.FromMegabits(cfg.BandwidthMbps),
+			},
+			Policy:   pol,
+			Blocks:   blocks,
+			Replicas: series.Replicas,
+		}
+		agg, err := hadoopsim.RunTrials(sc, cfg.Trials, g.Split())
+		if err != nil {
+			return fmt.Errorf("experiments: %s %s: %w", res.Name, series.Label(), err)
+		}
+		row[series.Label()] = EmulationCell{
+			X:             x,
+			XLabel:        xLabel,
+			Series:        series,
+			Elapsed:       agg.Elapsed.Mean(),
+			ElapsedStdErr: agg.Elapsed.StdErr(),
+			Locality:      agg.Locality.Mean(),
+			Overheads:     agg.MeanRatio(),
+		}
+	}
+	res.XVals = append(res.XVals, xLabel)
+	res.Cells[xLabel] = row
+	return nil
+}
+
+// Figure3a sweeps the interrupted-node ratio over {1/4, 1/2, 3/4}
+// (Figures 3a and 4a share this run).
+func Figure3a(cfg EmulationConfig) (*EmulationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &EmulationResult{
+		Name:   "Fig 3(a)/4(a): varying interrupted-node ratio",
+		XTitle: "interrupted ratio",
+		Series: cfg.Series,
+		Cells:  make(map[string]map[string]EmulationCell),
+	}
+	for _, ratio := range []float64{0.25, 0.5, 0.75} {
+		point := cfg
+		point.InterruptedRatio = ratio
+		point.Seed = cfg.Seed + uint64(ratio*1000)
+		if err := runEmulationPoint(point, ratio, fmt.Sprintf("%.2f", ratio), res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Figure3b sweeps the network bandwidth over {4, 8, 16, 32} Mb/s
+// (Figures 3b and 4b).
+func Figure3b(cfg EmulationConfig) (*EmulationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &EmulationResult{
+		Name:   "Fig 3(b)/4(b): varying network bandwidth",
+		XTitle: "bandwidth (Mb/s)",
+		Series: cfg.Series,
+		Cells:  make(map[string]map[string]EmulationCell),
+	}
+	for _, mbps := range []float64{4, 8, 16, 32} {
+		point := cfg
+		point.BandwidthMbps = mbps
+		point.Seed = cfg.Seed + uint64(mbps)
+		if err := runEmulationPoint(point, mbps, fmt.Sprintf("%g", mbps), res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Figure3c sweeps the cluster size over {32, 64, 128, 256} nodes
+// (scaled proportionally for reduced configs; Figures 3c and 4c).
+func Figure3c(cfg EmulationConfig) (*EmulationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &EmulationResult{
+		Name:   "Fig 3(c)/4(c): varying number of nodes",
+		XTitle: "nodes",
+		Series: cfg.Series,
+		Cells:  make(map[string]map[string]EmulationCell),
+	}
+	// Paper sweep is {32, 64, 128, 256} around the default 128; keep
+	// the same x/default ratios for scaled configs.
+	for _, factor := range []float64{0.25, 0.5, 1, 2} {
+		nodes := maxInt(8, int(float64(cfg.Nodes)*factor))
+		point := cfg
+		point.Nodes = nodes
+		point.Seed = cfg.Seed + uint64(nodes)
+		if err := runEmulationPoint(point, float64(nodes), fmt.Sprintf("%d", nodes), res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// HeadlineCell is the §V-B default-point comparison.
+type HeadlineCell struct {
+	Series   Series
+	Elapsed  float64
+	Locality float64
+	// ImprovementVsRandom1 = 1 - elapsed/elapsed(random,1rep).
+	ImprovementVsRandom1 float64
+}
+
+// Headline runs the default emulation point (Table 3) and reports the
+// improvement of each series over stock 1-replica Hadoop, the paper's
+// headline being ADAPT/1rep ≈ 40% better.
+func Headline(cfg EmulationConfig) ([]HeadlineCell, error) {
+	if len(cfg.Series) == 0 {
+		cfg.Series = HeadlineSeries()
+	}
+	cfg = cfg.withDefaults()
+	res := &EmulationResult{
+		Name:   "headline",
+		XTitle: "point",
+		Series: cfg.Series,
+		Cells:  make(map[string]map[string]EmulationCell),
+	}
+	if err := runEmulationPoint(cfg, 0, "default", res); err != nil {
+		return nil, err
+	}
+	base, ok := res.Cell("default", Series{StrategyRandom, 1})
+	if !ok {
+		return nil, fmt.Errorf("experiments: headline requires the random/1rep series")
+	}
+	out := make([]HeadlineCell, 0, len(cfg.Series))
+	for _, s := range cfg.Series {
+		c, ok := res.Cell("default", s)
+		if !ok {
+			continue
+		}
+		out = append(out, HeadlineCell{
+			Series:               s,
+			Elapsed:              c.Elapsed,
+			Locality:             c.Locality,
+			ImprovementVsRandom1: 1 - c.Elapsed/base.Elapsed,
+		})
+	}
+	return out, nil
+}
+
+// HeadlineTable renders the headline comparison.
+func HeadlineTable(cells []HeadlineCell) *Table {
+	t := &Table{
+		Title:  "Headline (§V-B): default emulation point",
+		Header: []string{"series", "elapsed (s)", "locality", "improvement vs random/1rep"},
+	}
+	for _, c := range cells {
+		t.AddRow(c.Series.Label(), fmtSeconds(c.Elapsed), fmtPercent(c.Locality),
+			fmtPercent(c.ImprovementVsRandom1))
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

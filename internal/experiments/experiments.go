@@ -1,0 +1,96 @@
+// Package experiments reproduces the ADAPT paper's evaluation: every
+// figure and table in §V has a runner here that builds the workload,
+// sweeps the paper's parameter, executes the simulator over the
+// strategies under comparison, and renders rows shaped like the
+// published plots.
+//
+//	Table 1      — TraceTable1: SETI@home-style trace statistics.
+//	Figures 3a–c — EmulationSweep (elapsed time curves).
+//	Figures 4a–c — the same sweeps' locality curves.
+//	Figures 5a–c — SimulationSweep (overhead-ratio breakdowns).
+//	§V-B text    — Headline: the 30–40% default-point improvement.
+//	§III         — ModelValidation: eq. (5) vs Monte-Carlo.
+//
+// Experiments are deterministic per seed and scale down gracefully:
+// the paper-sized configurations are exposed as Paper* constructors
+// and every config has a Scale method for quick runs.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/placement"
+)
+
+// Strategy identifies a placement policy under comparison.
+type Strategy string
+
+// The three strategies of §V.
+const (
+	StrategyRandom Strategy = "random"
+	StrategyAdapt  Strategy = "adapt"
+	StrategyNaive  Strategy = "naive"
+)
+
+// Series is one curve in a figure: a placement strategy at a
+// replication degree.
+type Series struct {
+	Strategy Strategy
+	Replicas int
+}
+
+// Label renders the series the way the paper's legends do.
+func (s Series) Label() string {
+	return fmt.Sprintf("%s/%drep", s.Strategy, s.Replicas)
+}
+
+// ErrUnknownStrategy is returned for strategies outside the three the
+// paper evaluates.
+var ErrUnknownStrategy = errors.New("experiments: unknown strategy")
+
+// policyFor builds the placement policy for a strategy on a cluster.
+func policyFor(s Strategy, c *cluster.Cluster, gamma float64) (placement.Policy, error) {
+	switch s {
+	case StrategyRandom:
+		return &placement.Random{Cluster: c}, nil
+	case StrategyAdapt:
+		return placement.NewAdapt(c, gamma)
+	case StrategyNaive:
+		return placement.NewNaive(c)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, s)
+	}
+}
+
+// EmulationSeries are the four curves of Figures 3 and 4.
+func EmulationSeries() []Series {
+	return []Series{
+		{StrategyRandom, 1},
+		{StrategyRandom, 2},
+		{StrategyAdapt, 1},
+		{StrategyAdapt, 2},
+	}
+}
+
+// HeadlineSeries extends the emulation curves with the naive strawman
+// for the §V-B default-point comparison.
+func HeadlineSeries() []Series {
+	return append(EmulationSeries(),
+		Series{StrategyNaive, 1},
+		Series{StrategyNaive, 2},
+	)
+}
+
+// SimulationSeries are the nine curves of Figure 5 (three strategies
+// at one to three replicas).
+func SimulationSeries() []Series {
+	out := make([]Series, 0, 9)
+	for _, s := range []Strategy{StrategyRandom, StrategyNaive, StrategyAdapt} {
+		for k := 1; k <= 3; k++ {
+			out = append(out, Series{s, k})
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivityRuns(t *testing.T) {
+	cfg := SensitivityConfig{Base: SimulationConfig{
+		Hosts:        64,
+		TasksPerNode: 20,
+		Trials:       1,
+		Seed:         5,
+	}}
+	rows, err := Sensitivity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 MTBI values + 3 penalties + 2 injection modes.
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Knob == "" || r.Value == "" {
+			t.Fatalf("row missing labels: %+v", r)
+		}
+		if r.Random.Total() < 0 || r.Adapt.Total() < 0 {
+			t.Fatalf("negative totals: %+v", r)
+		}
+	}
+	tbl := SensitivityTable(rows).String()
+	for _, want := range []string{"mean-mtbi", "source-penalty", "injection", "parametric", "replay"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

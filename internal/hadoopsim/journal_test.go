@@ -1,0 +1,128 @@
+package hadoopsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+func journalRun(t *testing.T) (*Journal, int) {
+	t.Helper()
+	c, err := cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes: 16, InterruptedRatio: 0.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Journal{}
+	const blocks = 160
+	pol := &placement.Random{Cluster: c}
+	asn, err := placement.PlaceAll(pol, blocks, 1, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Cluster: c, Assignment: asn, Journal: j}, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTasks != blocks {
+		t.Fatalf("tasks = %d", res.TotalTasks)
+	}
+	return j, blocks
+}
+
+func TestJournalCompletionsMatchTasks(t *testing.T) {
+	j, blocks := journalRun(t)
+	if got := j.Count(EventTaskComplete); got != blocks {
+		t.Fatalf("completions = %d, want %d", got, blocks)
+	}
+	// Every completion implies at least one start.
+	if starts := j.Count(EventTaskStart); starts < blocks {
+		t.Fatalf("starts = %d < completions %d", starts, blocks)
+	}
+	// Aborts are the start surplus minus cancelled duplicates; at
+	// minimum starts >= completions + aborts is not guaranteed (dup
+	// cancels), but aborts never exceed starts.
+	if j.Count(EventTaskAbort) > j.Count(EventTaskStart) {
+		t.Fatal("more aborts than starts")
+	}
+}
+
+func TestJournalAttemptsHistogram(t *testing.T) {
+	j, blocks := journalRun(t)
+	hist := j.AttemptsPerTask()
+	total := 0
+	for attempts, n := range hist {
+		if attempts < 1 {
+			t.Fatalf("nonsense attempt count %d", attempts)
+		}
+		total += n
+	}
+	if total != blocks {
+		t.Fatalf("histogram covers %d tasks, want %d", total, blocks)
+	}
+	if hist[1] == 0 {
+		t.Fatal("no task completed on the first attempt?")
+	}
+}
+
+func TestJournalNodeDowntime(t *testing.T) {
+	j, _ := journalRun(t)
+	down := j.NodeDowntime()
+	if len(down) == 0 {
+		t.Fatal("no downtime recorded on an interrupted cluster")
+	}
+	for node, d := range down {
+		if d <= 0 {
+			t.Fatalf("node %d downtime %g", node, d)
+		}
+	}
+}
+
+func TestJournalTimeline(t *testing.T) {
+	j, _ := journalRun(t)
+	tl := j.Timeline(5)
+	if !strings.Contains(tl, "completed") {
+		t.Fatalf("timeline: %s", tl)
+	}
+	if got := strings.Count(tl, "\n"); got != 6 { // header + 5 buckets
+		t.Fatalf("timeline lines = %d:\n%s", got, tl)
+	}
+	empty := (&Journal{}).Timeline(5)
+	if !strings.Contains(empty, "empty") {
+		t.Fatalf("empty timeline: %q", empty)
+	}
+}
+
+func TestJournalTaskLatencies(t *testing.T) {
+	j, blocks := journalRun(t)
+	lats := j.TaskLatencies(nil)
+	if len(lats) != blocks {
+		t.Fatalf("latencies = %d", len(lats))
+	}
+	p50, p95, p99 := LatencyPercentiles(lats)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("percentiles not ordered: %g %g %g", p50, p95, p99)
+	}
+	if p50 < DefaultGamma {
+		t.Fatalf("p50 latency %g below one task time", p50)
+	}
+}
+
+func TestJournalEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EventInterruption, EventRecovery, EventTaskStart,
+		EventTaskAbort, EventTaskComplete, EventMigration, EventSpeculate,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "EventKind(") || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+}

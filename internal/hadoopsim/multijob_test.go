@@ -1,0 +1,242 @@
+package hadoopsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+func TestMultiJobBasic(t *testing.T) {
+	c, err := cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes: 16, InterruptedRatio: 0.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MultiJobConfig{
+		Base:          Config{Cluster: c},
+		DefaultPolicy: &placement.Random{Cluster: c},
+		Jobs: []JobSpec{
+			{Name: "early", Blocks: 64, Replicas: 1, Arrival: 0},
+			{Name: "late", Blocks: 64, Replicas: 1, Arrival: 300},
+		},
+	}
+	res, err := RunMultiJob(cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	early, late := res.Jobs[0], res.Jobs[1]
+	if early.Name != "early" || late.Name != "late" {
+		t.Fatalf("order: %q %q", early.Name, late.Name)
+	}
+	if early.Tasks != 64 || late.Tasks != 64 {
+		t.Fatalf("tasks: %d %d", early.Tasks, late.Tasks)
+	}
+	if late.Finished < late.Submitted {
+		t.Fatalf("late finished %g before submission %g", late.Finished, late.Submitted)
+	}
+	if early.Finished <= 0 || math.IsNaN(early.Locality()) {
+		t.Fatalf("early result: %+v", early)
+	}
+	if res.Makespan < late.Finished {
+		t.Fatalf("makespan %g < last job finish %g", res.Makespan, late.Finished)
+	}
+	if res.Cluster.TotalTasks != 128 {
+		t.Fatalf("cluster tasks = %d", res.Cluster.TotalTasks)
+	}
+}
+
+func TestMultiJobLateJobWaitsForSubmission(t *testing.T) {
+	// A tiny cluster busy with job A until ~240 s; job B arrives at
+	// t=1000 — nothing of B may run before then, so B finishes after
+	// 1000 + its own work.
+	c, err := cluster.New(make([]cluster.Node, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MultiJobConfig{
+		Base:          Config{Cluster: c},
+		DefaultPolicy: &placement.Random{Cluster: c},
+		Jobs: []JobSpec{
+			{Name: "A", Blocks: 16, Arrival: 0},
+			{Name: "B", Blocks: 16, Arrival: 1000},
+		},
+	}
+	res, err := RunMultiJob(cfg, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Jobs[1]
+	if b.Finished < 1000+4*DefaultGamma {
+		t.Fatalf("job B finished at %g, before it could have run", b.Finished)
+	}
+	// Job A on a dedicated 4-node cluster: 4 blocks/node avg.
+	a := res.Jobs[0]
+	if a.Finished > 400 {
+		t.Fatalf("job A took until %g on an idle dedicated cluster", a.Finished)
+	}
+}
+
+func TestMultiJobFIFOOrderingUnderContention(t *testing.T) {
+	// Two jobs submitted together: FIFO queues mean the first job's
+	// tasks sit ahead in every node queue, so job 1 should finish no
+	// later than job 2.
+	c, err := cluster.New(make([]cluster.Node, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MultiJobConfig{
+		Base:          Config{Cluster: c},
+		DefaultPolicy: &placement.Random{Cluster: c},
+		Jobs: []JobSpec{
+			{Name: "first", Blocks: 80, Arrival: 0},
+			{Name: "second", Blocks: 80, Arrival: 0},
+		},
+	}
+	res, err := RunMultiJob(cfg, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Finished > res.Jobs[1].Finished {
+		t.Fatalf("FIFO violated: first done %g, second done %g",
+			res.Jobs[0].Finished, res.Jobs[1].Finished)
+	}
+}
+
+func TestMultiJobPerJobPolicies(t *testing.T) {
+	c, err := cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes: 16, InterruptedRatio: 0.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptPol, err := placement.NewAdapt(c, DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MultiJobConfig{
+		Base: Config{Cluster: c},
+		Jobs: []JobSpec{
+			{Name: "adapt-job", Blocks: 64, Policy: adaptPol},
+			{Name: "random-job", Blocks: 64, Policy: &placement.Random{Cluster: c}, Arrival: 1},
+		},
+	}
+	res, err := RunMultiJob(cfg, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+}
+
+func TestMultiJobDeterministic(t *testing.T) {
+	c, err := cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes: 12, InterruptedRatio: 0.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MultiJobConfig{
+		Base:          Config{Cluster: c},
+		DefaultPolicy: &placement.Random{Cluster: c},
+		Jobs: []JobSpec{
+			{Name: "a", Blocks: 36},
+			{Name: "b", Blocks: 36, Arrival: 100},
+			{Name: "c", Blocks: 36, Arrival: 200},
+		},
+	}
+	r1, err := RunMultiJob(cfg, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunMultiJob(cfg, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i] != r2.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, r1.Jobs[i], r2.Jobs[i])
+		}
+	}
+}
+
+func TestMultiJobValidation(t *testing.T) {
+	c, err := cluster.New(make([]cluster.Node, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &placement.Random{Cluster: c}
+	cases := []struct {
+		name string
+		cfg  MultiJobConfig
+	}{
+		{"no jobs", MultiJobConfig{Base: Config{Cluster: c}, DefaultPolicy: pol}},
+		{"no cluster", MultiJobConfig{DefaultPolicy: pol, Jobs: []JobSpec{{Name: "x", Blocks: 1}}}},
+		{"no blocks", MultiJobConfig{Base: Config{Cluster: c}, DefaultPolicy: pol,
+			Jobs: []JobSpec{{Name: "x"}}}},
+		{"negative arrival", MultiJobConfig{Base: Config{Cluster: c}, DefaultPolicy: pol,
+			Jobs: []JobSpec{{Name: "x", Blocks: 1, Arrival: -5}}}},
+		{"no policy", MultiJobConfig{Base: Config{Cluster: c},
+			Jobs: []JobSpec{{Name: "x", Blocks: 1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RunMultiJob(tc.cfg, stats.NewRNG(1)); err == nil {
+				t.Fatal("invalid workload accepted")
+			}
+		})
+	}
+	good := MultiJobConfig{Base: Config{Cluster: c}, DefaultPolicy: pol,
+		Jobs: []JobSpec{{Name: "x", Blocks: 1}}}
+	if _, err := RunMultiJob(good, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestMultiJobAdaptImprovesMakespan(t *testing.T) {
+	// A burst of jobs on a heterogeneous cluster: ADAPT placement for
+	// every job should yield a shorter makespan than random.
+	c, err := cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes: 24, InterruptedRatio: 0.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol placement.Policy) float64 {
+		cfg := MultiJobConfig{
+			Base:          Config{Cluster: c},
+			DefaultPolicy: pol,
+			Jobs: []JobSpec{
+				{Name: "j1", Blocks: 120},
+				{Name: "j2", Blocks: 120, Arrival: 120},
+				{Name: "j3", Blocks: 120, Arrival: 240},
+			},
+		}
+		var total float64
+		for seed := uint64(1); seed <= 3; seed++ {
+			res, err := RunMultiJob(cfg, stats.NewRNG(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Makespan
+		}
+		return total / 3
+	}
+	adaptPol, err := placement.NewAdapt(c, DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomSpan := run(&placement.Random{Cluster: c})
+	adaptSpan := run(adaptPol)
+	t.Logf("makespan: random %.0fs, adapt %.0fs", randomSpan, adaptSpan)
+	if adaptSpan >= randomSpan {
+		t.Fatalf("adapt makespan %.0f not below random %.0f", adaptSpan, randomSpan)
+	}
+}

@@ -1,0 +1,62 @@
+package hadoopsim
+
+import (
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// Scenario bundles a placement policy with a simulator configuration
+// so a full experiment point (place blocks, then run the map phase)
+// executes in one call.
+type Scenario struct {
+	// Config is the simulator configuration; its Assignment field is
+	// filled per trial from Policy.
+	Config Config
+	// Policy places the blocks.
+	Policy placement.Policy
+	// Blocks is the number of input blocks (map tasks).
+	Blocks int
+	// Replicas is the HDFS replication degree.
+	Replicas int
+}
+
+// RunScenario places blocks with the scenario's policy and simulates
+// the map phase once.
+func RunScenario(sc Scenario, g *stats.RNG) (metrics.RunResult, error) {
+	if g == nil {
+		return metrics.RunResult{}, ErrNilRNG
+	}
+	if sc.Policy == nil {
+		return metrics.RunResult{}, fmt.Errorf("hadoopsim: scenario needs a policy")
+	}
+	asn, err := placement.PlaceAll(sc.Policy, sc.Blocks, sc.Replicas, g.Split())
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	cfg := sc.Config
+	cfg.Assignment = asn
+	return Run(cfg, g.Split())
+}
+
+// RunTrials repeats a scenario trials times with independent seeds and
+// aggregates the results (the paper averages 10 runs per scenario).
+func RunTrials(sc Scenario, trials int, g *stats.RNG) (metrics.Aggregate, error) {
+	var agg metrics.Aggregate
+	if trials <= 0 {
+		return agg, fmt.Errorf("hadoopsim: trials must be positive, got %d", trials)
+	}
+	if g == nil {
+		return agg, ErrNilRNG
+	}
+	for t := 0; t < trials; t++ {
+		res, err := RunScenario(sc, g.Split())
+		if err != nil {
+			return agg, fmt.Errorf("trial %d: %w", t, err)
+		}
+		agg.Observe(res)
+	}
+	return agg, nil
+}

@@ -1,0 +1,69 @@
+package hadoopsim
+
+import "fmt"
+
+// SchedulerPolicy selects the task-assignment strategy of the
+// simulated JobTracker.
+type SchedulerPolicy int
+
+const (
+	// SchedulerLocalityFirst is stock Hadoop (and the paper's
+	// baseline): local tasks first, then any pending task for an idle
+	// node regardless of who holds it or how volatile the thief is.
+	SchedulerLocalityFirst SchedulerPolicy = iota + 1
+	// SchedulerAvailabilityAware is the paper's future-work extension
+	// (§VII): steal decisions consult the availability model. An idle
+	// node rescues blocked tasks (no live holder) first; otherwise it
+	// steals only when its own model-expected completion time —
+	// including the block transfer — beats the expected in-place
+	// completion at the task's best live holder given that holder's
+	// backlog. This suppresses the wasteful migrations that greedy
+	// stealing incurs on slow networks.
+	SchedulerAvailabilityAware
+)
+
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case SchedulerLocalityFirst:
+		return "locality-first"
+	case SchedulerAvailabilityAware:
+		return "availability-aware"
+	default:
+		return fmt.Sprintf("SchedulerPolicy(%d)", int(p))
+	}
+}
+
+// stealWorthwhile implements the availability-aware steal test for
+// thief node i over task t (which i does not hold locally).
+//
+// Expected cost for the thief: block transfer plus the model-expected
+// execution on the thief. Expected in-place completion: the best live
+// holder's backlog (half of it, in expectation, queued ahead) times
+// the holder's model-expected task time. Blocked tasks (no live
+// holder) are always worth rescuing.
+func (s *simulator) stealWorthwhile(i int, t *task, src int) bool {
+	if src < 0 {
+		return true // no live holder: rescue
+	}
+	thiefETA := s.eta[i]
+	transfer := s.net.TransferTime(s.cfg.BlockBytes)
+	thiefCost := transfer + thiefETA
+
+	// Best live holder: lowest expected task time.
+	bestETA := s.eta[src]
+	bestBacklog := s.nodes[src].incompleteLocal
+	for _, h := range t.holders {
+		if !s.nodes[h].up {
+			continue
+		}
+		if s.eta[h] < bestETA {
+			bestETA = s.eta[h]
+			bestBacklog = s.nodes[h].incompleteLocal
+		}
+	}
+	if bestBacklog < 1 {
+		bestBacklog = 1
+	}
+	inPlace := float64(bestBacklog) / 2 * bestETA
+	return thiefCost < inPlace
+}

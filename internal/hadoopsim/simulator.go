@@ -1,0 +1,827 @@
+package hadoopsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/model"
+	"github.com/adaptsim/adapt/internal/netsim"
+	"github.com/adaptsim/adapt/internal/sim"
+	"github.com/adaptsim/adapt/internal/stats"
+	"github.com/adaptsim/adapt/internal/trace"
+)
+
+// taskState tracks a map task through its lifecycle.
+type taskState int
+
+const (
+	taskPending taskState = iota + 1
+	taskRunning
+	taskDone
+)
+
+type task struct {
+	id             int
+	job            int // index into simulator.jobs (0 for single-job runs)
+	holders        []int
+	state          taskState
+	activeAttempts int
+	hasDuplicate   bool
+	// everAborted marks tasks that lost an attempt to an
+	// interruption; their subsequent fetches count as failure-induced
+	// migration (the paper's migration component), whereas transfers
+	// for voluntary load-balancing steals are scheduling cost (misc).
+	everAborted bool
+}
+
+// attempt is one execution try of a task on a node, possibly preceded
+// by a block migration.
+type attempt struct {
+	task          *task
+	node          int
+	transferStart float64
+	transferEnd   float64
+	migrated      bool
+	// failureInduced marks transfers forced by volatility (re-fetch
+	// of an aborted task, or no live holder); only these charge the
+	// migration component.
+	failureInduced bool
+	execStart      float64
+	plannedEnd     float64
+	// maxExpected bounds the model-expected completion of this
+	// attempt from any instant (E[T] evaluated at the attempt's full
+	// span); precomputed so speculation scans stay cheap.
+	maxExpected float64
+	timer       *sim.Timer
+	runIdx      int // index in simulator.running, -1 when inactive
+}
+
+type nodeSim struct {
+	id   int
+	up   bool
+	rate float64
+
+	// interruption generation
+	lambda    float64
+	service   stats.Distribution
+	traceEv   []trace.Event
+	traceIdx  int
+	downUntil float64
+	recovery  *sim.Timer
+
+	// work state
+	localQueue []int // task ids; dispatched with lazy state checks
+	localHead  int
+	running    *attempt
+	inIdle     bool
+	retry      *sim.Timer // pending congestion-retry wakeup
+
+	// recovery accounting
+	incompleteLocal int
+	blockedSince    float64 // -1 when not accruing
+}
+
+// simulator carries the full run state.
+type simulator struct {
+	cfg      Config
+	eng      *sim.Engine
+	net      *netsim.Network
+	g        *stats.RNG
+	nodes    []nodeSim
+	tasks    []task
+	pending  []int // global queue of task ids (lazy state checks)
+	pendHead int
+	idle     []int // candidate idle node ids (lazy checks via inIdle)
+	running  []*attempt
+
+	remaining int
+	taskGamma float64
+	// eta caches each node's model-expected completion time for one
+	// task (availability-aware scheduling and speculation input).
+	eta []float64
+	// jobs is non-nil for multi-job runs (see multijob.go).
+	jobs []jobState
+
+	// accounting
+	rework     float64
+	recovery   float64
+	migration  float64
+	localDone  int
+	migrations int
+	interrupts int
+	speculated int
+
+	err error // first scheduling error, aborts the run
+}
+
+// Run simulates one map phase and returns its metrics. Deterministic
+// given (cfg, g): repeated calls with equal seeds yield identical
+// results.
+func Run(cfg Config, g *stats.RNG) (metrics.RunResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return metrics.RunResult{}, err
+	}
+	if g == nil {
+		return metrics.RunResult{}, ErrNilRNG
+	}
+	s, err := newSimulator(cfg, g)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	return s.run()
+}
+
+func newSimulator(cfg Config, g *stats.RNG) (*simulator, error) {
+	n := cfg.Cluster.Len()
+	m := cfg.Assignment.BlockCount()
+	net, err := netsim.New(cfg.Network, n)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	if cfg.MaxEvents > 0 {
+		eng.Limit = cfg.MaxEvents
+	} else {
+		// Generous automatic guard: every task may fail many times
+		// and every node may see many interruptions before the limit
+		// trips.
+		eng.Limit = uint64(200*m + 2000*n + 1_000_000)
+	}
+
+	s := &simulator{
+		cfg:       cfg,
+		eng:       eng,
+		net:       net,
+		g:         g,
+		nodes:     make([]nodeSim, n),
+		tasks:     make([]task, m),
+		pending:   make([]int, 0, m),
+		remaining: m,
+		taskGamma: cfg.TaskGamma(),
+		eta:       make([]float64, n),
+	}
+
+	for i := 0; i < n; i++ {
+		node := cfg.Cluster.Node(cluster.NodeID(i))
+		ns := &s.nodes[i]
+		ns.id = i
+		ns.up = true
+		ns.rate = node.ComputeRate
+		if ns.rate <= 0 {
+			ns.rate = 1
+		}
+		ns.blockedSince = -1
+		if node.Trace != nil {
+			ns.traceEv = node.Trace.Events
+		} else if !node.Availability.Dedicated() {
+			// Unstable processes (λμ >= 1) are permitted here: the
+			// simulation dynamics stay well-defined (the host is
+			// simply down most of the time) even though E[T]
+			// diverges — these are exactly the hosts availability-
+			// aware placement must route around.
+			a := node.Availability
+			if a.Lambda < 0 || a.Mu < 0 || math.IsNaN(a.Lambda) || math.IsNaN(a.Mu) {
+				return nil, fmt.Errorf("hadoopsim: node %d: %w", i, model.ErrNegativeParam)
+			}
+			ns.lambda = node.Availability.Lambda
+			svc, err := cfg.Service(node.Availability)
+			if err != nil {
+				return nil, fmt.Errorf("hadoopsim: node %d service: %w", i, err)
+			}
+			ns.service = svc
+		}
+		s.eta[i] = node.Availability.ExpectedTaskTime(s.taskGamma / ns.rate)
+	}
+
+	for b := 0; b < m; b++ {
+		holders := cfg.Assignment.Replicas[b]
+		t := &s.tasks[b]
+		t.id = b
+		t.state = taskPending
+		t.holders = make([]int, len(holders))
+		for j, h := range holders {
+			t.holders[j] = int(h)
+			s.nodes[h].localQueue = append(s.nodes[h].localQueue, b)
+			s.nodes[h].incompleteLocal++
+		}
+		s.pending = append(s.pending, b)
+	}
+	return s, nil
+}
+
+// schedule wraps engine scheduling, latching the first error.
+func (s *simulator) schedule(delay float64, fn func()) *sim.Timer {
+	if s.err != nil {
+		return nil
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	timer, err := s.eng.After(delay, fn)
+	if err != nil {
+		s.err = err
+		return nil
+	}
+	return timer
+}
+
+func (s *simulator) scheduleAt(at float64, fn func()) *sim.Timer {
+	if s.err != nil {
+		return nil
+	}
+	if at < s.eng.Now() {
+		at = s.eng.Now()
+	}
+	timer, err := s.eng.At(at, fn)
+	if err != nil {
+		s.err = err
+		return nil
+	}
+	return timer
+}
+
+func (s *simulator) run() (metrics.RunResult, error) {
+	// Arm interruption processes.
+	for i := range s.nodes {
+		s.armNextInterruption(i)
+	}
+	// Initial dispatch: every node grabs work.
+	for i := range s.nodes {
+		s.tryAssign(i)
+	}
+	return s.drive()
+}
+
+// drive executes events until every task completes, then assembles
+// the run metrics.
+func (s *simulator) drive() (metrics.RunResult, error) {
+	for s.remaining > 0 && s.err == nil {
+		ok, err := s.eng.Step()
+		if err != nil {
+			return metrics.RunResult{}, fmt.Errorf("hadoopsim: %w", err)
+		}
+		if !ok {
+			return metrics.RunResult{}, fmt.Errorf(
+				"hadoopsim: simulation stalled with %d tasks remaining", s.remaining)
+		}
+	}
+	if s.err != nil {
+		return metrics.RunResult{}, s.err
+	}
+
+	elapsed := s.eng.Now()
+	// Close open recovery-accrual intervals.
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		if ns.blockedSince >= 0 {
+			s.recovery += elapsed - ns.blockedSince
+			ns.blockedSince = -1
+		}
+	}
+
+	m := len(s.tasks)
+	base := float64(m) * s.taskGamma
+	aggregate := float64(len(s.nodes)) * elapsed
+	misc := aggregate - base - s.rework - s.recovery - s.migration
+	if misc < 0 {
+		misc = 0
+	}
+	return metrics.RunResult{
+		Elapsed:    elapsed,
+		LocalTasks: s.localDone,
+		TotalTasks: m,
+		Breakdown: metrics.Breakdown{
+			Base:      base,
+			Rework:    s.rework,
+			Recovery:  s.recovery,
+			Migration: s.migration,
+			Misc:      misc,
+		},
+		MigratedBlocks:   s.migrations,
+		Interruptions:    s.interrupts,
+		SpeculativeTasks: s.speculated,
+	}, nil
+}
+
+// --- interruption machinery -------------------------------------------------
+
+// armNextInterruption schedules the node's next interruption arrival.
+func (s *simulator) armNextInterruption(i int) {
+	ns := &s.nodes[i]
+	switch {
+	case ns.traceEv != nil:
+		if ns.traceIdx >= len(ns.traceEv) {
+			return
+		}
+		ev := ns.traceEv[ns.traceIdx]
+		ns.traceIdx++
+		s.scheduleAt(ev.Start, func() { s.onInterruption(i, ev.Duration) })
+	case ns.lambda > 0:
+		delay := s.g.ExpFloat64() / ns.lambda
+		s.schedule(delay, func() {
+			var d float64
+			if ns.service != nil {
+				d = ns.service.Sample(s.g)
+			}
+			s.onInterruption(i, d)
+			s.armNextInterruption(i)
+		})
+	}
+}
+
+// onInterruption handles one interruption arrival with service time d.
+// Arrivals during an outage queue FCFS, extending the downtime
+// (§III-A).
+func (s *simulator) onInterruption(i int, d float64) {
+	now := s.eng.Now()
+	s.interrupts++
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.record(now, EventInterruption, i, -1)
+	}
+	ns := &s.nodes[i]
+	if ns.traceEv != nil {
+		// Chain the next trace event.
+		s.armNextInterruption(i)
+	}
+	if !ns.up {
+		ns.downUntil += d
+		if ns.recovery != nil {
+			ns.recovery.Cancel()
+		}
+		ns.recovery = s.scheduleAt(ns.downUntil, func() { s.onRecovery(i) })
+		return
+	}
+	ns.up = false
+	ns.downUntil = now + d
+	if ns.running != nil {
+		s.abortAttempt(ns.running)
+	}
+	if ns.incompleteLocal > 0 {
+		ns.blockedSince = now
+	}
+	if ns.recovery != nil {
+		ns.recovery.Cancel()
+	}
+	ns.recovery = s.scheduleAt(ns.downUntil, func() { s.onRecovery(i) })
+}
+
+func (s *simulator) onRecovery(i int) {
+	ns := &s.nodes[i]
+	now := s.eng.Now()
+	if now < ns.downUntil {
+		// Superseded by a queued extension.
+		return
+	}
+	ns.up = true
+	ns.recovery = nil
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.record(now, EventRecovery, i, -1)
+	}
+	if ns.blockedSince >= 0 {
+		s.recovery += now - ns.blockedSince
+		ns.blockedSince = -1
+	}
+	s.tryAssign(i)
+	// Blocks on this node are reachable again: idle nodes may now be
+	// able to steal previously-unfetchable tasks.
+	s.kickIdle()
+}
+
+// --- attempt lifecycle ------------------------------------------------------
+
+// abortAttempt cancels a running attempt (node went down). Work since
+// execStart is rework; a partial migration is charged for the time
+// actually spent transferring.
+func (s *simulator) abortAttempt(a *attempt) {
+	now := s.eng.Now()
+	if a.timer != nil {
+		a.timer.Cancel()
+	}
+	s.chargeMigration(a, now)
+	if now > a.execStart {
+		s.rework += now - a.execStart
+	}
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.record(now, EventTaskAbort, a.node, a.task.id)
+	}
+	ns := &s.nodes[a.node]
+	if ns.running == a {
+		ns.running = nil
+	}
+	s.removeRunning(a)
+	t := a.task
+	t.everAborted = true
+	t.activeAttempts--
+	if t.activeAttempts == 0 && t.state == taskRunning {
+		t.state = taskPending
+		s.pending = append(s.pending, t.id)
+		s.kickForTask(t)
+	}
+}
+
+// chargeMigration accounts the transfer time consumed by an attempt up
+// to instant end (completion or abort).
+func (s *simulator) chargeMigration(a *attempt, end float64) {
+	if !a.migrated {
+		return
+	}
+	if !a.failureInduced {
+		a.migrated = false // transfer time stays in the misc residual
+		return
+	}
+	hi := a.transferEnd
+	if end < hi {
+		hi = end
+	}
+	if hi > a.transferStart {
+		s.migration += hi - a.transferStart
+	}
+	a.migrated = false // charge once
+}
+
+// onAttemptComplete fires when an attempt's execution finishes.
+func (s *simulator) onAttemptComplete(a *attempt) {
+	now := s.eng.Now()
+	t := a.task
+	ns := &s.nodes[a.node]
+	if t.state == taskDone {
+		return // stale timer; defensive, should be cancelled
+	}
+	s.chargeMigration(a, now)
+	ns.running = nil
+	s.removeRunning(a)
+	t.activeAttempts--
+	t.state = taskDone
+	s.remaining--
+
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.record(now, EventTaskComplete, a.node, t.id)
+	}
+	if contains(t.holders, a.node) {
+		s.localDone++
+		if s.jobs != nil {
+			s.jobs[t.job].localDone++
+		}
+	}
+	if s.jobs != nil {
+		js := &s.jobs[t.job]
+		js.remaining--
+		if js.remaining == 0 {
+			js.finished = now
+		}
+	}
+	if s.cfg.OnTaskComplete != nil {
+		s.cfg.OnTaskComplete(t.id, cluster.NodeID(a.node))
+	}
+
+	// Cancel the losing duplicate, if any. Its spent execution time
+	// remains in the misc residual (duplicated straggler cost, §V-C).
+	// The scan is guarded on a live duplicate actually existing —
+	// unconditionally walking the running list made every completion
+	// O(running) and the whole phase quadratic at large cluster sizes.
+	for t.activeAttempts > 0 {
+		var other *attempt
+		for _, a2 := range s.running {
+			if a2.task == t {
+				other = a2
+				break
+			}
+		}
+		if other == nil {
+			break // defensive: bookkeeping drift
+		}
+		if other.timer != nil {
+			other.timer.Cancel()
+		}
+		s.chargeMigration(other, now)
+		on := &s.nodes[other.node]
+		if on.running == other {
+			on.running = nil
+		}
+		s.removeRunning(other)
+		t.activeAttempts--
+		s.tryAssign(other.node)
+	}
+
+	// Free the holders' recovery clocks.
+	for _, h := range t.holders {
+		hn := &s.nodes[h]
+		hn.incompleteLocal--
+		if hn.incompleteLocal == 0 && hn.blockedSince >= 0 {
+			s.recovery += now - hn.blockedSince
+			hn.blockedSince = -1
+		}
+	}
+
+	if s.remaining > 0 {
+		s.tryAssign(a.node)
+	}
+}
+
+func (s *simulator) removeRunning(a *attempt) {
+	if a.runIdx < 0 || a.runIdx >= len(s.running) || s.running[a.runIdx] != a {
+		return
+	}
+	last := len(s.running) - 1
+	s.running[a.runIdx] = s.running[last]
+	s.running[a.runIdx].runIdx = a.runIdx
+	s.running = s.running[:last]
+	a.runIdx = -1
+}
+
+// --- scheduling --------------------------------------------------------------
+
+// tryAssign gives the node work if it is up and idle: local task
+// first (data locality, §II-B), then a steal with migration, then a
+// speculative duplicate.
+func (s *simulator) tryAssign(i int) {
+	ns := &s.nodes[i]
+	if !ns.up || ns.running != nil || s.remaining == 0 || s.err != nil {
+		return
+	}
+	// 1. Local pending task.
+	for ns.localHead < len(ns.localQueue) {
+		tid := ns.localQueue[ns.localHead]
+		ns.localHead++
+		t := &s.tasks[tid]
+		if t.state == taskPending {
+			s.startAttempt(i, t, true, false)
+			return
+		}
+	}
+	// 2. Steal from the global pending pool (straggler reallocation).
+	tid, ok, retryAt := s.popStealable(i)
+	if ok {
+		t := &s.tasks[tid]
+		local := contains(t.holders, i)
+		s.startAttempt(i, t, local, false)
+		return
+	}
+	if !math.IsInf(retryAt, 1) && ns.retry == nil {
+		// Every fetch path is congested right now; try again when the
+		// earliest NIC frees up.
+		ns.retry = s.scheduleAt(retryAt, func() {
+			s.nodes[i].retry = nil
+			s.tryAssign(i)
+		})
+	}
+	// 3. Speculative duplicate of the running task with the worst
+	// model-expected completion time.
+	if !s.cfg.DisableSpeculation {
+		if victim := s.pickSpeculative(i); victim != nil {
+			s.startAttempt(i, victim.task, contains(victim.task.holders, i), true)
+			if ns.running != nil {
+				return
+			}
+			// The duplicate could not start (e.g. no reachable
+			// replica); fall through to parking.
+		}
+	}
+	// Nothing to do: park as idle.
+	if !ns.inIdle {
+		ns.inIdle = true
+		s.idle = append(s.idle, i)
+	}
+}
+
+// popStealable removes and returns the first pending task the node can
+// execute now. Tasks whose every holder is down are skipped when
+// source fetches are forbidden; tasks whose fetch would queue too far
+// behind other transfers are skipped too, and the earliest time one of
+// those fetch paths frees up is returned so the caller can retry.
+func (s *simulator) popStealable(i int) (tid int, ok bool, retryAt float64) {
+	now := s.eng.Now()
+	retryAt = math.Inf(1)
+	allowSource := s.cfg.SourcePenalty >= 0
+	queueAllowance := math.Inf(1)
+	if s.cfg.TransferQueueFactor >= 0 {
+		queueAllowance = s.cfg.TransferQueueFactor * s.net.TransferTime(s.cfg.BlockBytes)
+	}
+	// Compact the queue head past settled tasks.
+	for s.pendHead < len(s.pending) {
+		t := &s.tasks[s.pending[s.pendHead]]
+		if t.state != taskPending {
+			s.pendHead++
+			continue
+		}
+		break
+	}
+	for idx := s.pendHead; idx < len(s.pending); idx++ {
+		id := s.pending[idx]
+		t := &s.tasks[id]
+		if t.state != taskPending {
+			continue
+		}
+		if !contains(t.holders, i) {
+			src := s.upHolder(t)
+			if src < 0 {
+				if !allowSource {
+					continue // unfetchable for now
+				}
+			} else {
+				est, err := s.net.EarliestStart(now, src, i)
+				if err != nil {
+					s.err = err
+					return 0, false, retryAt
+				}
+				if est > now+queueAllowance {
+					// Fetch path congested; revisit when it frees.
+					if est-queueAllowance < retryAt {
+						retryAt = est - queueAllowance
+					}
+					continue
+				}
+			}
+			if s.cfg.Scheduler == SchedulerAvailabilityAware && !s.stealWorthwhile(i, t, src) {
+				// Leaving the task with its healthier holder beats a
+				// migration; recheck after roughly one task length as
+				// backlogs drain.
+				if rt := now + s.taskGamma; rt < retryAt {
+					retryAt = rt
+				}
+				continue
+			}
+		}
+		// Remove from queue (order-preserving head swap keeps FIFO
+		// fairness close enough while staying O(1)).
+		s.pending[idx] = s.pending[s.pendHead]
+		s.pending[s.pendHead] = id
+		s.pendHead++
+		return id, true, retryAt
+	}
+	// Reset the queue slices when fully drained to bound memory.
+	if s.pendHead >= len(s.pending) {
+		s.pending = s.pending[:0]
+		s.pendHead = 0
+	}
+	return 0, false, retryAt
+}
+
+// upHolder returns an up node holding the task's block, or -1.
+func (s *simulator) upHolder(t *task) int {
+	for _, h := range t.holders {
+		if s.nodes[h].up {
+			return h
+		}
+	}
+	return -1
+}
+
+// pickSpeculative returns the running attempt most worth duplicating
+// on node i, per a LATE-style longest-expected-time-to-end rule using
+// the availability model, or nil.
+func (s *simulator) pickSpeculative(i int) *attempt {
+	now := s.eng.Now()
+	ns := &s.nodes[i]
+	// Cost for node i to redo a task from scratch (worst case:
+	// migration plus a full model-expected execution).
+	myAvail := s.cfg.Cluster.Node(cluster.NodeID(i)).Availability
+	dupCost := s.net.TransferTime(s.cfg.BlockBytes) + myAvail.ExpectedTaskTime(s.taskGamma/ns.rate)
+
+	var best *attempt
+	bestRemaining := dupCost // only beat candidates worse than the cost
+	for _, a := range s.running {
+		if a.task.hasDuplicate || a.task.activeAttempts != 1 {
+			continue
+		}
+		// Cheap upper-bound filter: E[T] is increasing in the task
+		// length and remaining <= the attempt's full span, so the
+		// precomputed bound decides most candidates without touching
+		// expm1 on the hot path.
+		if a.maxExpected <= bestRemaining {
+			continue
+		}
+		if !contains(a.task.holders, i) {
+			src := s.upHolder(a.task)
+			if src < 0 {
+				if s.cfg.SourcePenalty < 0 {
+					continue // block unreachable for the would-be duplicate
+				}
+			} else if s.cfg.TransferQueueFactor >= 0 {
+				est, err := s.net.EarliestStart(now, src, i)
+				if err != nil {
+					s.err = err
+					return nil
+				}
+				if est > now+s.cfg.TransferQueueFactor*s.net.TransferTime(s.cfg.BlockBytes) {
+					continue // fetch path too congested to help
+				}
+			}
+		}
+		on := s.cfg.Cluster.Node(cluster.NodeID(a.node)).Availability
+		rem := a.plannedEnd - now
+		if rem < 0 {
+			rem = 0
+		}
+		// Expected wall time for the in-flight attempt to finish,
+		// accounting for the executor's volatility.
+		expected := on.ExpectedTaskTime(rem)
+		if expected > bestRemaining {
+			bestRemaining = expected
+			best = a
+		}
+	}
+	return best
+}
+
+// kickForTask offers a newly-pending task to an idle node, preferring
+// its holders (locality).
+func (s *simulator) kickForTask(t *task) {
+	for _, h := range t.holders {
+		hn := &s.nodes[h]
+		if hn.up && hn.running == nil {
+			s.tryAssign(h)
+			if t.state != taskPending {
+				return
+			}
+		}
+	}
+	s.kickIdle()
+}
+
+// kickIdle re-offers work to parked idle nodes.
+func (s *simulator) kickIdle() {
+	parked := s.idle
+	// Nodes that stay idle re-park themselves; a fresh slice keeps the
+	// iteration below safe from those appends.
+	s.idle = nil
+	for _, i := range parked {
+		s.nodes[i].inIdle = false
+		s.tryAssign(i)
+	}
+}
+
+// startAttempt launches task t on node i. When the execution is not
+// local the block is fetched from an up holder over the network, or
+// re-ingested from the original source at a penalty when every holder
+// is down.
+func (s *simulator) startAttempt(i int, t *task, local, speculative bool) {
+	now := s.eng.Now()
+	ns := &s.nodes[i]
+	a := &attempt{task: t, node: i, transferStart: now, transferEnd: now, runIdx: -1}
+
+	if !local {
+		src := s.upHolder(t)
+		if src >= 0 {
+			start, end, err := s.net.Transfer(now, src, i, s.cfg.BlockBytes)
+			if err != nil {
+				s.err = err
+				return
+			}
+			a.transferStart = start
+			a.transferEnd = end
+		} else {
+			// Source re-ingest (no live replica).
+			penalty := s.cfg.SourcePenalty
+			if penalty < 0 {
+				return // caller should not have picked this task
+			}
+			dur := s.net.TransferTime(s.cfg.BlockBytes) * penalty
+			a.transferStart = now
+			a.transferEnd = now + dur
+		}
+		a.migrated = true
+		// Fetches forced by volatility — a task that already lost an
+		// attempt, or a block whose holders are all down — charge the
+		// paper's migration component; voluntary load-balancing steals
+		// are scheduling cost and stay in the misc residual.
+		a.failureInduced = t.everAborted || src < 0
+		s.migrations++
+	}
+
+	a.execStart = a.transferEnd
+	a.plannedEnd = a.execStart + s.taskGamma/ns.rate
+	a.maxExpected = s.cfg.Cluster.Node(cluster.NodeID(i)).Availability.ExpectedTaskTime(a.plannedEnd - now)
+	a.timer = s.scheduleAt(a.plannedEnd, func() { s.onAttemptComplete(a) })
+
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.record(now, EventTaskStart, i, t.id)
+		if a.migrated {
+			s.cfg.Journal.record(now, EventMigration, i, t.id)
+		}
+		if speculative {
+			s.cfg.Journal.record(now, EventSpeculate, i, t.id)
+		}
+	}
+	t.state = taskRunning
+	t.activeAttempts++
+	if speculative {
+		t.hasDuplicate = true
+		s.speculated++
+	}
+	ns.running = a
+	a.runIdx = len(s.running)
+	s.running = append(s.running, a)
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

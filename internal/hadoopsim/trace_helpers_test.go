@@ -1,0 +1,17 @@
+package hadoopsim
+
+import (
+	"github.com/adaptsim/adapt/internal/trace"
+)
+
+// tracePkgTrace aliases the trace type for the test helpers.
+type tracePkgTrace = trace.Trace
+
+// newTrace builds a single-event trace.
+func newTrace(horizon, start, dur float64) *trace.Trace {
+	return &trace.Trace{
+		Host:    "t",
+		Horizon: horizon,
+		Events:  []trace.Event{{Start: start, Duration: dur}},
+	}
+}

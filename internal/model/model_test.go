@@ -1,0 +1,307 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+func TestFromMTBI(t *testing.T) {
+	a := FromMTBI(10, 4)
+	if a.Lambda != 0.1 || a.Mu != 4 {
+		t.Fatalf("got %+v", a)
+	}
+	if a.MTBI() != 10 {
+		t.Fatalf("MTBI = %g", a.MTBI())
+	}
+	ded := FromMTBI(0, 4)
+	if !ded.Dedicated() {
+		t.Fatal("mtbi<=0 should be dedicated")
+	}
+	if !math.IsInf(ded.MTBI(), 1) {
+		t.Fatal("dedicated MTBI should be +Inf")
+	}
+	if !FromMTBI(math.Inf(1), 0).Dedicated() {
+		t.Fatal("infinite MTBI should be dedicated")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Availability
+		want error
+	}{
+		{"ok", Availability{Lambda: 0.1, Mu: 4}, nil},
+		{"dedicated", Availability{}, nil},
+		{"negative lambda", Availability{Lambda: -1}, ErrNegativeParam},
+		{"negative mu", Availability{Mu: -1}, ErrNegativeParam},
+		{"unstable", Availability{Lambda: 0.5, Mu: 2}, ErrUnstable},
+		{"barely unstable", Availability{Lambda: 1, Mu: 1}, ErrUnstable},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.a.Validate()
+			if c.want == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if c.want != nil && !errors.Is(err, c.want) {
+				t.Fatalf("error = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// Table 2 of the paper: the four emulation availability groups. Check
+// E[T] for γ=12 s against values computed directly from eq. (5).
+func TestExpectedTaskTimeTable2Groups(t *testing.T) {
+	gamma := 12.0
+	cases := []struct {
+		mtbi, mu float64
+	}{
+		{10, 4}, {10, 8}, {20, 4}, {20, 8},
+	}
+	for _, c := range cases {
+		a := FromMTBI(c.mtbi, c.mu)
+		lambda := 1 / c.mtbi
+		want := math.Expm1(gamma*lambda) * (1/lambda + c.mu/(1-lambda*c.mu))
+		if got := a.ExpectedTaskTime(gamma); math.Abs(got-want) > 1e-9 {
+			t.Errorf("MTBI=%g mu=%g: E[T] = %g, want %g", c.mtbi, c.mu, got, want)
+		}
+		// E[T] must exceed γ for any interrupted host.
+		if got := a.ExpectedTaskTime(gamma); got <= gamma {
+			t.Errorf("E[T]=%g not greater than gamma=%g", got, gamma)
+		}
+	}
+}
+
+func TestExpectedTaskTimeDecomposition(t *testing.T) {
+	// E[T] must equal γ + E[S]·(E[X] + E[Y]) — the paper derives (5)
+	// from exactly this decomposition.
+	err := quick.Check(func(m8, u8, g8 uint8) bool {
+		mtbi := 1 + float64(m8)              // 1..256 s
+		mu := float64(u8) / 256 * mtbi * 0.9 // keep λμ < 0.9
+		gamma := 0.1 + float64(g8)/8         // 0.1..32 s
+		a := FromMTBI(mtbi, mu)
+		lhs := a.ExpectedTaskTime(gamma)
+		rhs := gamma + a.ExpectedAttempts(gamma)*(a.ExpectedRework(gamma)+a.ExpectedDowntime())
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedReworkLimits(t *testing.T) {
+	// As λ→0, E[X] → γ/2 (interruption uniform over the attempt).
+	a := Availability{Lambda: 1e-9, Mu: 0}
+	gamma := 100.0
+	if got := a.ExpectedRework(gamma); math.Abs(got-gamma/2) > 0.01 {
+		t.Fatalf("small-lambda rework = %g, want ~%g", got, gamma/2)
+	}
+	// E[X] is bounded by γ.
+	b := Availability{Lambda: 10, Mu: 0}
+	if got := b.ExpectedRework(gamma); got <= 0 || got >= gamma {
+		t.Fatalf("rework = %g, want in (0, %g)", got, gamma)
+	}
+	// Dedicated host loses nothing.
+	if got := (Availability{}).ExpectedRework(gamma); got != 0 {
+		t.Fatalf("dedicated rework = %g", got)
+	}
+}
+
+func TestExpectedReworkMonotoneInLambda(t *testing.T) {
+	// More frequent interruptions truncate attempts earlier, so the
+	// mean rework per failed attempt decreases with λ.
+	gamma := 10.0
+	prev := math.Inf(1)
+	for _, l := range []float64{0.01, 0.1, 0.5, 1, 5} {
+		a := Availability{Lambda: l}
+		x := a.ExpectedRework(gamma)
+		if x >= prev {
+			t.Fatalf("rework not decreasing at lambda=%g: %g >= %g", l, x, prev)
+		}
+		prev = x
+	}
+}
+
+func TestExpectedDowntime(t *testing.T) {
+	a := Availability{Lambda: 0.1, Mu: 4}
+	want := 4 / (1 - 0.4)
+	if got := a.ExpectedDowntime(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("E[Y] = %g, want %g", got, want)
+	}
+	unstable := Availability{Lambda: 1, Mu: 2}
+	if !math.IsInf(unstable.ExpectedDowntime(), 1) {
+		t.Fatal("unstable downtime should be +Inf")
+	}
+}
+
+func TestExpectedAttempts(t *testing.T) {
+	a := Availability{Lambda: 0.1}
+	want := math.Expm1(1.2)
+	if got := a.ExpectedAttempts(12); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("E[S] = %g, want %g", got, want)
+	}
+	if got := (Availability{}).ExpectedAttempts(12); got != 0 {
+		t.Fatalf("dedicated attempts = %g", got)
+	}
+}
+
+func TestExpectedTaskTimeEdgeCases(t *testing.T) {
+	a := Availability{Lambda: 0.1, Mu: 4}
+	if got := a.ExpectedTaskTime(0); got != 0 {
+		t.Fatalf("E[T] for zero-length task = %g", got)
+	}
+	ded := Availability{}
+	if got := ded.ExpectedTaskTime(12); got != 12 {
+		t.Fatalf("dedicated E[T] = %g, want 12", got)
+	}
+	unstable := Availability{Lambda: 1, Mu: 1}
+	if !math.IsInf(unstable.ExpectedTaskTime(12), 1) {
+		t.Fatal("unstable E[T] should be +Inf")
+	}
+}
+
+func TestExpectedTaskTimeMonotone(t *testing.T) {
+	// E[T] grows with λ, μ, and γ.
+	base := FromMTBI(20, 4)
+	gamma := 12.0
+	if base.ExpectedTaskTime(gamma) >= FromMTBI(10, 4).ExpectedTaskTime(gamma) {
+		t.Error("E[T] should increase with lambda")
+	}
+	if base.ExpectedTaskTime(gamma) >= FromMTBI(20, 8).ExpectedTaskTime(gamma) {
+		t.Error("E[T] should increase with mu")
+	}
+	if base.ExpectedTaskTime(gamma) >= base.ExpectedTaskTime(2*gamma) {
+		t.Error("E[T] should increase with gamma")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	a := FromMTBI(10, 4)
+	gamma := 12.0
+	if got, want := a.Efficiency(gamma), 1/a.ExpectedTaskTime(gamma); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("efficiency = %g, want %g", got, want)
+	}
+	unstable := Availability{Lambda: 1, Mu: 1}
+	if got := unstable.Efficiency(gamma); got != 0 {
+		t.Fatalf("unstable efficiency = %g, want 0", got)
+	}
+	// A more reliable node is strictly more efficient.
+	if FromMTBI(20, 4).Efficiency(gamma) <= FromMTBI(10, 8).Efficiency(gamma) {
+		t.Error("better availability should give higher efficiency")
+	}
+}
+
+func TestSteadyStateAvailability(t *testing.T) {
+	a := Availability{Lambda: 0.1, Mu: 4}
+	if got := a.SteadyStateAvailability(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("availability = %g, want 0.6", got)
+	}
+	over := Availability{Lambda: 1, Mu: 2}
+	if got := over.SteadyStateAvailability(); got != 0 {
+		t.Fatalf("overloaded availability = %g, want 0", got)
+	}
+}
+
+func TestProbCompleteWithoutInterruption(t *testing.T) {
+	a := Availability{Lambda: 0.1}
+	want := math.Exp(-1.2)
+	if got := a.ProbCompleteWithoutInterruption(12); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p = %g, want %g", got, want)
+	}
+	if got := (Availability{}).ProbCompleteWithoutInterruption(12); got != 1 {
+		t.Fatalf("dedicated p = %g", got)
+	}
+}
+
+func TestSlowdownFactor(t *testing.T) {
+	a := FromMTBI(10, 4)
+	if got := a.SlowdownFactor(12); got <= 1 {
+		t.Fatalf("slowdown = %g, want > 1", got)
+	}
+	if got := (Availability{}).SlowdownFactor(12); got != 1 {
+		t.Fatalf("dedicated slowdown = %g", got)
+	}
+}
+
+// The closed form must agree with Monte-Carlo simulation of the very
+// mechanism it models — this validates both directions.
+func TestModelMatchesMonteCarlo(t *testing.T) {
+	cases := []struct {
+		name    string
+		mtbi    float64
+		mu      float64
+		gamma   float64
+		service stats.Distribution
+	}{
+		{"group1 exp service", 10, 4, 12, mustExp(t, 4)},
+		{"group4 exp service", 20, 8, 12, mustExp(t, 8)},
+		{"deterministic service", 15, 5, 6, stats.NewDeterministic(5)},
+		{"rare interruptions", 1000, 50, 12, mustExp(t, 50)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := FromMTBI(c.mtbi, c.mu)
+			want := a.ExpectedTaskTime(c.gamma)
+			cfg := TaskSimConfig{Gamma: c.gamma, Lambda: a.Lambda, Service: c.service}
+			s, err := EstimateTaskTime(cfg, 60000, stats.NewRNG(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := s.Mean()
+			tol := 5 * s.StdErr()
+			if tol < 0.02*want {
+				tol = 0.02 * want
+			}
+			if math.Abs(got-want) > tol {
+				t.Errorf("MC mean %g vs model %g (tol %g)", got, want, tol)
+			}
+		})
+	}
+}
+
+func TestSimulateTaskTimeEdges(t *testing.T) {
+	g := stats.NewRNG(1)
+	if v, err := SimulateTaskTime(TaskSimConfig{Gamma: 0, Lambda: 1}, g); err != nil || v != 0 {
+		t.Fatalf("zero gamma: %g, %v", v, err)
+	}
+	if v, err := SimulateTaskTime(TaskSimConfig{Gamma: 5, Lambda: 0}, g); err != nil || v != 5 {
+		t.Fatalf("dedicated: %g, %v", v, err)
+	}
+	if _, err := SimulateTaskTime(TaskSimConfig{Gamma: -1, Lambda: 1}, g); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+	if _, err := EstimateTaskTime(TaskSimConfig{Gamma: 1, Lambda: 1}, 0, g); err == nil {
+		t.Fatal("zero sample count accepted")
+	}
+}
+
+// Simulated completion time is always at least gamma.
+func TestSimulatedTimeAtLeastGamma(t *testing.T) {
+	g := stats.NewRNG(21)
+	svc := mustExp(t, 4)
+	cfg := TaskSimConfig{Gamma: 12, Lambda: 0.1, Service: svc}
+	for i := 0; i < 2000; i++ {
+		v, err := SimulateTaskTime(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 12 {
+			t.Fatalf("completion %g < gamma", v)
+		}
+	}
+}
+
+func mustExp(t *testing.T, mean float64) stats.Distribution {
+	t.Helper()
+	d, err := stats.ExponentialFromMean(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

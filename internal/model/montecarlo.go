@@ -1,0 +1,92 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// TaskSimConfig parameterizes a Monte-Carlo simulation of a single
+// task under the paper's interruption process. It is used to validate
+// the closed-form E[T] (and by tests to pin the model to the
+// mechanism it claims to describe).
+type TaskSimConfig struct {
+	// Gamma is the failure-free task length in seconds.
+	Gamma float64
+	// Lambda is the Poisson interruption arrival rate (1/s).
+	Lambda float64
+	// Service is the interruption service (recovery) time
+	// distribution. Its mean plays the role of μ. If nil, recovery is
+	// instantaneous.
+	Service stats.Distribution
+}
+
+func (c TaskSimConfig) validate() error {
+	if c.Gamma < 0 || c.Lambda < 0 {
+		return fmt.Errorf("%w: gamma=%g lambda=%g", ErrNegativeParam, c.Gamma, c.Lambda)
+	}
+	return nil
+}
+
+// SimulateTaskTime runs one realization of a task of length Gamma
+// under Poisson interruptions with M/G/1 FCFS recovery, returning the
+// completion time. Interruption arrivals keep accruing while the host
+// is down; arrivals that land during a recovery extend the downtime by
+// their own service times (the paper's overlap rule, §III-A).
+func SimulateTaskTime(cfg TaskSimConfig, g *stats.RNG) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if cfg.Gamma == 0 {
+		return 0, nil
+	}
+	if cfg.Lambda == 0 {
+		return cfg.Gamma, nil
+	}
+	sampleArrival := func() float64 { return g.ExpFloat64() / cfg.Lambda }
+	sampleService := func() float64 {
+		if cfg.Service == nil {
+			return 0
+		}
+		return cfg.Service.Sample(g)
+	}
+
+	now := 0.0
+	nextArrival := sampleArrival()
+	for {
+		if nextArrival >= now+cfg.Gamma {
+			// The attempt completes before the next interruption.
+			return now + cfg.Gamma, nil
+		}
+		// The attempt is aborted by the interruption; work since the
+		// attempt start is lost (rework).
+		now = nextArrival
+		nextArrival += sampleArrival()
+		downUntil := now + sampleService()
+		// FCFS: interruptions arriving during recovery queue up and
+		// extend the downtime.
+		for nextArrival < downUntil {
+			downUntil += sampleService()
+			nextArrival += sampleArrival()
+		}
+		now = downUntil
+	}
+}
+
+// EstimateTaskTime runs n Monte-Carlo realizations and returns summary
+// statistics of the completion time. It is the empirical counterpart
+// of Availability.ExpectedTaskTime.
+func EstimateTaskTime(cfg TaskSimConfig, n int, g *stats.RNG) (stats.Summary, error) {
+	var s stats.Summary
+	if n <= 0 {
+		return s, fmt.Errorf("model: sample count must be positive, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		t, err := SimulateTaskTime(cfg, g)
+		if err != nil {
+			return s, err
+		}
+		s.Add(t)
+	}
+	return s, nil
+}

@@ -1,0 +1,92 @@
+package placement
+
+import (
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// Random is the stock HDFS placement: when a block arrives, the
+// NameNode generates a random integer r in [0, n) and stores the block
+// on node r (§III-C). Additional replicas go to further distinct
+// uniform choices. The paper's capacity threshold still applies so
+// that comparisons against ADAPT are storage-fair.
+type Random struct {
+	// Cluster supplies the node population.
+	Cluster *cluster.Cluster
+	// DisableThreshold turns off the m(k+1)/n cap (pure stock
+	// behaviour). The default (false) applies the cap, which for the
+	// uniform policy almost never binds.
+	DisableThreshold bool
+}
+
+var _ Policy = (*Random)(nil)
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// NewPlacer implements Policy.
+func (r *Random) NewPlacer(m, k int, g *stats.RNG) (Placer, error) {
+	n := r.Cluster.Len()
+	if err := validateCommon(m, k, n, g); err != nil {
+		return nil, err
+	}
+	limit := 0
+	if !r.DisableThreshold {
+		limit = Threshold(m, k, n)
+	}
+	return &randomPlacer{n: n, k: k, limit: limit, counts: make([]int, n), g: g}, nil
+}
+
+type randomPlacer struct {
+	n      int
+	k      int
+	limit  int // 0 means unbounded
+	counts []int
+	g      *stats.RNG
+}
+
+// PlaceBlock implements Placer: k distinct uniform draws among nodes
+// with remaining capacity.
+func (p *randomPlacer) PlaceBlock() ([]cluster.NodeID, error) {
+	holders := make([]cluster.NodeID, 0, p.k)
+	used := make(map[int]bool, p.k)
+	for len(holders) < p.k {
+		// Count eligible nodes; if fewer than needed remain, fail.
+		candidate := -1
+		eligible := 0
+		// Rejection sampling with a bounded number of tries keeps the
+		// common case O(1); fall back to an explicit scan when the
+		// cluster is nearly saturated.
+		const tries = 16
+		for t := 0; t < tries; t++ {
+			c := p.g.IntN(p.n)
+			if used[c] || (p.limit > 0 && p.counts[c] >= p.limit) {
+				continue
+			}
+			candidate = c
+			break
+		}
+		if candidate < 0 {
+			// Explicit scan for any eligible node, chosen uniformly.
+			idx := -1
+			for c := 0; c < p.n; c++ {
+				if used[c] || (p.limit > 0 && p.counts[c] >= p.limit) {
+					continue
+				}
+				eligible++
+				// Reservoir sampling over eligible nodes.
+				if p.g.IntN(eligible) == 0 {
+					idx = c
+				}
+			}
+			if idx < 0 {
+				return nil, ErrNoCapacity
+			}
+			candidate = idx
+		}
+		used[candidate] = true
+		p.counts[candidate]++
+		holders = append(holders, cluster.NodeID(candidate))
+	}
+	return holders, nil
+}

@@ -1,0 +1,385 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// CollisionMode selects how dataPlacement resolves hash-table keys
+// with more than one chained node.
+type CollisionMode int
+
+const (
+	// CollisionByRate is the paper's Algorithm 1: pick among chained
+	// nodes proportionally to their global rates rate_i/Ω.
+	CollisionByRate CollisionMode = iota + 1
+	// CollisionByOverlap picks proportionally to the length of each
+	// node's weight-interval overlap with the key's unit interval,
+	// which makes the per-node expected block counts exact. Provided
+	// as an ablation of the paper's design choice.
+	CollisionByOverlap
+)
+
+func (m CollisionMode) String() string {
+	switch m {
+	case CollisionByRate:
+		return "by-rate"
+	case CollisionByOverlap:
+		return "by-overlap"
+	default:
+		return fmt.Sprintf("CollisionMode(%d)", int(m))
+	}
+}
+
+// chainEntry is one node chained on a hash-table key.
+type chainEntry struct {
+	node    int
+	rate    float64 // global normalized rate of the node
+	overlap float64 // length of the node interval ∩ [key, key+1)
+}
+
+// hashTable is the block→node table of Algorithm 1. Keys are block
+// slots [0, m); values are chains of candidate nodes.
+type hashTable struct {
+	chains [][]chainEntry
+	mode   CollisionMode
+}
+
+// buildHashTable implements subroutine buildHashTable of Algorithm 1.
+// weights[i] is the raw weight of node i (1/E[T_i] for ADAPT); nodes
+// with non-positive weight are skipped. m is the number of blocks
+// (table size).
+func buildHashTable(m int, weights []float64, mode CollisionMode) (*hashTable, error) {
+	var phi float64 // Φ = Σ 1/E(T_i)
+	for _, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) {
+			phi += w
+		}
+	}
+	if phi <= 0 {
+		return nil, ErrNoWeight
+	}
+	ht := &hashTable{chains: make([][]chainEntry, m), mode: mode}
+	a := 0.0 // begin index of hash table keys for the current node
+	for i, w := range weights {
+		if w <= 0 || math.IsInf(w, 1) {
+			continue
+		}
+		rate := w / phi
+		wi := float64(m) * rate // number of blocks for node i
+		b := a + wi             // end index of hash table keys for node i
+		if b > float64(m) {
+			b = float64(m)
+		}
+		// Insert node i into every integer key whose unit interval
+		// [j, j+1) overlaps [a, b).
+		for j := int(a); float64(j) < b && j < m; j++ {
+			lo := math.Max(a, float64(j))
+			hi := math.Min(b, float64(j+1))
+			if hi <= lo {
+				continue
+			}
+			ht.chains[j] = append(ht.chains[j], chainEntry{node: i, rate: rate, overlap: hi - lo})
+		}
+		a = b
+	}
+	// Floating-point slack can leave the trailing keys uncovered;
+	// extend the last node's interval to m.
+	for j := m - 1; j >= 0 && len(ht.chains[j]) == 0; j-- {
+		// Find the previous non-empty chain and reuse its last node.
+		for p := j - 1; p >= 0; p-- {
+			if n := len(ht.chains[p]); n > 0 {
+				last := ht.chains[p][n-1]
+				last.overlap = 1
+				ht.chains[j] = append(ht.chains[j], last)
+				break
+			}
+		}
+		if len(ht.chains[j]) == 0 {
+			return nil, ErrNoWeight
+		}
+	}
+	return ht, nil
+}
+
+// lookup implements subroutine dataPlacement of Algorithm 1: draw a
+// random key r in [0, m) and resolve the chain.
+func (ht *hashTable) lookup(g *stats.RNG) int {
+	r := g.IntN(len(ht.chains))
+	chain := ht.chains[r]
+	if len(chain) == 1 {
+		return chain[0].node
+	}
+	// Handle the collisions: weighted draw within the chain.
+	var omega float64
+	for _, e := range chain {
+		omega += ht.weightOf(e)
+	}
+	r1 := g.Float64()
+	lowBound := 0.0
+	for _, e := range chain {
+		upBound := lowBound + ht.weightOf(e)/omega
+		if r1 < upBound {
+			return e.node
+		}
+		lowBound = upBound
+	}
+	return chain[len(chain)-1].node
+}
+
+func (ht *hashTable) weightOf(e chainEntry) float64 {
+	if ht.mode == CollisionByOverlap {
+		return e.overlap
+	}
+	return e.rate
+}
+
+// Weighted is the machinery shared by ADAPT and the naive strategy: a
+// policy that dispatches blocks proportionally to per-node weights via
+// the Algorithm 1 hash table, subject to the m(k+1)/n capacity
+// threshold.
+type Weighted struct {
+	name    string
+	weights func() ([]float64, error)
+	// Mode selects collision handling; zero value means
+	// CollisionByRate (the paper's choice).
+	Mode CollisionMode
+	// DisableThreshold removes the capacity cap.
+	DisableThreshold bool
+	// UniformReplicas places replicas beyond the first uniformly at
+	// random (stock HDFS style) instead of weighted. Default false:
+	// all replicas follow the availability-aware weights.
+	UniformReplicas bool
+}
+
+var _ Policy = (*Weighted)(nil)
+
+// NewAdapt returns the ADAPT policy for the given cluster: node
+// weights are the model efficiencies 1/E[T_i] at failure-free task
+// length gamma (seconds per block).
+func NewAdapt(c *cluster.Cluster, gamma float64) (*Weighted, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, cluster.ErrNoNodes
+	}
+	if gamma <= 0 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {
+		return nil, fmt.Errorf("placement: adapt gamma must be positive and finite, got %g", gamma)
+	}
+	return &Weighted{
+		name: "adapt",
+		weights: func() ([]float64, error) {
+			return c.Efficiencies(gamma), nil
+		},
+	}, nil
+}
+
+// NewNaive returns the naive availability-proportional strategy from
+// §V-C: weight_i = (MTBI_i − μ_i)/MTBI_i = 1 − λ_i μ_i.
+func NewNaive(c *cluster.Cluster) (*Weighted, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, cluster.ErrNoNodes
+	}
+	return &Weighted{
+		name: "naive",
+		weights: func() ([]float64, error) {
+			avails := c.Availabilities()
+			ws := make([]float64, len(avails))
+			for i, a := range avails {
+				ws[i] = a.SteadyStateAvailability()
+			}
+			return ws, nil
+		},
+	}, nil
+}
+
+// NewWeighted returns a policy with caller-supplied static weights
+// (used by tests and extensions).
+func NewWeighted(name string, weights []float64) *Weighted {
+	ws := make([]float64, len(weights))
+	copy(ws, weights)
+	return &Weighted{
+		name:    name,
+		weights: func() ([]float64, error) { return ws, nil },
+	}
+}
+
+// Name implements Policy.
+func (w *Weighted) Name() string { return w.name }
+
+// NewPlacer implements Policy. The hash table is created here — once
+// per file distribution, as in the prototype (§IV-B1) — and discarded
+// with the placer.
+func (w *Weighted) NewPlacer(m, k int, g *stats.RNG) (Placer, error) {
+	ws, err := w.weights()
+	if err != nil {
+		return nil, err
+	}
+	n := len(ws)
+	if err := validateCommon(m, k, n, g); err != nil {
+		return nil, err
+	}
+	mode := w.Mode
+	if mode == 0 {
+		mode = CollisionByRate
+	}
+	ht, err := buildHashTable(m, ws, mode)
+	if err != nil {
+		return nil, err
+	}
+	limit := 0
+	if !w.DisableThreshold {
+		limit = Threshold(m, k, n)
+	}
+	wp := &weightedPlacer{
+		weights:         ws,
+		mode:            mode,
+		m:               m,
+		k:               k,
+		limit:           limit,
+		counts:          make([]int, n),
+		table:           ht,
+		g:               g,
+		uniformReplicas: w.UniformReplicas,
+	}
+	return wp, nil
+}
+
+type weightedPlacer struct {
+	weights         []float64
+	mode            CollisionMode
+	m, k            int
+	limit           int // 0 = unbounded
+	counts          []int
+	table           *hashTable
+	g               *stats.RNG
+	uniformReplicas bool
+}
+
+func (p *weightedPlacer) isSaturated(node int) bool {
+	return p.limit > 0 && p.counts[node] >= p.limit
+}
+
+// rebuildWithoutSaturated rebuilds the hash table over the remaining
+// nodes ("the node that reaches the threshold will not be considered
+// for future data block placement", §IV-C).
+func (p *weightedPlacer) rebuildWithoutSaturated() error {
+	ws := make([]float64, len(p.weights))
+	copy(ws, p.weights)
+	for i := range ws {
+		if p.isSaturated(i) {
+			ws[i] = 0
+		}
+	}
+	ht, err := buildHashTable(p.m, ws, p.mode)
+	if err != nil {
+		return err
+	}
+	p.table = ht
+	return nil
+}
+
+// placeOne draws one holder, excluding nodes in used, honoring caps.
+func (p *weightedPlacer) placeOne(used map[int]bool) (int, error) {
+	// Fast path: Algorithm 1 lookup; redraw on saturated/used hits.
+	const tries = 32
+	for t := 0; t < tries; t++ {
+		node := p.table.lookup(p.g)
+		if used[node] {
+			continue
+		}
+		if p.isSaturated(node) {
+			if err := p.rebuildWithoutSaturated(); err != nil {
+				return -1, err
+			}
+			continue
+		}
+		return node, nil
+	}
+	// Slow path: explicit weighted draw over eligible nodes.
+	var total float64
+	for i, w := range p.weights {
+		if w > 0 && !used[i] && !p.isSaturated(i) {
+			total += w
+		}
+	}
+	if total <= 0 {
+		// Weighted mass exhausted; fall back to any node with
+		// capacity so the file can still be stored (matches HDFS,
+		// which never fails placement while space remains).
+		eligible := 0
+		pick := -1
+		for i := range p.weights {
+			if used[i] || p.isSaturated(i) {
+				continue
+			}
+			eligible++
+			if p.g.IntN(eligible) == 0 {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return -1, ErrNoCapacity
+		}
+		return pick, nil
+	}
+	r := p.g.Float64() * total
+	for i, w := range p.weights {
+		if w <= 0 || used[i] || p.isSaturated(i) {
+			continue
+		}
+		r -= w
+		if r <= 0 {
+			return i, nil
+		}
+	}
+	// Floating point slack: return the last eligible node.
+	for i := len(p.weights) - 1; i >= 0; i-- {
+		if p.weights[i] > 0 && !used[i] && !p.isSaturated(i) {
+			return i, nil
+		}
+	}
+	return -1, ErrNoCapacity
+}
+
+// placeUniform draws one holder uniformly among eligible nodes.
+func (p *weightedPlacer) placeUniform(used map[int]bool) (int, error) {
+	eligible := 0
+	pick := -1
+	for i := range p.weights {
+		if used[i] || p.isSaturated(i) {
+			continue
+		}
+		eligible++
+		if p.g.IntN(eligible) == 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return -1, ErrNoCapacity
+	}
+	return pick, nil
+}
+
+// PlaceBlock implements Placer.
+func (p *weightedPlacer) PlaceBlock() ([]cluster.NodeID, error) {
+	holders := make([]cluster.NodeID, 0, p.k)
+	used := make(map[int]bool, p.k)
+	for r := 0; r < p.k; r++ {
+		var node int
+		var err error
+		if r > 0 && p.uniformReplicas {
+			node, err = p.placeUniform(used)
+		} else {
+			node, err = p.placeOne(used)
+		}
+		if err != nil {
+			return nil, err
+		}
+		used[node] = true
+		p.counts[node]++
+		holders = append(holders, cluster.NodeID(node))
+	}
+	return holders, nil
+}

@@ -1,0 +1,229 @@
+// Package sim is a deterministic discrete-event simulation kernel: a
+// virtual clock, a binary-heap event queue with stable FIFO
+// tie-breaking, and cancellable timers. All higher-level simulators in
+// this repository (the Hadoop-analog simulator, the mini MapReduce
+// engine) are built on it.
+//
+// The kernel is intentionally single-threaded: determinism — same
+// inputs, same seed, same schedule — is a design requirement for
+// reproducible experiments, and the simulated workloads are CPU-bound
+// rather than I/O-bound.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	time   float64
+	seq    uint64 // FIFO tie-break for equal times
+	fn     func()
+	index  int // heap index; -1 when popped/cancelled
+	cancel bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return // unreachable: Push is only called through heap.Push below
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer handles allow cancelling a scheduled event.
+type Timer struct {
+	ev     *event
+	engine *Engine
+}
+
+// Cancel prevents the event from firing. It is safe to call multiple
+// times and after the event has fired (no-ops).
+func (t *Timer) Cancel() {
+	if t == nil || t.ev == nil {
+		return
+	}
+	t.ev.cancel = true
+}
+
+// Active reports whether the event is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.cancel && t.ev.index >= 0
+}
+
+// Engine is the simulation core. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	// processed counts events executed, for diagnostics and runaway
+	// protection.
+	processed uint64
+	// Limit optionally bounds the number of processed events; 0 means
+	// unlimited. Run returns ErrEventLimit when exceeded.
+	Limit uint64
+}
+
+// Errors returned by Run.
+var (
+	// ErrPastEvent is returned when scheduling before the current
+	// virtual time.
+	ErrPastEvent = errors.New("sim: cannot schedule event in the past")
+	// ErrEventLimit is returned when Engine.Limit is exceeded,
+	// indicating a likely scheduling bug (event storm).
+	ErrEventLimit = errors.New("sim: event limit exceeded")
+)
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn at absolute virtual time t. Scheduling at the
+// current time is allowed (the event runs after the current callback
+// returns). It returns an error if t precedes the current time or is
+// not finite.
+func (e *Engine) At(t float64, fn func()) (*Timer, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("sim: non-finite event time %g", t)
+	}
+	if t < e.now {
+		return nil, fmt.Errorf("%w: t=%g now=%g", ErrPastEvent, t, e.now)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil event callback")
+	}
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev, engine: e}, nil
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) (*Timer, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("%w: delay %g", ErrPastEvent, d)
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event. It returns false when the
+// queue is empty. Callers that need to halt on a domain condition
+// (e.g. "all tasks done" while periodic events remain queued) drive
+// the engine with Step instead of Run.
+func (e *Engine) Step() (bool, error) { return e.step() }
+
+// step executes the earliest pending event. It returns false when the
+// queue is empty.
+func (e *Engine) step() (bool, error) {
+	for len(e.events) > 0 {
+		popped, ok := heap.Pop(&e.events).(*event)
+		if !ok {
+			return false, errors.New("sim: corrupt event heap")
+		}
+		if popped.cancel {
+			continue
+		}
+		e.now = popped.time
+		e.processed++
+		if e.Limit > 0 && e.processed > e.Limit {
+			return false, fmt.Errorf("%w: %d", ErrEventLimit, e.Limit)
+		}
+		popped.fn()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() error {
+	for {
+		ok, err := e.step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// RunUntil executes events with time <= deadline, advancing the clock
+// to exactly deadline when the queue drains or the next event lies
+// beyond it.
+func (e *Engine) RunUntil(deadline float64) error {
+	if deadline < e.now {
+		return fmt.Errorf("%w: deadline=%g now=%g", ErrPastEvent, deadline, e.now)
+	}
+	for {
+		// Peek at the earliest uncancelled event.
+		next := math.Inf(1)
+		for len(e.events) > 0 && e.events[0].cancel {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) > 0 {
+			next = e.events[0].time
+		}
+		if next > deadline {
+			e.now = deadline
+			return nil
+		}
+		ok, err := e.step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			e.now = deadline
+			return nil
+		}
+	}
+}

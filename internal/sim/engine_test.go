@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	mustAt(t, e, 3, func() { order = append(order, 3) })
+	mustAt(t, e, 1, func() { order = append(order, 1) })
+	mustAt(t, e, 2, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("now = %g", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustAt(t, e, 5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	mustAt(t, e, 1, func() {
+		hits = append(hits, e.Now())
+		if _, err := e.After(2, func() { hits = append(hits, e.Now()) }); err != nil {
+			t.Errorf("nested After: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEngineScheduleAtNow(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	mustAt(t, e, 2, func() {
+		if _, err := e.At(e.Now(), func() { ran = true }); err != nil {
+			t.Errorf("At(now): %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event at current time did not run")
+	}
+}
+
+func TestEnginePastEventRejected(t *testing.T) {
+	e := NewEngine()
+	mustAt(t, e, 5, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.After(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEngineRejectsBadArgs(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.At(1, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	inf := 1.0
+	for _, bad := range []float64{inf / 0, -inf / 0} {
+		if _, err := e.At(bad, func() {}); err == nil {
+			t.Fatal("non-finite time accepted")
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	timer := mustAt(t, e, 1, func() { ran = true })
+	if !timer.Active() {
+		t.Fatal("timer should be active")
+	}
+	timer.Cancel()
+	if timer.Active() {
+		t.Fatal("timer should be inactive after cancel")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double cancel and nil-safe cancel are no-ops.
+	timer.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		mustAt(t, e, at, func() { hits = append(hits, at) })
+	}
+	if err := e.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("now = %g, want 3", e.Now())
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 || e.Now() != 10 {
+		t.Fatalf("hits = %v now = %g", hits, e.Now())
+	}
+	if err := e.RunUntil(5); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("past deadline: %v", err)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 10
+	var tick func()
+	tick = func() {
+		if _, err := e.After(1, tick); err != nil {
+			t.Errorf("schedule: %v", err)
+		}
+	}
+	mustAt(t, e, 0, tick)
+	if err := e.Run(); !errors.Is(err, ErrEventLimit) {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	t1 := mustAt(t, e, 1, func() {})
+	mustAt(t, e, 2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	t1.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d", e.Pending())
+	}
+}
+
+// Property: for arbitrary event times, execution order is
+// non-decreasing in time and the clock never goes backward.
+func TestEngineMonotoneClockProperty(t *testing.T) {
+	err := quick.Check(func(times []uint16) bool {
+		e := NewEngine()
+		var seen []float64
+		for _, raw := range times {
+			at := float64(raw)
+			if _, err := e.At(at, func() { seen = append(seen, e.Now()) }); err != nil {
+				return false
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		prev := -1.0
+		for _, v := range seen {
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return len(seen) == len(times)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAt(t *testing.T, e *Engine, at float64, fn func()) *Timer {
+	t.Helper()
+	timer, err := e.At(at, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return timer
+}
+
+func TestProcessedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		mustAt(t, e, float64(i), func() {})
+	}
+	cancelled := mustAt(t, e, 10, func() {})
+	cancelled.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Processed(); got != 5 {
+		t.Fatalf("processed = %d, want 5 (cancelled events don't count)", got)
+	}
+}
+
+func TestPublicStep(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	mustAt(t, e, 1, func() { ran = true })
+	ok, err := e.Step()
+	if err != nil || !ok || !ran {
+		t.Fatalf("step: ok=%v err=%v ran=%v", ok, err, ran)
+	}
+	ok, err = e.Step()
+	if err != nil || ok {
+		t.Fatalf("empty step: ok=%v err=%v", ok, err)
+	}
+}

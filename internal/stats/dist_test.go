@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleSummary draws n samples from d and summarizes them.
+func sampleSummary(t *testing.T, d Distribution, seed uint64, n int) Summary {
+	t.Helper()
+	g := NewRNG(seed)
+	var s Summary
+	for i := 0; i < n; i++ {
+		v := d.Sample(g)
+		if v < 0 {
+			t.Fatalf("%v produced negative sample %g", d, v)
+		}
+		s.Add(v)
+	}
+	return s
+}
+
+// checkMoments verifies sampled mean/variance against theory within
+// relative tolerance tol.
+func checkMoments(t *testing.T, d Distribution, tol float64) {
+	t.Helper()
+	s := sampleSummary(t, d, 1234, 200000)
+	if m := d.Mean(); math.Abs(s.Mean()-m)/m > tol {
+		t.Errorf("%v: sample mean %g, want %g (tol %g)", d, s.Mean(), m, tol)
+	}
+	if v := d.Variance(); v > 0 && math.Abs(s.Variance()-v)/v > 3*tol {
+		t.Errorf("%v: sample variance %g, want %g", d, s.Variance(), v)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := NewDeterministic(3.5)
+	g := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if d.Sample(g) != 3.5 {
+			t.Fatal("deterministic sample changed")
+		}
+	}
+	if d.Mean() != 3.5 || d.Variance() != 0 {
+		t.Fatalf("bad moments: %g %g", d.Mean(), d.Variance())
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	d, err := NewExponential(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, d, 0.02)
+	if got := d.Mean(); got != 4 {
+		t.Fatalf("mean = %g, want 4", got)
+	}
+}
+
+func TestExponentialFromMean(t *testing.T) {
+	d, err := ExponentialFromMean(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rate != 0.1 {
+		t.Fatalf("rate = %g, want 0.1", d.Rate)
+	}
+}
+
+func TestExponentialInvalid(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewExponential(rate); err == nil {
+			t.Errorf("NewExponential(%g) succeeded, want error", rate)
+		}
+	}
+	for _, mean := range []float64{0, -3, math.NaN(), math.Inf(1)} {
+		if _, err := ExponentialFromMean(mean); err == nil {
+			t.Errorf("ExponentialFromMean(%g) succeeded, want error", mean)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	d, err := NewUniform(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, d, 0.02)
+	if d.Mean() != 5 {
+		t.Fatalf("mean = %g, want 5", d.Mean())
+	}
+}
+
+func TestUniformInvalid(t *testing.T) {
+	if _, err := NewUniform(3, 1); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	d, err := NewLogNormal(1.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, d, 0.03)
+}
+
+func TestLogNormalFromMeanCoV(t *testing.T) {
+	// Paper Table 1: MTBI mean 160290 s, CoV 4.376.
+	d, err := LogNormalFromMeanCoV(160290, 4.376)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Mean(); math.Abs(m-160290)/160290 > 1e-9 {
+		t.Fatalf("mean = %g, want 160290", m)
+	}
+	if c := CoV(d); math.Abs(c-4.376)/4.376 > 1e-9 {
+		t.Fatalf("CoV = %g, want 4.376", c)
+	}
+}
+
+func TestLogNormalFromMeanCoVProperty(t *testing.T) {
+	err := quick.Check(func(m8, c8 uint8) bool {
+		mean := 1 + float64(m8)*100
+		cov := float64(c8) / 32 // up to ~8
+		d, err := LogNormalFromMeanCoV(mean, cov)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.Mean()-mean)/mean < 1e-9 &&
+			(cov == 0 || math.Abs(CoV(d)-cov)/cov < 1e-9)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormalInvalid(t *testing.T) {
+	if _, err := NewLogNormal(0, -1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := LogNormalFromMeanCoV(-5, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	d, err := NewWeibull(1.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, d, 0.03)
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	d, err := NewWeibull(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-5) > 1e-9 {
+		t.Fatalf("weibull(1,5) mean = %g, want 5", d.Mean())
+	}
+}
+
+func TestWeibullInvalid(t *testing.T) {
+	if _, err := NewWeibull(0, 1); err == nil {
+		t.Error("zero shape accepted")
+	}
+	if _, err := NewWeibull(1, -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestParetoMoments(t *testing.T) {
+	d, err := NewPareto(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMoments(t, d, 0.05)
+	if m := d.Mean(); math.Abs(m-1.5) > 1e-9 {
+		t.Fatalf("mean = %g, want 1.5", m)
+	}
+}
+
+func TestParetoInfiniteMoments(t *testing.T) {
+	d, err := NewPareto(1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d.Mean(), 1) {
+		t.Error("alpha<1 should have infinite mean")
+	}
+	d2, err := NewPareto(1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d2.Variance(), 1) {
+		t.Error("alpha<2 should have infinite variance")
+	}
+}
+
+func TestParetoSamplesAboveXm(t *testing.T) {
+	d, err := NewPareto(2.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(17)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(g); v < 2.5 {
+			t.Fatalf("pareto sample %g below xm", v)
+		}
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	d, err := NewEmpirical(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() != 3 {
+		t.Fatalf("mean = %g, want 3", d.Mean())
+	}
+	if d.Len() != 5 {
+		t.Fatalf("len = %d, want 5", d.Len())
+	}
+	g := NewRNG(1)
+	seen := make(map[float64]bool)
+	for i := 0; i < 1000; i++ {
+		seen[d.Sample(g)] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("resampling hit %d distinct values, want 5", len(seen))
+	}
+	if q := d.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %g, want 3", q)
+	}
+
+	// Mutating the input must not affect the distribution.
+	vals[0] = 1e9
+	if d.Mean() != 3 {
+		t.Fatal("empirical distribution aliased caller slice")
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestShifted(t *testing.T) {
+	base := NewDeterministic(2)
+	d := Shifted{Base: base, Offset: 3}
+	g := NewRNG(1)
+	if v := d.Sample(g); v != 5 {
+		t.Fatalf("sample = %g, want 5", v)
+	}
+	if d.Mean() != 5 {
+		t.Fatalf("mean = %g, want 5", d.Mean())
+	}
+	neg := Shifted{Base: base, Offset: -10}
+	if v := neg.Sample(g); v != 0 {
+		t.Fatalf("negative shift not clamped: %g", v)
+	}
+}
+
+func TestCoVHelper(t *testing.T) {
+	e, _ := NewExponential(2)
+	if c := CoV(e); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("exponential CoV = %g, want 1", c)
+	}
+	if !math.IsNaN(CoV(NewDeterministic(0))) {
+		t.Error("CoV of zero-mean should be NaN")
+	}
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleN(t *testing.T, d Distribution, n int, seed uint64) []float64 {
+	t.Helper()
+	g := NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(g)
+	}
+	return out
+}
+
+func TestCDFMatchesSampling(t *testing.T) {
+	exp, _ := NewExponential(0.5)
+	ln, _ := NewLogNormal(1, 0.7)
+	wb, _ := NewWeibull(1.4, 3)
+	pa, _ := NewPareto(2, 3)
+	un, _ := NewUniform(1, 5)
+	dists := []Distribution{exp, ln, wb, pa, un}
+	for _, d := range dists {
+		cdf, err := CDF(d)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		// A true-model KS statistic should pass at the 1% level.
+		sample := sampleN(t, d, 5000, 11)
+		ks, err := KSStatistic(sample, cdf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crit, err := KSCritical(len(sample), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ks > crit {
+			t.Errorf("%v: KS %g exceeds critical %g under the true model", d, ks, crit)
+		}
+	}
+}
+
+func TestCDFDeterministic(t *testing.T) {
+	cdf, err := CDF(NewDeterministic(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf(2.9) != 0 || cdf(3) != 1 || cdf(4) != 1 {
+		t.Fatal("point-mass CDF wrong")
+	}
+}
+
+func TestCDFUnsupported(t *testing.T) {
+	e, err := NewEmpirical([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CDF(e); err == nil {
+		t.Fatal("empirical CDF should be unsupported")
+	}
+}
+
+func TestKSRejectsWrongModel(t *testing.T) {
+	// Sample from lognormal, test against exponential with the same
+	// mean: should clearly reject.
+	ln, _ := LogNormalFromMeanCoV(10, 3)
+	sample := sampleN(t, ln, 5000, 7)
+	exp, _ := ExponentialFromMean(10)
+	cdf, err := CDF(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := KSStatistic(sample, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCritical(len(sample), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks <= crit {
+		t.Fatalf("KS %g did not reject a badly wrong model (crit %g)", ks, crit)
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	if _, err := KSStatistic(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := KSStatistic([]float64{1}, nil); err == nil {
+		t.Fatal("nil cdf accepted")
+	}
+	if _, err := KSCritical(0, 0.05); err == nil {
+		t.Fatal("zero n accepted")
+	}
+	if _, err := KSCritical(10, 0.5); err == nil {
+		t.Fatal("unsupported alpha accepted")
+	}
+}
+
+func TestFitLogNormalRecovers(t *testing.T) {
+	truth, _ := NewLogNormal(2.0, 0.8)
+	sample := sampleN(t, truth, 20000, 13)
+	got, err := FitLogNormal(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-2.0) > 0.05 || math.Abs(got.Sigma-0.8) > 0.05 {
+		t.Fatalf("fit = %+v, want mu=2 sigma=0.8", got)
+	}
+}
+
+func TestFitLogNormalValidation(t *testing.T) {
+	if _, err := FitLogNormal([]float64{1}); err == nil {
+		t.Fatal("single observation accepted")
+	}
+	if _, err := FitLogNormal([]float64{1, -2}); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestFitExponentialRecovers(t *testing.T) {
+	truth, _ := NewExponential(0.25)
+	sample := sampleN(t, truth, 20000, 17)
+	got, err := FitExponential(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Rate-0.25)/0.25 > 0.03 {
+		t.Fatalf("rate = %g, want ~0.25", got.Rate)
+	}
+}
+
+func TestFitExponentialValidation(t *testing.T) {
+	if _, err := FitExponential(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := FitExponential([]float64{-1}); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, err := FitExponential([]float64{0, 0}); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+}

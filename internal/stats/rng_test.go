@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Float64(), b.Float64(); got != want {
+			t.Fatalf("stream diverged at %d: %g != %g", i, got, want)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+
+	// Children must differ from each other.
+	diff := false
+	for i := 0; i < 32; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("split children produced identical streams")
+	}
+
+	// Splitting must not perturb the parent stream relative to a
+	// fresh generator that also split twice.
+	ref := NewRNG(7)
+	ref.Split()
+	ref.Split()
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != ref.Uint64() {
+			t.Fatal("parent stream perturbed by split")
+		}
+	}
+}
+
+func TestRNGSplitReproducible(t *testing.T) {
+	a := NewRNG(99).Split()
+	b := NewRNG(99).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("first split of equal seeds diverged")
+		}
+	}
+}
+
+func TestRNGIntNRange(t *testing.T) {
+	g := NewRNG(3)
+	err := quick.Check(func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := g.IntN(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := g.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	g := NewRNG(11)
+	p := g.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("permutation missing elements: %v", p)
+	}
+}
+
+func TestRNGShuffle(t *testing.T) {
+	g := NewRNG(13)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 45 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	set, err := Generate(DefaultSETIConfig(10), stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make sure at least one host with no events is represented.
+	set.Traces = append(set.Traces, Trace{Host: "idle", Horizon: set.Horizon})
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != set.Horizon {
+		t.Fatalf("horizon = %g, want %g", got.Horizon, set.Horizon)
+	}
+	if got.Len() != set.Len() {
+		t.Fatalf("hosts = %d, want %d", got.Len(), set.Len())
+	}
+	for i := range set.Traces {
+		a, b := set.Traces[i], got.Traces[i]
+		if a.Host != b.Host {
+			t.Fatalf("host %d name %q != %q", i, b.Host, a.Host)
+		}
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("host %s event count %d != %d", a.Host, len(b.Events), len(a.Events))
+		}
+		for j := range a.Events {
+			if a.Events[j] != b.Events[j] {
+				t.Fatalf("host %s event %d: %+v != %+v", a.Host, j, b.Events[j], a.Events[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no horizon", "host,start,duration\n"},
+		{"bad start", "# horizon 100\nhost,start,duration\na,xyz,1\n"},
+		{"bad duration", "# horizon 100\nhost,start,duration\na,1,xyz\n"},
+		{"wrong fields", "# horizon 100\nhost,start,duration\na,1\n"},
+		{"beyond horizon", "# horizon 100\nhost,start,duration\na,200,1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+				t.Fatal("malformed input accepted")
+			}
+		})
+	}
+}
+
+func TestWriteCSVInvalidSet(t *testing.T) {
+	bad := &Set{Horizon: -1}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, bad); err == nil {
+		t.Fatal("invalid set written")
+	}
+}
+
+func TestReadCSVSortsEvents(t *testing.T) {
+	in := "# horizon 100\nhost,start,duration\na,50,1\na,10,2\n"
+	set, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := set.Traces[0].Events
+	if ev[0].Start != 10 || ev[1].Start != 50 {
+		t.Fatalf("events not sorted: %+v", ev)
+	}
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+func TestTraceValidate(t *testing.T) {
+	ok := Trace{Host: "a", Horizon: 100, Events: []Event{{Start: 1, Duration: 2}, {Start: 10, Duration: 0}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tr   Trace
+		want error
+	}{
+		{"bad horizon", Trace{Horizon: 0}, ErrBadHorizon},
+		{"negative start", Trace{Horizon: 10, Events: []Event{{Start: -1}}}, ErrBadEvent},
+		{"negative duration", Trace{Horizon: 10, Events: []Event{{Start: 1, Duration: -2}}}, ErrBadEvent},
+		{"unsorted", Trace{Horizon: 10, Events: []Event{{Start: 5}, {Start: 1}}}, ErrUnsorted},
+		{"beyond horizon", Trace{Horizon: 10, Events: []Event{{Start: 11}}}, ErrOutOfHorizon},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.tr.Validate(); !errors.Is(err, c.want) {
+				t.Fatalf("error = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestTraceSort(t *testing.T) {
+	tr := Trace{Horizon: 100, Events: []Event{{Start: 9}, {Start: 3}, {Start: 7}}}
+	tr.Sort()
+	if tr.Events[0].Start != 3 || tr.Events[1].Start != 7 || tr.Events[2].Start != 9 {
+		t.Fatalf("sort failed: %+v", tr.Events)
+	}
+}
+
+func TestMTBIsAndDurations(t *testing.T) {
+	tr := Trace{Horizon: 100, Events: []Event{
+		{Start: 10, Duration: 1}, {Start: 25, Duration: 2}, {Start: 60, Duration: 3},
+	}}
+	gaps := tr.MTBIs()
+	if len(gaps) != 2 || gaps[0] != 15 || gaps[1] != 35 {
+		t.Fatalf("MTBIs = %v", gaps)
+	}
+	durs := tr.Durations()
+	if len(durs) != 3 || durs[2] != 3 {
+		t.Fatalf("Durations = %v", durs)
+	}
+	empty := Trace{Horizon: 10}
+	if empty.MTBIs() != nil {
+		t.Fatal("MTBIs of empty trace should be nil")
+	}
+}
+
+func TestEstimateAvailability(t *testing.T) {
+	tr := Trace{Horizon: 1000, Events: []Event{
+		{Start: 100, Duration: 4}, {Start: 300, Duration: 8}, {Start: 500, Duration: 6},
+		{Start: 700, Duration: 2}, {Start: 900, Duration: 5},
+	}}
+	a := tr.EstimateAvailability()
+	if got, want := a.Lambda, 5.0/1000.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("lambda = %g, want %g", got, want)
+	}
+	if got, want := a.Mu, 5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mu = %g, want %g", got, want)
+	}
+	if !(&Trace{Horizon: 100}).EstimateAvailability().Dedicated() {
+		t.Fatal("empty trace should estimate dedicated")
+	}
+}
+
+func TestDowntimeFraction(t *testing.T) {
+	tr := Trace{Horizon: 100, Events: []Event{
+		{Start: 10, Duration: 10}, // down 10-20
+		{Start: 50, Duration: 5},  // down 50-55
+	}}
+	if got := tr.DowntimeFraction(); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("fraction = %g, want 0.15", got)
+	}
+}
+
+func TestDowntimeFractionFCFSOverlap(t *testing.T) {
+	// Second event arrives during the first outage: its service
+	// queues, extending the outage to 10+10+10 = 30.
+	tr := Trace{Horizon: 100, Events: []Event{
+		{Start: 10, Duration: 10},
+		{Start: 15, Duration: 10},
+	}}
+	if got := tr.DowntimeFraction(); math.Abs(got-0.20) > 1e-12 {
+		t.Fatalf("fraction = %g, want 0.20", got)
+	}
+}
+
+func TestDowntimeFractionClampsAtHorizon(t *testing.T) {
+	tr := Trace{Horizon: 100, Events: []Event{{Start: 90, Duration: 1000}}}
+	if got := tr.DowntimeFraction(); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("fraction = %g, want 0.10", got)
+	}
+}
+
+func TestDownAt(t *testing.T) {
+	tr := Trace{Horizon: 100, Events: []Event{
+		{Start: 10, Duration: 10},
+		{Start: 15, Duration: 10}, // queues: outage is [10, 30)
+		{Start: 50, Duration: 5},
+	}}
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{5, false}, {10, true}, {25, true}, {29.9, true}, {30, false},
+		{49, false}, {52, true}, {55, false},
+	}
+	for _, c := range cases {
+		if got := tr.DownAt(c.x); got != c.want {
+			t.Errorf("DownAt(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := Trace{Host: "h", Horizon: 1000, Events: []Event{
+		{Start: 50, Duration: 30},  // overlaps window start
+		{Start: 200, Duration: 10}, // inside
+		{Start: 400, Duration: 5},  // past window
+	}}
+	w := tr.Window(60, 300)
+	if w.Horizon != 300 {
+		t.Fatalf("horizon = %g", w.Horizon)
+	}
+	if len(w.Events) != 2 {
+		t.Fatalf("events = %+v", w.Events)
+	}
+	// First event clipped: originally [50,80) -> [0,20) in window time.
+	if w.Events[0].Start != 0 || math.Abs(w.Events[0].Duration-20) > 1e-12 {
+		t.Fatalf("clipped event = %+v", w.Events[0])
+	}
+	if w.Events[1].Start != 140 || w.Events[1].Duration != 10 {
+		t.Fatalf("inside event = %+v", w.Events[1])
+	}
+}
+
+func TestWindowProperty(t *testing.T) {
+	// Every windowed trace must validate and contain only events that
+	// intersect the window.
+	g := stats.NewRNG(5)
+	cfg := DefaultSETIConfig(20)
+	set, err := Generate(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(f8, l8 uint8) bool {
+		from := float64(f8) / 255 * set.Horizon * 0.9
+		length := 1 + float64(l8)/255*set.Horizon*0.1
+		for i := range set.Traces {
+			w := set.Traces[i].Window(from, length)
+			if err := w.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	s := &Set{Horizon: 100, Traces: []Trace{
+		{Host: "a", Horizon: 100},
+		{Host: "b", Horizon: 50},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("horizon mismatch accepted")
+	}
+	s.Traces[1].Horizon = 100
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := &Set{Horizon: 1000, Traces: []Trace{
+		{Host: "a", Horizon: 1000, Events: []Event{
+			{Start: 0, Duration: 2}, {Start: 10, Duration: 4},
+		}},
+		{Host: "b", Horizon: 1000, Events: []Event{
+			{Start: 5, Duration: 6},
+		}},
+	}}
+	st := ComputeStats(s)
+	if st.Hosts != 2 || st.Interruptions != 3 {
+		t.Fatalf("hosts=%d interruptions=%d", st.Hosts, st.Interruptions)
+	}
+	if st.MTBI.Count() != 1 || st.MTBI.Mean() != 10 {
+		t.Fatalf("MTBI summary: %v", &st.MTBI)
+	}
+	if st.Duration.Count() != 3 || st.Duration.Mean() != 4 {
+		t.Fatalf("duration summary: %v", &st.Duration)
+	}
+	rows := st.Table1()
+	if len(rows) != 2 || rows[0].Mean != 10 || rows[1].Mean != 4 {
+		t.Fatalf("table1 rows: %+v", rows)
+	}
+}
