@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: ci vet build test test-short race soak bench
+
+# Full CI gate: static checks, build, and the race-enabled test suite
+# (includes the churn-soak test).
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the plain test suite.
+test:
+	$(GO) test ./...
+
+# Fast loop: -short skips the churn soak and other long tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Just the churn-soak invariants (10k chaos events, 32-node DFS).
+soak:
+	$(GO) test -race -run TestChurnSoak -v ./internal/chaos/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -34,6 +34,7 @@
 package adapt
 
 import (
+	"github.com/adaptsim/adapt/internal/chaos"
 	"github.com/adaptsim/adapt/internal/cluster"
 	"github.com/adaptsim/adapt/internal/dfs"
 	"github.com/adaptsim/adapt/internal/experiments"
@@ -318,6 +319,87 @@ func NewNameNode(c *Cluster) (*NameNode, error) { return dfs.NewNameNode(c) }
 // NewDFSClient builds a client with the prototype's shell surface:
 // CopyFromLocal/Cp with an ADAPT flag, Adapt, Rebalance.
 func NewDFSClient(nn *NameNode, g *RNG) (*DFSClient, error) { return dfs.NewClient(nn, g) }
+
+// ---- resilience: errors, retry, fault injection ---------------------------------
+
+// DFS error sentinels, matchable with errors.Is through any wrapping.
+var (
+	// ErrNodeDown: the addressed DataNode is interrupted (transient).
+	ErrNodeDown = dfs.ErrNodeDown
+	// ErrChecksum: a replica's bytes failed CRC32 verification
+	// (transient — another replica may be intact).
+	ErrChecksum = dfs.ErrChecksum
+	// ErrNoLiveNodes: a write found no node accepting data (transient).
+	ErrNoLiveNodes = dfs.ErrNoLiveNodes
+	// ErrNoReplica: a read exhausted every replica (transient).
+	ErrNoReplica = dfs.ErrNoReplica
+)
+
+// IsTransient reports whether an error is retryable: injected faults
+// and outage-shaped failures are, metadata errors are not.
+func IsTransient(err error) bool { return dfs.IsTransient(err) }
+
+// RetryPolicy bounds the client's exponential-backoff retries.
+type RetryPolicy = dfs.RetryPolicy
+
+// DefaultRetryPolicy returns the client's stock retry budget.
+func DefaultRetryPolicy() RetryPolicy { return dfs.DefaultRetryPolicy() }
+
+// WriteReport describes how a write really landed (degraded
+// replication, failovers, retries); see DFSClient.CopyFromLocalReport.
+type WriteReport = dfs.WriteReport
+
+// DFSOp tags a DataNode operation for fault injection.
+type DFSOp = dfs.Op
+
+// DataNode operations.
+const (
+	DFSOpPut    = dfs.OpPut
+	DFSOpGet    = dfs.OpGet
+	DFSOpDelete = dfs.OpDelete
+)
+
+// FaultInjector is the dfs-side hook chaos injectors implement.
+type FaultInjector = dfs.FaultInjector
+
+// ResilienceCounters tallies retries, failovers, repairs, checksum
+// catches, and injected faults across a NameNode's lifetime
+// (NameNode.Resilience returns the shared instance).
+type ResilienceCounters = metrics.ResilienceCounters
+
+// ResilienceSnapshot is a point-in-time copy of the counters.
+type ResilienceSnapshot = metrics.ResilienceSnapshot
+
+// ---- chaos engine ----------------------------------------------------------------
+
+// The chaos engine drives deterministic DataNode churn from the
+// cluster's (λ, μ) parameters or replayed traces, plus operation-level
+// faults, to exercise the resilience machinery end to end.
+type (
+	ChaosConfig    = chaos.Config
+	ChaosEngine    = chaos.Engine
+	ChaosEvent     = chaos.Event
+	ChaosEventKind = chaos.EventKind
+	ChaosTarget    = chaos.Target
+	ChaosObserver  = chaos.Observer
+	OpFaults       = chaos.OpFaults
+	InjectedError  = chaos.InjectedError
+)
+
+// Chaos event kinds.
+const (
+	ChaosEventDown   = chaos.EventDown
+	ChaosEventExtend = chaos.EventExtend
+	ChaosEventUp     = chaos.EventUp
+)
+
+// NewChaosEngine builds a seeded churn engine over a cluster; equal
+// seeds reproduce the event schedule exactly.
+func NewChaosEngine(cfg ChaosConfig, g *RNG) (*ChaosEngine, error) { return chaos.New(cfg, g) }
+
+// NewOpFaults returns a disarmed operation-fault injector; set its
+// probability fields and install it with NameNode.SetFaultInjector.
+func NewOpFaults(g *RNG) (*OpFaults, error) { return chaos.NewOpFaults(g) }
 
 // ---- MapReduce engine -----------------------------------------------------------
 

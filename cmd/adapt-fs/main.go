@@ -7,9 +7,19 @@
 // Example:
 //
 //	adapt-fs -nodes 32 -blocks-per-node 20 -replicas 1
+//
+// With -chaos it instead runs a fault-injection demo: seeded churn
+// (derived from each node's Table 2 availability) plus transient
+// operation faults and read corruption batter the DFS while a client
+// keeps reading and repairing; afterwards it prints the resilience
+// counters and the heartbeat-estimated (λ, μ) against the injected
+// values:
+//
+//	adapt-fs -chaos -nodes 32 -chaos-events 2000 -replicas 3
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +42,12 @@ func run(args []string) error {
 		ratio         = fs.Float64("interrupted-ratio", 0.5, "fraction of interrupted nodes")
 		replicas      = fs.Int("replicas", 1, "replication degree")
 		seed          = fs.Uint64("seed", 1, "random seed")
+
+		chaosMode   = fs.Bool("chaos", false, "run the fault-injection demo instead of the placement demo")
+		chaosEvents = fs.Int("chaos-events", 2000, "churn events to inject (with -chaos)")
+		putFail     = fs.Float64("put-fail", 0.02, "transient Put failure probability (with -chaos)")
+		getFail     = fs.Float64("get-fail", 0.02, "transient Get failure probability (with -chaos)")
+		corrupt     = fs.Float64("corrupt", 0.01, "per-read bit-flip probability (with -chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +79,15 @@ func run(args []string) error {
 
 	fmt.Printf("cluster: %d nodes, %d interrupted (Table 2 groups)\n\n", c.Len(), c.InterruptedCount())
 
+	if *chaosMode {
+		return runChaos(c, nn, client, g, payload, chaosOpts{
+			events:  *chaosEvents,
+			putFail: *putFail,
+			getFail: *getFail,
+			corrupt: *corrupt,
+		})
+	}
+
 	fmt.Println("$ adapt-fs copyFromLocal data.bin /data (stock random placement)")
 	if _, err := client.CopyFromLocal("/data", payload, false); err != nil {
 		return err
@@ -86,6 +111,144 @@ func run(args []string) error {
 		return err
 	}
 	return printDistribution(nn, c, "/data2")
+}
+
+type chaosOpts struct {
+	events  int
+	putFail float64
+	getFail float64
+	corrupt float64
+}
+
+// runChaos is the -chaos demo: write a file, batter the DFS with
+// seeded churn and operation faults while reading and repairing it,
+// then quiesce, heal, verify every byte, and report the resilience
+// counters plus injected-vs-estimated (λ, μ).
+func runChaos(c *adapt.Cluster, nn *adapt.NameNode, client *adapt.DFSClient, g *adapt.RNG, payload []byte, opts chaosOpts) error {
+	faults, err := adapt.NewOpFaults(g.Split())
+	if err != nil {
+		return err
+	}
+	faults.PutFailProb = opts.putFail
+	faults.GetFailProb = opts.getFail
+	faults.CorruptProb = opts.corrupt
+	faults.Counters = nn.Resilience()
+	nn.SetFaultInjector(faults)
+
+	fmt.Println("$ adapt-fs copyFromLocal data.bin /data (ADAPT placement, faults armed)")
+	if _, report, err := client.CopyFromLocalReport("/data", payload, true); err != nil {
+		return err
+	} else if report.Degraded() {
+		fmt.Printf("degraded write: min replication %d/%d over %d blocks\n",
+			report.MinReplication, report.TargetReplication, report.Blocks)
+	} else {
+		fmt.Printf("wrote %d blocks at full replication %d\n", report.Blocks, report.TargetReplication)
+	}
+
+	engine, err := adapt.NewChaosEngine(adapt.ChaosConfig{
+		Cluster:  c,
+		Target:   nn,
+		Observer: nn.Heartbeat(),
+	}, g.Split())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\ninjecting %d churn events (put-fail %.0f%%, get-fail %.0f%%, corrupt %.0f%%)\n",
+		opts.events, 100*opts.putFail, 100*opts.getFail, 100*opts.corrupt)
+	applied := 0
+	batch := opts.events/10 + 1
+	for applied < opts.events {
+		n, err := engine.Run(min(batch, opts.events-applied))
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		applied += n
+		// Keep the client busy mid-churn: reads may fail transiently,
+		// repair passes put replicas back as nodes rejoin.
+		if _, err := client.ReadFile("/data"); err != nil && !adapt.IsTransient(err) {
+			return err
+		}
+		if _, err := client.MaintainReplication("/data", true); err != nil && !adapt.IsTransient(err) {
+			return err
+		}
+	}
+	if err := engine.Quiesce(); err != nil {
+		return err
+	}
+	nn.SetFaultInjector(nil)
+
+	// Heal back to target replication and verify nothing was lost.
+	for {
+		rep, err := client.MaintainReplication("/data", true)
+		if err != nil {
+			return err
+		}
+		if rep.Unrepairable > 0 {
+			return fmt.Errorf("chaos demo: %d unrepairable blocks with every node up", rep.Unrepairable)
+		}
+		if rep.Repaired == 0 {
+			break
+		}
+	}
+	if err := nn.CheckConsistency(); err != nil {
+		return err
+	}
+	got, err := client.ReadFile("/data")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("chaos demo: payload mismatch after churn")
+	}
+	fmt.Printf("survived %d events over %.0f virtual seconds; payload verified intact\n",
+		applied, engine.Now())
+	fmt.Printf("resilience: %s\n", nn.Resilience().Snapshot())
+
+	// Compare injected vs estimated per group. The injected values must
+	// be read before RefreshAvailability overwrites them below.
+	type agg struct {
+		n             int
+		lambda, mu    float64
+		estLam, estMu float64
+	}
+	groups := map[int]*agg{}
+	hb := nn.Heartbeat()
+	for i, n := range c.Nodes() {
+		if n.Group < 0 {
+			continue
+		}
+		a := groups[n.Group]
+		if a == nil {
+			a = &agg{}
+			groups[n.Group] = a
+		}
+		est := hb.Estimate(adapt.NodeID(i))
+		a.n++
+		a.lambda += n.Availability.Lambda
+		a.mu += n.Availability.Mu
+		a.estLam += est.Lambda
+		a.estMu += est.Mu
+	}
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "group", "λ injected", "λ estimated", "μ injected", "μ estimated")
+	for gid := 0; gid <= 3; gid++ {
+		a := groups[gid]
+		if a == nil {
+			continue
+		}
+		k := float64(a.n)
+		fmt.Printf("%-10d %12.4f %12.4f %12.2f %12.2f\n",
+			gid+1, a.lambda/k, a.estLam/k, a.mu/k, a.estMu/k)
+	}
+
+	// Close the loop: fold the learned availability back into the
+	// placement weights, as the paper's NameNode would.
+	updated := nn.RefreshAvailability()
+	fmt.Printf("\nheartbeat estimates folded into placement weights (%d nodes updated)\n", updated)
+	return nil
 }
 
 // printDistribution summarizes block counts per availability group.

@@ -16,6 +16,16 @@ func TestRunWithReplication(t *testing.T) {
 	}
 }
 
+func TestRunChaosDemo(t *testing.T) {
+	err := run([]string{
+		"-chaos", "-nodes", "16", "-blocks-per-node", "4",
+		"-replicas", "3", "-chaos-events", "400",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bad flag accepted")

@@ -67,6 +67,20 @@ func (h *HeartbeatEstimator) stats(id NodeID) *nodeStats {
 	return s
 }
 
+// Observed returns the raw bookkeeping for a node: total observation
+// window (up + down seconds) and the number of interruptions recorded.
+// Chaos soak tests use it to confirm injected churn was fully
+// observed.
+func (h *HeartbeatEstimator) Observed(id NodeID) (seconds float64, interruptions int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.nodes[id]
+	if !ok {
+		return 0, 0
+	}
+	return s.observedFor, s.interruptions
+}
+
 // Estimate returns the current (λ, μ) estimate for a node. A node
 // never observed, or observed with no interruptions, estimates as
 // dedicated.

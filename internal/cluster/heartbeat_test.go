@@ -113,3 +113,71 @@ func TestHeartbeatEstimatorConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestHeartbeatObservedAndConcurrentSnapshots(t *testing.T) {
+	h := NewHeartbeatEstimator()
+	if sec, n := h.Observed(0); sec != 0 || n != 0 {
+		t.Fatalf("unobserved node reports (%g, %d)", sec, n)
+	}
+	c, err := New(make([]Node, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: Snapshot and Observed race against the observers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.Snapshot()
+					_, _ = h.Observed(1)
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id NodeID) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = h.ObserveUptime(id, 2)
+				_ = h.ObserveInterruption(id, 1)
+			}
+		}(NodeID(w))
+	}
+	// Wait for observers only, then stop the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		allDone := true
+		for id := NodeID(0); id < 4; id++ {
+			if _, n := h.Observed(id); n < 200 {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	close(stop)
+	<-done
+
+	for id := NodeID(0); id < 4; id++ {
+		sec, n := h.Observed(id)
+		if n != 200 || math.Abs(sec-600) > 1e-9 {
+			t.Fatalf("node %d observed (%g, %d), want (600, 200)", id, sec, n)
+		}
+	}
+	if updated := h.ApplyTo(c); updated != 4 {
+		t.Fatalf("ApplyTo updated %d nodes, want 4", updated)
+	}
+	if mu := c.Node(0).Availability.Mu; math.Abs(mu-1) > 1e-9 {
+		t.Fatalf("applied mu = %g, want 1", mu)
+	}
+}

@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/adaptsim/adapt/internal/cluster"
@@ -12,6 +13,12 @@ import (
 // natively-supported copyFromLocal and cp extended with an ADAPT
 // enable flag, and the newly added adapt command that reshapes an
 // existing file's placement, implemented like HDFS's rebalance.
+//
+// The client is failure-aware: reads verify checksums and fail over
+// across replicas, transient errors (ErrNodeDown, ErrChecksum,
+// ErrNoReplica — see IsTransient) are retried with bounded exponential
+// backoff per Retry, and writes degrade gracefully to alternate live
+// nodes, reporting the replication actually achieved.
 type Client struct {
 	nn *NameNode
 	g  *stats.RNG
@@ -24,6 +31,9 @@ type Client struct {
 	// Gamma is the failure-free per-block task time the performance
 	// predictor uses to weigh nodes (paper default 12 s per 64 MB).
 	Gamma float64
+	// Retry bounds how transient failures are retried
+	// (DefaultRetryPolicy unless overridden).
+	Retry RetryPolicy
 }
 
 // NewClient builds a client over a NameNode. The RNG drives placement
@@ -41,6 +51,7 @@ func NewClient(nn *NameNode, g *stats.RNG) (*Client, error) {
 		BlockSize:   DefaultBlockSize,
 		Replication: 1,
 		Gamma:       12,
+		Retry:       DefaultRetryPolicy(),
 	}, nil
 }
 
@@ -60,17 +71,28 @@ func (c *Client) policy(useAdapt bool) (placement.Policy, error) {
 // CopyFromLocal stores data as a new file. useAdapt selects the
 // availability-aware distributor (the prototype's extra shell flag).
 func (c *Client) CopyFromLocal(name string, data []byte, useAdapt bool) (*FileMeta, error) {
+	fm, _, err := c.CopyFromLocalReport(name, data, useAdapt)
+	return fm, err
+}
+
+// CopyFromLocalReport is CopyFromLocal plus a WriteReport describing
+// the replication achieved under failures: holders that rejected the
+// write are replaced by alternate live nodes, and blocks below target
+// replication are reported as degraded instead of failing the copy.
+func (c *Client) CopyFromLocalReport(name string, data []byte, useAdapt bool) (*FileMeta, WriteReport, error) {
+	var report WriteReport
 	pol, err := c.policy(useAdapt)
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
-	return c.nn.createFile(name, data, c.BlockSize, c.Replication, pol, c.g.Split())
+	fm, err := c.nn.createFile(name, data, c.BlockSize, c.Replication, pol, c.g.Split(), c.Retry, &report)
+	return fm, report, err
 }
 
 // Cp copies an existing file to a new name, placing the copy's blocks
 // with the selected distributor.
 func (c *Client) Cp(src, dst string, useAdapt bool) (*FileMeta, error) {
-	data, err := c.nn.ReadFile(src)
+	data, err := c.ReadFile(src)
 	if err != nil {
 		return nil, fmt.Errorf("dfs: cp %q: %w", src, err)
 	}
@@ -82,7 +104,52 @@ func (c *Client) Cp(src, dst string, useAdapt bool) (*FileMeta, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.nn.createFile(dst, data, srcMeta.BlockSize, srcMeta.Replication, pol, c.g.Split())
+	return c.nn.createFile(dst, data, srcMeta.BlockSize, srcMeta.Replication, pol, c.g.Split(), c.Retry, nil)
+}
+
+// ReadFile reads a whole file back, failing over across replicas
+// within each block and retrying transient whole-file failures with
+// backoff, re-fetching metadata between attempts so repairs and
+// redistributions done meanwhile are picked up.
+func (c *Client) ReadFile(name string) ([]byte, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		data, err := c.nn.ReadFile(name)
+		if err == nil {
+			return data, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= c.Retry.attempts() {
+			return nil, lastErr
+		}
+		c.Retry.wait(attempt)
+		c.nn.counters.ReadRetries.Add(1)
+	}
+}
+
+// ReadBlock reads one block with replica failover plus bounded retry
+// on transient failure. Unlike ReadFile it works from the caller's
+// BlockMeta snapshot, so it cannot see holders added after the stat.
+func (c *Client) ReadBlock(bm BlockMeta) ([]byte, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		data, err := c.nn.ReadBlock(bm)
+		if err == nil {
+			return data, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= c.Retry.attempts() {
+			return nil, lastErr
+		}
+		c.Retry.wait(attempt)
+		c.nn.counters.ReadRetries.Add(1)
+	}
 }
 
 // Adapt is the new shell command: it redistributes the blocks of an
@@ -107,7 +174,19 @@ func (c *Client) Rebalance(name string) (int, error) {
 	return c.redistribute(name, pol)
 }
 
+// redistribute moves an existing file's replicas onto the placement
+// the policy chooses. It is crash-consistent: new replicas are fully
+// written first, then the new block map is published, and only then
+// are the old replicas pruned — so an operation that dies mid-flight
+// (or hits a node failure it cannot work around) leaves the file
+// readable from its previous locations, at worst with some surplus
+// replicas for the maintenance pass to ignore. The whole operation
+// holds the file's structural lock, serializing with Delete,
+// MaintainReplication, and other redistributions of the same file.
 func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
+	unlock := c.nn.lockFile(name)
+	defer unlock()
+
 	fm, err := c.nn.Stat(name)
 	if err != nil {
 		return 0, err
@@ -117,14 +196,31 @@ func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
 		return 0, fmt.Errorf("dfs: adapt %q: %w", name, err)
 	}
 
+	// Phase 1: write every new replica. Nothing is deleted and the
+	// block map is untouched, so any failure here aborts cleanly:
+	// the copies made so far are removed and the file is unchanged.
+	type write struct {
+		id   BlockID
+		node cluster.NodeID
+	}
+	var written []write
+	abort := func(cause error) (int, error) {
+		for _, w := range written {
+			dn, err := c.nn.DataNode(w.node)
+			if err == nil {
+				dn.Delete(w.id)
+			}
+		}
+		return 0, cause
+	}
 	moved := 0
 	newBlocks := make([]BlockMeta, len(fm.Blocks))
+	prune := make([][]cluster.NodeID, len(fm.Blocks))
 	for i, bm := range fm.Blocks {
 		holders, err := placer.PlaceBlock()
 		if err != nil {
-			return moved, fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err)
+			return abort(fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err))
 		}
-		// Keep overlap, copy to new holders, drop removed ones.
 		oldSet := make(map[cluster.NodeID]bool, len(bm.Replicas))
 		for _, r := range bm.Replicas {
 			oldSet[r] = true
@@ -140,27 +236,27 @@ func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
 				continue
 			}
 			if data == nil {
-				data, err = c.nn.ReadBlock(bm)
+				data, err = c.ReadBlock(bm)
 				if err != nil {
-					return moved, fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err)
+					return abort(fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err))
 				}
 			}
 			dn, err := c.nn.DataNode(h)
 			if err != nil {
-				return moved, err
+				return abort(err)
 			}
 			if err := dn.Put(bm.ID, data); err != nil {
-				return moved, fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err)
+				if errors.Is(err, ErrNodeDown) {
+					c.nn.counters.NodeDownErrors.Add(1)
+				}
+				return abort(fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err))
 			}
+			written = append(written, write{bm.ID, h})
 			moved++
 		}
 		for _, r := range bm.Replicas {
 			if !newSet[r] {
-				dn, err := c.nn.DataNode(r)
-				if err != nil {
-					return moved, err
-				}
-				dn.Delete(bm.ID)
+				prune[i] = append(prune[i], r)
 			}
 		}
 		nb := bm
@@ -168,13 +264,33 @@ func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
 		newBlocks[i] = nb
 	}
 
-	// Publish the new locations.
+	// Phase 2: publish the new locations. Every new holder has the
+	// bytes and every old holder still does, so the block map is
+	// valid no matter where a crash lands.
 	c.nn.mu.Lock()
-	defer c.nn.mu.Unlock()
 	live, ok := c.nn.files[name]
 	if !ok {
-		return moved, fmt.Errorf("%w: %q (deleted during adapt)", ErrFileNotFound, name)
+		// Deleted while we copied (before this operation took the
+		// file lock a deletion cannot interleave; this guards the
+		// unlocked Stat window). Drop our copies.
+		c.nn.mu.Unlock()
+		_, err := abort(fmt.Errorf("%w: %q (deleted during adapt)", ErrFileNotFound, name))
+		return 0, err
 	}
 	live.Blocks = newBlocks
+	c.nn.mu.Unlock()
+
+	// Phase 3: prune the replicas no longer referenced. A failure or
+	// crash here leaks surplus copies, never data.
+	for i := range prune {
+		for _, r := range prune[i] {
+			dn, err := c.nn.DataNode(r)
+			if err != nil {
+				return moved, err
+			}
+			dn.Delete(newBlocks[i].ID)
+		}
+	}
+	c.nn.counters.RedistributedReplicas.Add(int64(moved))
 	return moved, nil
 }

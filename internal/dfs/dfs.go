@@ -16,10 +16,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 
 	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/metrics"
 	"github.com/adaptsim/adapt/internal/placement"
 	"github.com/adaptsim/adapt/internal/stats"
 )
@@ -37,6 +39,10 @@ type BlockMeta struct {
 	Index    int   // position within the file
 	Size     int64 // bytes (last block may be short)
 	Replicas []cluster.NodeID
+	// Checksum is the CRC32 (IEEE) of the block bytes, computed at
+	// write time and verified on every read so corrupted replicas are
+	// rejected and reads fail over to intact copies.
+	Checksum uint32
 }
 
 // FileMeta is the NameNode-side description of a file.
@@ -48,7 +54,9 @@ type FileMeta struct {
 	Blocks      []BlockMeta
 }
 
-// Errors.
+// Errors. ErrNodeDown, ErrChecksum, ErrNoReplica, and ErrNoLiveNodes
+// are transient (see IsTransient): they can succeed on retry once a
+// node rejoins or an intact replica is found. The rest are permanent.
 var (
 	ErrFileExists     = errors.New("dfs: file already exists")
 	ErrFileNotFound   = errors.New("dfs: file not found")
@@ -56,7 +64,49 @@ var (
 	ErrNoReplica      = errors.New("dfs: no live replica")
 	ErrBadBlockSize   = errors.New("dfs: block size must be positive")
 	ErrBadReplication = errors.New("dfs: replication must be >= 1")
+	// ErrNodeDown marks operations rejected because the DataNode is
+	// not serving requests; match it with errors.Is.
+	ErrNodeDown = errors.New("dfs: datanode down")
+	// ErrChecksum marks block bytes that failed CRC32 verification.
+	ErrChecksum = errors.New("dfs: block checksum mismatch")
+	// ErrNoLiveNodes marks a write no live DataNode would accept.
+	ErrNoLiveNodes = errors.New("dfs: no live datanode accepted the block")
 )
+
+// Op identifies a DataNode operation for fault injection.
+type Op int
+
+// DataNode operations.
+const (
+	OpPut Op = iota
+	OpGet
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// FaultInjector is the hook through which a chaos engine perturbs
+// DataNode operations. Implementations must be safe for concurrent
+// use; they are consulted outside the DataNode's lock.
+type FaultInjector interface {
+	// FailOp may return a non-nil error to make the operation fail
+	// before touching storage (a transient RPC-level fault).
+	FailOp(node cluster.NodeID, op Op, block BlockID) error
+	// CorruptRead may mutate and return the (already copied) bytes a
+	// read is about to return, emulating wire/memory bit flips. The
+	// stored bytes are unaffected.
+	CorruptRead(node cluster.NodeID, block BlockID, data []byte) []byte
+}
 
 // DataNode stores block contents for one cluster node. A DataNode can
 // be marked down to emulate interruptions; reads against a down node
@@ -68,6 +118,7 @@ type DataNode struct {
 	mu     sync.RWMutex
 	up     bool
 	blocks map[BlockID][]byte
+	faults FaultInjector
 }
 
 // NewDataNode creates an empty, up DataNode.
@@ -92,12 +143,31 @@ func (d *DataNode) SetUp(up bool) {
 	d.up = up
 }
 
+// SetFaults attaches (or, with nil, detaches) a fault injector
+// consulted on every Put and Get.
+func (d *DataNode) SetFaults(f FaultInjector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = f
+}
+
+func (d *DataNode) injector() FaultInjector {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.faults
+}
+
 // Put stores a block replica. Writes require a live node.
 func (d *DataNode) Put(id BlockID, data []byte) error {
+	if f := d.injector(); f != nil {
+		if err := f.FailOp(d.id, OpPut, id); err != nil {
+			return err
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if !d.up {
-		return fmt.Errorf("dfs: datanode %d is down", d.id)
+		return fmt.Errorf("%w: datanode %d rejected put of block %d", ErrNodeDown, d.id, id)
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
@@ -107,18 +177,44 @@ func (d *DataNode) Put(id BlockID, data []byte) error {
 
 // Get reads a block replica.
 func (d *DataNode) Get(id BlockID) ([]byte, error) {
+	f := d.injector()
+	if f != nil {
+		if err := f.FailOp(d.id, OpGet, id); err != nil {
+			return nil, err
+		}
+	}
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	if !d.up {
-		return nil, fmt.Errorf("dfs: datanode %d is down", d.id)
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("%w: datanode %d rejected get of block %d", ErrNodeDown, d.id, id)
 	}
 	data, ok := d.blocks[id]
 	if !ok {
+		d.mu.RUnlock()
 		return nil, fmt.Errorf("%w: block %d on datanode %d", ErrBlockNotFound, id, d.id)
 	}
 	out := make([]byte, len(data))
 	copy(out, data)
+	d.mu.RUnlock()
+	if f != nil {
+		out = f.CorruptRead(d.id, id, out)
+	}
 	return out, nil
+}
+
+// StoredData returns a copy of the bytes the node holds for a block
+// regardless of its up state and without fault injection — the "bits
+// on disk" view used by consistency verification and maintenance.
+func (d *DataNode) StoredData(id BlockID) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	data, ok := d.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, true
 }
 
 // Delete removes a block replica (no-op if absent). Deletes are
@@ -164,9 +260,11 @@ type NameNode struct {
 	mu        sync.Mutex
 	cluster   *cluster.Cluster
 	files     map[string]*FileMeta
+	fileLocks map[string]*sync.Mutex
 	nextBlock BlockID
 	datanodes []*DataNode
 	heartbeat *cluster.HeartbeatEstimator
+	counters  *metrics.ResilienceCounters
 }
 
 // NewNameNode builds a NameNode and one DataNode per cluster node.
@@ -177,13 +275,53 @@ func NewNameNode(c *cluster.Cluster) (*NameNode, error) {
 	nn := &NameNode{
 		cluster:   c,
 		files:     make(map[string]*FileMeta),
+		fileLocks: make(map[string]*sync.Mutex),
 		heartbeat: cluster.NewHeartbeatEstimator(),
+		counters:  &metrics.ResilienceCounters{},
 	}
 	nn.datanodes = make([]*DataNode, c.Len())
 	for i := 0; i < c.Len(); i++ {
 		nn.datanodes[i] = NewDataNode(cluster.NodeID(i))
 	}
 	return nn, nil
+}
+
+// Resilience returns the shared retry/failover/repair counters every
+// client and DataNode of this NameNode reports into.
+func (nn *NameNode) Resilience() *metrics.ResilienceCounters { return nn.counters }
+
+// SetNodeUp flips one DataNode's liveness — the hook a chaos engine
+// drives. It returns an error for unknown ids.
+func (nn *NameNode) SetNodeUp(id cluster.NodeID, up bool) error {
+	dn, err := nn.DataNode(id)
+	if err != nil {
+		return err
+	}
+	dn.SetUp(up)
+	return nil
+}
+
+// SetFaultInjector attaches a fault injector to every DataNode (nil
+// detaches).
+func (nn *NameNode) SetFaultInjector(f FaultInjector) {
+	for _, dn := range nn.datanodes {
+		dn.SetFaults(f)
+	}
+}
+
+// lockFile serializes structural operations (redistribute, repair,
+// delete) on one file and returns the unlock function. Reads and
+// writes of other files proceed concurrently.
+func (nn *NameNode) lockFile(name string) func() {
+	nn.mu.Lock()
+	l, ok := nn.fileLocks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		nn.fileLocks[name] = l
+	}
+	nn.mu.Unlock()
+	l.Lock()
+	return l.Unlock
 }
 
 // Cluster returns the underlying cluster.
@@ -239,8 +377,12 @@ func (nn *NameNode) Exists(name string) bool {
 	return ok
 }
 
-// Delete removes a file and its block replicas.
+// Delete removes a file and its block replicas. It serializes with
+// redistribute and repair on the same file so a concurrent structural
+// operation can never strand replicas.
 func (nn *NameNode) Delete(name string) error {
+	unlock := nn.lockFile(name)
+	defer unlock()
 	nn.mu.Lock()
 	fm, ok := nn.files[name]
 	if !ok {
@@ -299,7 +441,15 @@ func copyFileMeta(fm *FileMeta) *FileMeta {
 
 // createFile registers metadata and writes replicas through the given
 // placer. Callers hold no lock.
-func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replication int, pol placement.Policy, g *stats.RNG) (*FileMeta, error) {
+//
+// Writes are failure-aware: a placed holder that rejects its replica
+// (down node or injected fault) is replaced by an alternate live node;
+// blocks that still end up below target replication are recorded as
+// degraded in report (and left for MaintainReplication to heal) rather
+// than failing the write. Only a block no live node accepts fails the
+// create, after bounded backoff-retry; replicas written for earlier
+// blocks are then cleaned up so nothing leaks.
+func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replication int, pol placement.Policy, g *stats.RNG, retry RetryPolicy, report *WriteReport) (*FileMeta, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadBlockSize, blockSize)
 	}
@@ -322,12 +472,24 @@ func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replic
 		return nil, fmt.Errorf("dfs: create %q: %w", name, err)
 	}
 
+	if report != nil {
+		*report = WriteReport{TargetReplication: replication}
+	}
 	fm := &FileMeta{
 		Name:        name,
 		Size:        int64(len(data)),
 		BlockSize:   blockSize,
 		Replication: replication,
 		Blocks:      make([]BlockMeta, 0, nBlocks),
+	}
+	// cleanup deletes every replica written so far; used when the
+	// create cannot complete so no orphaned blocks leak.
+	cleanup := func() {
+		for _, bm := range fm.Blocks {
+			for _, r := range bm.Replicas {
+				nn.datanodes[r].Delete(bm.ID)
+			}
+		}
 	}
 	for i := 0; i < nBlocks; i++ {
 		lo := int64(i) * blockSize
@@ -341,42 +503,135 @@ func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replic
 		}
 		holders, err := placer.PlaceBlock()
 		if err != nil {
+			cleanup()
 			return nil, fmt.Errorf("dfs: create %q block %d: %w", name, i, err)
 		}
 		nn.mu.Lock()
 		id := nn.nextBlock
 		nn.nextBlock++
 		nn.mu.Unlock()
-		for _, h := range holders {
-			if err := nn.datanodes[h].Put(id, chunk); err != nil {
-				return nil, fmt.Errorf("dfs: create %q block %d: %w", name, i, err)
+		placed, err := nn.writeBlockReplicas(id, chunk, holders, replication, g, retry, report)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("dfs: create %q block %d: %w", name, i, err)
+		}
+		if report != nil {
+			report.Blocks++
+			if report.Blocks == 1 || len(placed) < report.MinReplication {
+				report.MinReplication = len(placed)
+			}
+			if len(placed) < replication {
+				report.DegradedBlocks++
+				nn.counters.DegradedWrites.Add(1)
 			}
 		}
 		fm.Blocks = append(fm.Blocks, BlockMeta{
-			ID: id, File: name, Index: i, Size: hi - lo, Replicas: holders,
+			ID: id, File: name, Index: i, Size: hi - lo,
+			Replicas: placed, Checksum: crc32.ChecksumIEEE(chunk),
 		})
 	}
 
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	if _, ok := nn.files[name]; ok {
+		nn.mu.Unlock()
+		cleanup()
 		return nil, fmt.Errorf("%w: %q (raced)", ErrFileExists, name)
 	}
 	nn.files[name] = fm
-	return copyFileMeta(fm), nil
+	out := copyFileMeta(fm)
+	nn.mu.Unlock()
+	return out, nil
 }
 
-// ReadBlock fetches one block's bytes from any live replica.
+// writeBlockReplicas stores one block on up to k nodes: first the
+// placed holders, then alternate live nodes for any that refuse. It
+// returns the holders that acknowledged. With zero acknowledgements it
+// waits out the retry policy's backoff (nodes may rejoin) before
+// giving up with ErrNoLiveNodes.
+func (nn *NameNode) writeBlockReplicas(id BlockID, chunk []byte, want []cluster.NodeID, k int, g *stats.RNG, retry RetryPolicy, report *WriteReport) ([]cluster.NodeID, error) {
+	var placed []cluster.NodeID
+	for attempt := 1; ; attempt++ {
+		tried := make(map[cluster.NodeID]bool, k)
+		try := func(h cluster.NodeID, failover bool) {
+			if tried[h] || len(placed) >= k {
+				return
+			}
+			tried[h] = true
+			if err := nn.datanodes[h].Put(id, chunk); err != nil {
+				if errors.Is(err, ErrNodeDown) {
+					nn.counters.NodeDownErrors.Add(1)
+				}
+				return
+			}
+			placed = append(placed, h)
+			if failover {
+				nn.counters.WriteFailovers.Add(1)
+				if report != nil {
+					report.Failovers++
+				}
+			}
+		}
+		for _, h := range want {
+			try(h, false)
+		}
+		// Divert missing replicas to alternate live nodes, visited in
+		// a random rotation so degraded writes spread load.
+		if len(placed) < k {
+			n := len(nn.datanodes)
+			start := g.IntN(n)
+			for off := 0; off < n && len(placed) < k; off++ {
+				h := cluster.NodeID((start + off) % n)
+				if nn.datanodes[h].Up() {
+					try(h, true)
+				}
+			}
+		}
+		if len(placed) > 0 {
+			return placed, nil
+		}
+		if attempt >= retry.attempts() {
+			return nil, fmt.Errorf("%w: block %d (%d attempts)", ErrNoLiveNodes, id, attempt)
+		}
+		retry.wait(attempt)
+		nn.counters.WriteRetries.Add(1)
+		if report != nil {
+			report.Retries++
+		}
+	}
+}
+
+// ReadBlock fetches one block's bytes from any live replica, verifying
+// the CRC32 checksum and failing over to the next replica on node
+// failure, missing bytes, or corruption.
 func (nn *NameNode) ReadBlock(bm BlockMeta) ([]byte, error) {
+	var lastErr error
+	attempted := 0
 	for _, r := range bm.Replicas {
 		dn := nn.datanodes[r]
 		if !dn.Up() {
 			continue
 		}
-		data, err := dn.Get(bm.ID)
-		if err == nil {
-			return data, nil
+		if attempted > 0 {
+			nn.counters.ReadFailovers.Add(1)
 		}
+		attempted++
+		data, err := dn.Get(bm.ID)
+		if err != nil {
+			if errors.Is(err, ErrNodeDown) {
+				nn.counters.NodeDownErrors.Add(1)
+			}
+			lastErr = err
+			continue
+		}
+		if crc32.ChecksumIEEE(data) != bm.Checksum {
+			nn.counters.ChecksumFailures.Add(1)
+			lastErr = fmt.Errorf("%w: block %d replica on node %d", ErrChecksum, bm.ID, r)
+			continue
+		}
+		return data, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: block %d of %q (last error: %v)", ErrNoReplica, bm.ID, bm.File, lastErr)
 	}
 	return nil, fmt.Errorf("%w: block %d of %q", ErrNoReplica, bm.ID, bm.File)
 }
@@ -399,4 +654,65 @@ func (nn *NameNode) ReadFile(name string) ([]byte, error) {
 		}
 	}
 	return buf.Bytes(), nil
+}
+
+// CheckConsistency verifies the NameNode's metadata invariants, the
+// ones the churn-soak test asserts must hold at every instant:
+//
+//   - every block lists at least one replica, with no duplicates and
+//     no out-of-range node ids;
+//   - every listed holder still stores the block's bytes (bits on
+//     persistent storage survive downtime, and structural operations
+//     publish new locations before pruning old replicas, so metadata
+//     may never point at data that is gone);
+//   - the stored bytes match the block's size and CRC32.
+//
+// It takes each file's structural lock so it cannot observe a
+// redistribute or repair mid-flight. The first violation is returned
+// as a descriptive error; nil means consistent.
+func (nn *NameNode) CheckConsistency() error {
+	for _, name := range nn.List() {
+		if err := nn.checkFile(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (nn *NameNode) checkFile(name string) error {
+	unlock := nn.lockFile(name)
+	defer unlock()
+	fm, err := nn.Stat(name)
+	if err != nil {
+		if errors.Is(err, ErrFileNotFound) {
+			return nil // deleted between List and lock — consistent
+		}
+		return err
+	}
+	for _, bm := range fm.Blocks {
+		if len(bm.Replicas) == 0 {
+			return fmt.Errorf("dfs: inconsistent %q block %d: no replicas in metadata", name, bm.Index)
+		}
+		seen := make(map[cluster.NodeID]bool, len(bm.Replicas))
+		for _, r := range bm.Replicas {
+			if int(r) < 0 || int(r) >= len(nn.datanodes) {
+				return fmt.Errorf("dfs: inconsistent %q block %d: bad node id %d", name, bm.Index, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("dfs: inconsistent %q block %d: duplicate holder %d", name, bm.Index, r)
+			}
+			seen[r] = true
+			data, ok := nn.datanodes[r].StoredData(bm.ID)
+			if !ok {
+				return fmt.Errorf("dfs: inconsistent %q block %d: holder %d lost block %d", name, bm.Index, r, bm.ID)
+			}
+			if int64(len(data)) != bm.Size {
+				return fmt.Errorf("dfs: inconsistent %q block %d: holder %d has %d bytes, want %d", name, bm.Index, r, len(data), bm.Size)
+			}
+			if crc32.ChecksumIEEE(data) != bm.Checksum {
+				return fmt.Errorf("dfs: inconsistent %q block %d: holder %d stores corrupt bytes", name, bm.Index, r)
+			}
+		}
+	}
+	return nil
 }

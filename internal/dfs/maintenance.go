@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/adaptsim/adapt/internal/cluster"
@@ -28,6 +29,8 @@ type ReplicationReport struct {
 // are unreachable) and are reported as such.
 func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationReport, error) {
 	var report ReplicationReport
+	unlock := c.nn.lockFile(name)
+	defer unlock()
 	fm, err := c.nn.Stat(name)
 	if err != nil {
 		return report, err
@@ -61,11 +64,13 @@ func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationRep
 		}
 		if live == 0 {
 			report.Unrepairable++
+			c.nn.counters.UnrepairableBlocks.Add(1)
 			continue
 		}
-		data, err := c.nn.ReadBlock(bm)
+		data, err := c.ReadBlock(bm)
 		if err != nil {
 			report.Unrepairable++
+			c.nn.counters.UnrepairableBlocks.Add(1)
 			continue
 		}
 		holders := append([]cluster.NodeID(nil), bm.Replicas...)
@@ -79,7 +84,14 @@ func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationRep
 				return report, err
 			}
 			if err := dn.Put(bm.ID, data); err != nil {
-				// Node raced down; exclude and retry.
+				if !IsTransient(err) {
+					return report, fmt.Errorf("dfs: repair %q block %d: %w", name, bm.Index, err)
+				}
+				// Node raced down (or a chaos fault fired); exclude
+				// the target and keep repairing on others.
+				if errors.Is(err, ErrNodeDown) {
+					c.nn.counters.NodeDownErrors.Add(1)
+				}
 				holderSet[target] = true
 				continue
 			}
@@ -87,6 +99,7 @@ func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationRep
 			holders = append(holders, target)
 			live++
 			report.Repaired++
+			c.nn.counters.RepairedReplicas.Add(1)
 		}
 		nb := bm
 		nb.Replicas = holders

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ResilienceCounters aggregates the fault-handling activity of the DFS
+// layer under churn: retries, replica failovers, checksum rejections,
+// degraded writes, repairs, and (when a chaos injector is attached)
+// the faults injected. All fields are atomic so the counters can be
+// shared by every client, DataNode, and the chaos engine without
+// additional locking.
+type ResilienceCounters struct {
+	// ReadRetries counts whole-operation retry rounds on the read
+	// path (backoff expired and the operation was attempted again).
+	ReadRetries atomic.Int64
+	// ReadFailovers counts replica-to-replica failovers during block
+	// reads (a replica failed and the next one was tried).
+	ReadFailovers atomic.Int64
+	// WriteFailovers counts block writes diverted to an alternate
+	// live node after a placed holder rejected the replica.
+	WriteFailovers atomic.Int64
+	// WriteRetries counts backoff rounds on the write path.
+	WriteRetries atomic.Int64
+	// DegradedWrites counts blocks written below their target
+	// replication because too few live nodes accepted replicas.
+	DegradedWrites atomic.Int64
+	// ChecksumFailures counts block reads rejected because the bytes
+	// did not match the block's CRC32.
+	ChecksumFailures atomic.Int64
+	// NodeDownErrors counts operations rejected by a down DataNode.
+	NodeDownErrors atomic.Int64
+	// RepairedReplicas counts replicas re-created by replication
+	// maintenance.
+	RepairedReplicas atomic.Int64
+	// UnrepairableBlocks counts maintenance passes over blocks whose
+	// every holder was down.
+	UnrepairableBlocks atomic.Int64
+	// RedistributedReplicas counts replicas moved by adapt/rebalance.
+	RedistributedReplicas atomic.Int64
+	// InjectedFaults counts transient operation faults injected by a
+	// chaos fault injector.
+	InjectedFaults atomic.Int64
+	// InjectedCorruptions counts bit-flips injected on the read path.
+	InjectedCorruptions atomic.Int64
+	// InjectedLatencyNanos accumulates chaos-injected latency.
+	InjectedLatencyNanos atomic.Int64
+}
+
+// ResilienceSnapshot is a plain-value copy of the counters, safe to
+// compare, print, or serialize.
+type ResilienceSnapshot struct {
+	ReadRetries           int64
+	ReadFailovers         int64
+	WriteFailovers        int64
+	WriteRetries          int64
+	DegradedWrites        int64
+	ChecksumFailures      int64
+	NodeDownErrors        int64
+	RepairedReplicas      int64
+	UnrepairableBlocks    int64
+	RedistributedReplicas int64
+	InjectedFaults        int64
+	InjectedCorruptions   int64
+	InjectedLatency       time.Duration
+}
+
+// Snapshot returns a consistent-enough point-in-time copy (each field
+// is read atomically; the set is not a single linearizable snapshot,
+// which is fine for reporting).
+func (c *ResilienceCounters) Snapshot() ResilienceSnapshot {
+	return ResilienceSnapshot{
+		ReadRetries:           c.ReadRetries.Load(),
+		ReadFailovers:         c.ReadFailovers.Load(),
+		WriteFailovers:        c.WriteFailovers.Load(),
+		WriteRetries:          c.WriteRetries.Load(),
+		DegradedWrites:        c.DegradedWrites.Load(),
+		ChecksumFailures:      c.ChecksumFailures.Load(),
+		NodeDownErrors:        c.NodeDownErrors.Load(),
+		RepairedReplicas:      c.RepairedReplicas.Load(),
+		UnrepairableBlocks:    c.UnrepairableBlocks.Load(),
+		RedistributedReplicas: c.RedistributedReplicas.Load(),
+		InjectedFaults:        c.InjectedFaults.Load(),
+		InjectedCorruptions:   c.InjectedCorruptions.Load(),
+		InjectedLatency:       time.Duration(c.InjectedLatencyNanos.Load()),
+	}
+}
+
+// Reset zeroes every counter.
+func (c *ResilienceCounters) Reset() {
+	c.ReadRetries.Store(0)
+	c.ReadFailovers.Store(0)
+	c.WriteFailovers.Store(0)
+	c.WriteRetries.Store(0)
+	c.DegradedWrites.Store(0)
+	c.ChecksumFailures.Store(0)
+	c.NodeDownErrors.Store(0)
+	c.RepairedReplicas.Store(0)
+	c.UnrepairableBlocks.Store(0)
+	c.RedistributedReplicas.Store(0)
+	c.InjectedFaults.Store(0)
+	c.InjectedCorruptions.Store(0)
+	c.InjectedLatencyNanos.Store(0)
+}
+
+func (s ResilienceSnapshot) String() string {
+	return fmt.Sprintf(
+		"reads: retries=%d failovers=%d checksum=%d | writes: failovers=%d retries=%d degraded=%d | "+
+			"repair: replicas=%d unrepairable=%d moved=%d | down-errors=%d | injected: faults=%d corruptions=%d latency=%s",
+		s.ReadRetries, s.ReadFailovers, s.ChecksumFailures,
+		s.WriteFailovers, s.WriteRetries, s.DegradedWrites,
+		s.RepairedReplicas, s.UnrepairableBlocks, s.RedistributedReplicas,
+		s.NodeDownErrors, s.InjectedFaults, s.InjectedCorruptions, s.InjectedLatency)
+}
