@@ -1,13 +1,20 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race soak bench
+.PHONY: ci vet lint build test test-short race soak bench
 
 # Full CI gate: static checks, build, and the race-enabled test suite
 # (includes the churn-soak test).
-ci: vet build race
+ci: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (determinism, error taxonomy, lock
+# discipline, float equality, map-iteration order). Exits non-zero on
+# any finding; suppress intentional ones with
+# //lint:ignore <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/adaptlint
 
 build:
 	$(GO) build ./...

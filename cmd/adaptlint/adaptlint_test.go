@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDiags loads the fixture module once per test binary.
+var fixtureDiags []Diagnostic
+
+func loadFixtures(t *testing.T) []Diagnostic {
+	t.Helper()
+	if fixtureDiags != nil {
+		return fixtureDiags
+	}
+	diags, err := runLint(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("runLint(testdata/src): %v", err)
+	}
+	fixtureDiags = diags
+	return diags
+}
+
+// TestAnalyzersGolden proves each analyzer fires on its fixture
+// package and stays quiet everywhere else: the full diagnostic set is
+// compared line-for-line against the per-analyzer golden files, so an
+// extra finding is as much a failure as a missing one.
+func TestAnalyzersGolden(t *testing.T) {
+	diags := loadFixtures(t)
+	byAnalyzer := make(map[string][]string)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.format())
+	}
+	seen := 0
+	for _, a := range analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			goldenPath := filepath.Join("testdata", "golden", a.Name+".txt")
+			raw, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden file: %v", err)
+			}
+			want := strings.TrimRight(string(raw), "\n")
+			if want == "" {
+				t.Fatalf("golden file %s is empty: every analyzer must demonstrably fire on a fixture", goldenPath)
+			}
+			got := strings.Join(byAnalyzer[a.Name], "\n")
+			if got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s\n--- want (%s) ---\n%s", got, goldenPath, want)
+			}
+		})
+		seen += len(byAnalyzer[a.Name])
+	}
+	if seen != len(diags) {
+		t.Errorf("%d diagnostics from unknown analyzers", len(diags)-seen)
+	}
+}
+
+// TestSuppression proves the //lint:ignore mechanism end to end: the
+// fixtures contain a suppressed time.Now (internal/sim) and a
+// suppressed float equality (internal/model), and neither may
+// surface.
+func TestSuppression(t *testing.T) {
+	for _, d := range loadFixtures(t) {
+		if d.Pos.Filename == "internal/sim/sim.go" && strings.Contains(d.Message, "time.Now") && d.Pos.Line > 15 {
+			t.Errorf("suppressed determinism finding surfaced: %s", d.format())
+		}
+		if d.Pos.Filename == "internal/model/model.go" && d.Pos.Line > 28 {
+			t.Errorf("suppressed floateq finding surfaced: %s", d.format())
+		}
+	}
+}
+
+// TestCleanFunctionsStayQuiet spot-checks that the fixtures' clean
+// halves produce nothing: no diagnostics on the approved idioms.
+func TestCleanFunctionsStayQuiet(t *testing.T) {
+	cleanLines := map[string][2]int{
+		// file -> [first line of clean-only region, last line]
+		"internal/report/report.go": {46, 70}, // Sorted + Sum
+		"internal/locks/locks.go":   {40, 75}, // approved disciplines
+		"internal/dfs/dfs.go":       {45, 55}, // Wrapped + Classify
+	}
+	for _, d := range loadFixtures(t) {
+		if r, ok := cleanLines[d.Pos.Filename]; ok && d.Pos.Line >= r[0] && d.Pos.Line <= r[1] {
+			t.Errorf("clean fixture code flagged: %s", d.format())
+		}
+	}
+}
+
+// TestRepoIsClean runs the whole suite over the real module and
+// requires zero findings — the ratchet that keeps the tree lint-clean
+// forever. Skipped under -short (it type-checks the full repository).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-repo lint in -short mode")
+	}
+	diags, err := runLint(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("runLint(repo root): %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository not lint-clean: %s", d.format())
+	}
+}
+
+// TestListFlagNamesAllAnalyzers keeps the suite definition honest:
+// exactly the five documented analyzers, each with doc text.
+func TestListFlagNamesAllAnalyzers(t *testing.T) {
+	want := []string{"determinism", "errtaxonomy", "lockcheck", "floateq", "mapiter"}
+	got := analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+	}
+}

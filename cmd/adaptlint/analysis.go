@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer
+	// protects.
+	Doc string
+	// Run inspects one package and reports findings via the pass.
+	Run func(p *Pass)
+}
+
+// analyzers is the full suite, in reporting order.
+func analyzers() []*Analyzer {
+	return []*Analyzer{
+		determinismAnalyzer(),
+		errtaxonomyAnalyzer(),
+		lockcheckAnalyzer(),
+		floateqAnalyzer(),
+		mapiterAnalyzer(),
+	}
+}
+
+// Diagnostic is one finding, positioned in the analyzed module.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Pass gives an analyzer access to one package plus a sink for
+// diagnostics.
+type Pass struct {
+	Pkg      *Pkg
+	Fset     *token.FileSet
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// inScope reports whether the package's module-relative path is equal
+// to or nested under one of the prefixes.
+func inScope(rel string, prefixes ...string) bool {
+	for _, pre := range prefixes {
+		if rel == pre || strings.HasPrefix(rel, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreKey identifies one suppression site.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans a package's comments for
+// //lint:ignore <analyzer> <reason> directives. A directive
+// suppresses findings of that analyzer on its own line and on the
+// following line (so it works both as a trailing comment and as a
+// standalone comment above the offending statement).
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[ignoreKey]bool {
+	out := make(map[ignoreKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// A directive without a reason is ignored; the
+					// reason is mandatory documentation.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				out[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	return out
+}
+
+// runLint loads the module at root and runs the whole suite,
+// returning the surviving (unsuppressed) diagnostics sorted by
+// position. Paths in the diagnostics are rewritten relative to root.
+func runLint(root string) ([]Diagnostic, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(l.Fset(), pkg.Files)
+		for _, a := range analyzers() {
+			var found []Diagnostic
+			a.Run(&Pass{Pkg: pkg, Fset: l.Fset(), analyzer: a, diags: &found})
+			for _, d := range found {
+				if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, a.Name}] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(l.Root(), diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// format renders a diagnostic in the suite's canonical
+// file:line: [analyzer] message shape.
+func (d Diagnostic) format() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// funcObj resolves a call to its *types.Func, or nil.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named top-level function of the
+// named package.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// determinismScope lists the packages whose behavior must be a pure
+// function of an explicit seed: the simulation kernel, the chaos
+// engine, placement, and the analytical model. All randomness there
+// must flow through internal/stats.RNG, and virtual time must never
+// read the wall clock.
+var determinismScope = []string{
+	"internal/sim",
+	"internal/chaos",
+	"internal/placement",
+	"internal/model",
+}
+
+// determinismAnalyzer flags ambient nondeterminism in the seeded
+// packages: any import of math/rand or math/rand/v2 (which carry the
+// process-global generator and unseeded constructors), and any call
+// to time.Now. Both break seed-replay: the same seed must reproduce
+// the same schedule event-for-event.
+func determinismAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "seeded packages must draw randomness from internal/stats.RNG and never read the wall clock",
+	}
+	a.Run = func(p *Pass) {
+		if !inScope(p.Pkg.Rel, determinismScope...) {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "imports %q: all randomness in %s must flow through internal/stats.RNG", path, p.Pkg.Rel)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := funcObj(p.Pkg.Info, call); isPkgFunc(fn, "time", "Now") {
+					p.Reportf(call.Pos(), "calls time.Now(): seeded packages run in virtual time; wall-clock reads break seed replay")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

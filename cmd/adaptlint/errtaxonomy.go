@@ -1,0 +1,115 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// errtaxonomyAnalyzer guards the dfs error taxonomy. Inside
+// internal/dfs every error constructed in a function body must wrap a
+// cause or a taxonomy sentinel with %w (so errors.Is and IsTransient
+// classify it); bare fmt.Errorf without %w and function-local
+// errors.New both produce errors no caller can classify. Everywhere
+// in the repository, matching on err.Error() text — string
+// comparison, switch, or strings.* helpers — is flagged: the string
+// form is not part of any error's contract.
+func errtaxonomyAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "errtaxonomy",
+		Doc:  "dfs errors must wrap a sentinel or cause with %w; never match on err.Error() text",
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		inDFS := inScope(p.Pkg.Rel, "internal/dfs")
+		for _, f := range p.Pkg.Files {
+			// Rule A: unclassifiable error construction inside
+			// internal/dfs function bodies. Package-level sentinel
+			// declarations (var Err... = errors.New) are the taxonomy
+			// itself and stay exempt.
+			if inDFS {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						fn := funcObj(info, call)
+						switch {
+						case isPkgFunc(fn, "errors", "New"):
+							p.Reportf(call.Pos(), "errors.New inside a function creates an error no caller can classify; return or wrap a package sentinel instead")
+						case isPkgFunc(fn, "fmt", "Errorf") && len(call.Args) > 0:
+							if format, ok := constString(info, call.Args[0]); ok && !strings.Contains(format, "%w") {
+								p.Reportf(call.Pos(), "fmt.Errorf without %%w: wrap a dfs sentinel or the causal error so errors.Is works across retry/failover paths")
+							}
+						}
+						return true
+					})
+				}
+			}
+
+			// Rule B (repo-wide): string-matching on err.Error().
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if isErrorErrorCall(info, n.X) || isErrorErrorCall(info, n.Y) {
+						p.Reportf(n.Pos(), "comparing err.Error() text: classify with errors.Is/errors.As against a sentinel instead")
+					}
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isErrorErrorCall(info, n.Tag) {
+						p.Reportf(n.Tag.Pos(), "switching on err.Error() text: classify with errors.Is/errors.As against a sentinel instead")
+					}
+				case *ast.CallExpr:
+					fn := funcObj(info, n)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+						return true
+					}
+					for _, arg := range n.Args {
+						if isErrorErrorCall(info, arg) {
+							p.Reportf(arg.Pos(), "passing err.Error() to strings.%s: classify with errors.Is/errors.As against a sentinel instead", fn.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// constString returns the constant string value of expr, if any.
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorErrorCall reports whether expr is a call x.Error() where the
+// static type of x is the built-in error interface.
+func isErrorErrorCall(info *types.Info, expr ast.Expr) bool {
+	callExpr, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := callExpr.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(callExpr.Args) != 0 {
+		return false
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.Identical(recv, errType)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floateqScope lists the numerical packages where exact float
+// equality is almost always a rounding bug: the closed-form E[T]
+// model, the statistics layer, and the experiment harness that
+// compares their outputs.
+var floateqScope = []string{
+	"internal/model",
+	"internal/stats",
+	"internal/experiments",
+}
+
+// floateqAnalyzer flags == and != between floating-point operands in
+// the numerical packages; such comparisons must use a tolerance
+// (math.Abs(a-b) <= eps). Two idioms stay legal: comparing against an
+// exact-zero constant (the "parameter unset" sentinel and the
+// guard-before-divide check — zero is exactly representable and
+// assignment preserves it), and fully constant comparisons the
+// compiler folds.
+func floateqAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "floating-point == and != need a tolerance comparison (exact-zero sentinels excepted)",
+	}
+	a.Run = func(p *Pass) {
+		if !inScope(p.Pkg.Rel, floateqScope...) {
+			return
+		}
+		info := p.Pkg.Info
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(info.TypeOf(bin.X)) && !isFloat(info.TypeOf(bin.Y)) {
+					return true
+				}
+				xv := constValue(info, bin.X)
+				yv := constValue(info, bin.Y)
+				if xv != nil && yv != nil {
+					return true // constant-folded by the compiler
+				}
+				if isExactZero(xv) || isExactZero(yv) {
+					return true // unset-sentinel / divide-guard idiom
+				}
+				p.Reportf(bin.Pos(), "floating-point %s comparison: use a tolerance (math.Abs(a-b) <= eps) — exact equality is a rounding bug", bin.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}
+
+func constValue(info *types.Info, expr ast.Expr) constant.Value {
+	if tv, ok := info.Types[expr]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

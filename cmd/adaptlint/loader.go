@@ -1,0 +1,241 @@
+// adaptlint is the repository's custom static-analysis suite. It
+// loads every package of the module from source — stdlib-only, via
+// go/parser, go/types, and the source importer — and runs the five
+// project-specific analyzers that guard the invariants the compiler
+// cannot: seeded determinism, the dfs error taxonomy, lock
+// discipline, float comparison hygiene, and map-iteration order.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one loaded, type-checked package of the module under
+// analysis.
+type Pkg struct {
+	// ImportPath is the full import path (modulePath + "/" + Rel).
+	ImportPath string
+	// Rel is the slash-separated directory relative to the module
+	// root; "" for the root package.
+	Rel string
+	// Dir is the absolute directory.
+	Dir string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info hold the type-checking results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses, and type-checks all packages of one Go
+// module. Module-local imports are resolved by path mapping against
+// the module root; everything else (the standard library) is
+// delegated to the stdlib source importer so no compiled export data
+// is needed.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // absolute module root
+	modPath string
+	std     types.ImporterFrom
+	pkgs    map[string]*Pkg // by import path
+	loading map[string]bool // cycle guard
+}
+
+// NewLoader builds a loader for the module rooted at root (which must
+// contain go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("adaptlint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		fset:    fset,
+		root:    abs,
+		modPath: modPath,
+		std:     std,
+		pkgs:    make(map[string]*Pkg),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Root returns the absolute module root.
+func (l *Loader) Root() string { return l.root }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("adaptlint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("adaptlint: no module directive in %s", gomod)
+}
+
+// LoadAll loads every package under the module root, skipping
+// testdata, vendor, and hidden directories. Packages are returned
+// sorted by import path.
+func (l *Loader) LoadAll() ([]*Pkg, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Pkg, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := l.modPath
+		if rel != "." {
+			ip = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks one module-local package, memoized.
+func (l *Loader) load(importPath string) (*Pkg, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("adaptlint: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	rel := ""
+	if importPath != l.modPath {
+		rel = strings.TrimPrefix(importPath, l.modPath+"/")
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("adaptlint: %q: %w", importPath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("adaptlint: no Go files in %q", dir)
+	}
+
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("adaptlint: type-checking %q: %w", importPath, err)
+	}
+	p := &Pkg{
+		ImportPath: importPath,
+		Rel:        rel,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load
+// from source within the module; everything else goes to the stdlib
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

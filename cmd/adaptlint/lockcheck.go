@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// lockcheckAnalyzer enforces lock discipline repo-wide, with two
+// rules:
+//
+//  1. every sync.Mutex/RWMutex Lock (or RLock) must have its matching
+//     Unlock (or RUnlock) on the same lock expression somewhere in the
+//     same function — deferred, called on every path, or escaping as a
+//     method value (the lockFile pattern that returns the unlock);
+//  2. no lock may be held across a FaultInjector hook call (FailOp,
+//     CorruptRead): injectors run arbitrary user code and must be
+//     consulted outside the DataNode's lock, or a chaos schedule can
+//     deadlock or invert lock order.
+//
+// Rule 2 is a source-order approximation: a deferred Unlock holds the
+// lock to function end; an explicit Unlock statement releases it for
+// everything after it.
+func lockcheckAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc:  "every Lock needs a same-function Unlock, and no lock may be held across FaultInjector hooks",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFunc(p, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+// lockCall describes one mutex method selector: the printed base
+// expression ("d.mu") and the method name.
+type lockCall struct {
+	base   string
+	method string
+	pos    token.Pos
+}
+
+// unlockOf maps acquire methods to their release counterparts.
+var unlockOf = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkFunc applies both lockcheck rules to one function body.
+func checkFunc(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	fset := p.Fset
+
+	// Pass 1: collect, in source order, every mutex Lock/Unlock call
+	// and every reference (called or not) to an Unlock method, plus
+	// the positions of FaultInjector hook calls.
+	var acquires []lockCall
+	released := make(map[string]bool) // base+"."+method referenced anywhere
+	type event struct {
+		pos  token.Pos
+		kind string // "lock", "unlock", "deferUnlock", "hook"
+		base string
+		name string // method or hook name
+	}
+	var events []event
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[n.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if isMutexMethod(fn) {
+				base := exprString(fset, n.X)
+				switch name := fn.Name(); name {
+				case "Lock", "RLock":
+					acquires = append(acquires, lockCall{base, name, n.Pos()})
+					events = append(events, event{n.Pos(), "lock", base, name})
+				case "Unlock", "RUnlock":
+					released[base+"."+name] = true
+					events = append(events, event{n.Pos(), "unlock", base, name})
+				}
+			}
+			if isFaultInjectorHook(fn) {
+				events = append(events, event{n.Pos(), "hook", "", fn.Name()})
+			}
+		case *ast.DeferStmt:
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && isMutexMethod(fn) {
+					if name := fn.Name(); name == "Unlock" || name == "RUnlock" {
+						events = append(events, event{n.Pos(), "deferUnlock", exprString(fset, sel.X), name})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 1: every acquire needs some matching release reference.
+	for _, acq := range acquires {
+		want := unlockOf[acq.method]
+		if !released[acq.base+"."+want] {
+			p.Reportf(acq.pos, "%s.%s() with no %s.%s in the same function: defer the unlock or release on every path", acq.base, acq.method, acq.base, want)
+		}
+	}
+
+	// Rule 2: linear source-order scan of lock held-ness across hook
+	// calls. Deferred unlocks are sticky (held to function end).
+	type heldState struct{ sticky bool }
+	held := make(map[string]heldState) // base -> state
+	pending := make(map[string]string) // base -> acquire method, for messages
+	// events from ast.Inspect arrive in source order for statements
+	// within a block; sort defensively by position anyway.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case "lock":
+			held[ev.base] = heldState{}
+			pending[ev.base] = ev.name
+		case "deferUnlock":
+			if _, ok := held[ev.base]; ok {
+				held[ev.base] = heldState{sticky: true}
+			}
+		case "unlock":
+			if st, ok := held[ev.base]; ok && !st.sticky {
+				delete(held, ev.base)
+			}
+		case "hook":
+			if len(held) == 0 {
+				continue
+			}
+			// Report the lexically first held lock so the message is
+			// stable regardless of map order.
+			first := ""
+			for base := range held {
+				if first == "" || base < first {
+					first = base
+				}
+			}
+			p.Reportf(ev.pos, "FaultInjector hook %s called while %s is %s-held: consult injectors outside the lock", ev.name, first, pending[first])
+		}
+	}
+}
+
+// isMutexMethod reports whether fn is a method of sync.Mutex or
+// sync.RWMutex (including promoted uses through embedding).
+func isMutexMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// isFaultInjectorHook reports whether fn is a FailOp or CorruptRead
+// method declared on an interface named FaultInjector.
+func isFaultInjectorHook(fn *types.Func) bool {
+	if fn.Name() != "FailOp" && fn.Name() != "CorruptRead" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() == "FaultInjector"
+	}
+	// Interface method objects may carry the bare interface type as
+	// receiver; fall back to matching by declaring scope.
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return true
+	}
+	return false
+}
+
+// exprString renders an expression as compact source text, used to
+// match a Lock's receiver with its Unlock.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapiterAnalyzer flags ranging over a map to build ordered output —
+// table rows, chart lines, placement lists, formatted errors — since
+// Go randomizes map iteration order per run. Three body shapes are
+// violations:
+//
+//   - a formatting call (fmt.Sprintf/Errorf/Fprintf/...) inside the
+//     loop: the emitted text depends on iteration order;
+//   - a write into a strings.Builder/bytes.Buffer or a Table
+//     (WriteString, Write, AddRow, ...): same;
+//   - appending to a slice declared outside the loop: the slice's
+//     element order depends on iteration order.
+//
+// The canonical fix — collect the keys, sort them, range over the
+// sorted slice — is recognized and allowed: a loop whose body only
+// appends the range key to a slice that is later passed to a sort
+// function in the same function is clean.
+//
+// Pure aggregation (summing into scalars or maps, counting) never
+// triggers.
+func mapiterAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc:  "ordered output must not be built by ranging over a map; sort the keys first",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkMapRanges(p, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if msg := classifyMapRangeBody(p, body, rng); msg != "" {
+			p.Reportf(rng.Pos(), "%s", msg)
+		}
+		return true
+	})
+}
+
+// classifyMapRangeBody inspects one map-range body and returns a
+// diagnostic message, or "" if the loop is order-insensitive.
+func classifyMapRangeBody(p *Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) string {
+	info := p.Pkg.Info
+
+	// Recognize the sorted-keys idiom first: body is exactly one
+	// statement appending the range key to an outer slice that is
+	// sorted later in the function.
+	if len(rng.Body.List) == 1 {
+		if target, ok := keyAppendTarget(info, rng.Body.List[0], rng); ok {
+			if sortedAfter(info, fn, rng, target) {
+				return ""
+			}
+			return "map keys are collected into a slice that is never sorted: sort before building ordered output"
+		}
+	}
+
+	var msg string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if msg != "" {
+			return false
+		}
+		callExpr, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcObj(info, callExpr); fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				msg = "formatting output inside `range` over a map: iteration order is random per run; sort the keys first"
+				return false
+			}
+			if isWriteMethod(fn) {
+				msg = "writing output inside `range` over a map: iteration order is random per run; sort the keys first"
+				return false
+			}
+		}
+		if isAppendCall(info, callExpr) {
+			if _, declaredOutside := appendTarget(info, callExpr, rng); declaredOutside {
+				msg = "appending to an outer slice inside `range` over a map: element order is random per run; sort the keys first"
+				return false
+			}
+		}
+		return true
+	})
+	return msg
+}
+
+// writeMethods are emission sinks: building ordered text or rows.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"AddRow":      true,
+}
+
+func isWriteMethod(fn *types.Func) bool {
+	return writeMethods[fn.Name()] && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// isAppendCall reports whether call is the builtin append.
+func isAppendCall(info *types.Info, callExpr *ast.CallExpr) bool {
+	id, ok := ast.Unparen(callExpr.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendTarget returns the identifier appended to in `v = append(v,
+// ...)`-shaped calls and whether it was declared outside the range
+// statement.
+func appendTarget(info *types.Info, callExpr *ast.CallExpr, rng *ast.RangeStmt) (*ast.Ident, bool) {
+	if len(callExpr.Args) == 0 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(callExpr.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return nil, false
+	}
+	return id, obj.Pos() < rng.Pos()
+}
+
+// keyAppendTarget matches `keys = append(keys, k)` where k is the
+// range key, returning the slice object's identifier.
+func keyAppendTarget(info *types.Info, stmt ast.Stmt, rng *ast.RangeStmt) (types.Object, bool) {
+	asn, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 {
+		return nil, false
+	}
+	callExpr, ok := ast.Unparen(asn.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isAppendCall(info, callExpr) || len(callExpr.Args) != 2 {
+		return nil, false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	argID, ok := ast.Unparen(callExpr.Args[1]).(*ast.Ident)
+	if !ok || info.ObjectOf(argID) != info.ObjectOf(keyID) {
+		return nil, false
+	}
+	lhsID, ok := ast.Unparen(asn.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := info.ObjectOf(lhsID)
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return nil, false
+	}
+	return obj, true
+}
+
+// sortFuncs are the recognized key-sorting calls (package path ->
+// function names).
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj is passed (as first argument) to a
+// recognized sort function after the range statement within fn.
+func sortedAfter(info *types.Info, fn *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		callExpr, ok := n.(*ast.CallExpr)
+		if !ok || callExpr.Pos() < rng.End() || len(callExpr.Args) == 0 {
+			return true
+		}
+		f := funcObj(info, callExpr)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		names, ok := sortFuncs[f.Pkg().Path()]
+		if !ok || !names[f.Name()] {
+			return true
+		}
+		arg := ast.Unparen(callExpr.Args[0])
+		if id, ok := arg.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

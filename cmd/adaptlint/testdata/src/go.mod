@@ -1,0 +1,3 @@
+module github.com/adaptsim/fixture
+
+go 1.22

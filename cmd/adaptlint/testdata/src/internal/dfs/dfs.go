@@ -1,0 +1,55 @@
+// Package dfs is the errtaxonomy fixture: a miniature of the real
+// internal/dfs error surface with classifiable and unclassifiable
+// error constructions plus every err.Error() string-matching idiom.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrNodeDown is the taxonomy sentinel of this fixture.
+var ErrNodeDown = errors.New("dfs: datanode down")
+
+// Read returns an unclassifiable error — flagged.
+func Read(node int) error {
+	if node < 0 {
+		return fmt.Errorf("dfs: bad node %d", node)
+	}
+	return nil
+}
+
+// Fresh mints a function-local root error — flagged.
+func Fresh() error {
+	return errors.New("dfs: something broke")
+}
+
+// ContainsMatch string-matches the error text — flagged.
+func ContainsMatch(err error) bool {
+	return strings.Contains(err.Error(), "down")
+}
+
+// EqualMatch compares the error text — flagged.
+func EqualMatch(err error) bool {
+	return err.Error() == "dfs: datanode down"
+}
+
+// SwitchMatch switches on the error text — flagged.
+func SwitchMatch(err error) int {
+	switch err.Error() {
+	case "dfs: datanode down":
+		return 1
+	}
+	return 0
+}
+
+// Wrapped builds a classifiable error — clean.
+func Wrapped(node int) error {
+	return fmt.Errorf("%w: node %d", ErrNodeDown, node)
+}
+
+// Classify uses errors.Is — clean.
+func Classify(err error) bool {
+	return errors.Is(err, ErrNodeDown)
+}

@@ -1,0 +1,33 @@
+// Package model is the floateq fixture: exact float comparisons that
+// must be flagged, the legal exact-zero sentinel idiom, and a
+// documented suppression.
+package model
+
+// Converged compares two running estimates exactly — flagged.
+func Converged(a, b float64) bool {
+	return a == b
+}
+
+// Differs compares against a non-zero constant — flagged.
+func Differs(x float64) bool {
+	return x != 0.5
+}
+
+// Dedicated is the legal unset-sentinel idiom — clean.
+func Dedicated(lambda float64) bool {
+	return lambda == 0
+}
+
+// GuardedDivide checks exactly the value that would fault — clean.
+func GuardedDivide(num, den float64) float64 {
+	if den != 0 {
+		return num / den
+	}
+	return 0
+}
+
+// BitEqual intentionally wants exact equality — suppressed.
+func BitEqual(a, b float64) bool {
+	//lint:ignore floateq replay verification wants bit-identical values
+	return a == b
+}

@@ -1,0 +1,65 @@
+// Package report is the mapiter fixture: every way of building
+// ordered output from a randomly-ordered map range, plus the approved
+// collect-sort-range idiom and order-insensitive aggregation.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render formats one line per entry in map order — flagged.
+func Render(counts map[string]int) string {
+	var sb strings.Builder
+	for node, c := range counts {
+		fmt.Fprintf(&sb, "%s=%d\n", node, c)
+	}
+	return sb.String()
+}
+
+// Emit writes into a builder in map order — flagged.
+func Emit(counts map[string]int) string {
+	var sb strings.Builder
+	for node := range counts {
+		sb.WriteString(node)
+	}
+	return sb.String()
+}
+
+// Collect appends map values in map order — flagged.
+func Collect(counts map[string]int) []int {
+	var out []int
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Unsorted collects keys but never sorts them — flagged.
+func Unsorted(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorted is the approved idiom — clean.
+func Sorted(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum aggregates order-insensitively — clean.
+func Sum(counts map[string]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

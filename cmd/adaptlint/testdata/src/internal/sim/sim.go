@@ -1,0 +1,26 @@
+// Package sim is the determinism fixture: it sits in a seeded scope
+// (internal/sim) and commits every ambient-nondeterminism sin the
+// analyzer knows, plus one suppressed and one clean function.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick mixes wall-clock time with the global generator — both flagged.
+func Tick() float64 {
+	return float64(time.Now().UnixNano()) + rand.Float64()
+}
+
+// LogStamp is allowed: the wall clock only decorates a log line.
+func LogStamp() time.Duration {
+	//lint:ignore determinism wall-clock used only to decorate demo output
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Clean consumes no ambient randomness at all.
+func Clean(seedDriven float64) float64 {
+	return seedDriven * 2
+}

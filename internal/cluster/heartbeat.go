@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/adaptsim/adapt/internal/model"
@@ -105,6 +106,7 @@ func (h *HeartbeatEstimator) Snapshot() map[NodeID]model.Availability {
 		ids = append(ids, id)
 	}
 	h.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := make(map[NodeID]model.Availability, len(ids))
 	for _, id := range ids {
 		out[id] = h.Estimate(id)

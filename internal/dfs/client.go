@@ -40,7 +40,7 @@ type Client struct {
 // randomness (both stock and ADAPT placement are randomized).
 func NewClient(nn *NameNode, g *stats.RNG) (*Client, error) {
 	if nn == nil {
-		return nil, fmt.Errorf("dfs: client needs a namenode")
+		return nil, ErrNoNameNode
 	}
 	if g == nil {
 		return nil, placement.ErrNilRNG

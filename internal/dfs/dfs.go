@@ -71,6 +71,15 @@ var (
 	ErrChecksum = errors.New("dfs: block checksum mismatch")
 	// ErrNoLiveNodes marks a write no live DataNode would accept.
 	ErrNoLiveNodes = errors.New("dfs: no live datanode accepted the block")
+	// ErrUnknownNode marks a reference to a node id outside the
+	// cluster; always a caller bug, never retryable.
+	ErrUnknownNode = errors.New("dfs: unknown datanode")
+	// ErrNoNameNode marks a client constructed without a NameNode.
+	ErrNoNameNode = errors.New("dfs: client needs a namenode")
+	// ErrInconsistent marks a CheckConsistency violation: metadata
+	// pointing at missing, corrupt, or malformed replicas. Permanent —
+	// it means an invariant broke, not that a retry could help.
+	ErrInconsistent = errors.New("dfs: metadata inconsistent")
 )
 
 // Op identifies a DataNode operation for fault injection.
@@ -330,7 +339,7 @@ func (nn *NameNode) Cluster() *cluster.Cluster { return nn.cluster }
 // DataNode returns the DataNode for a cluster node.
 func (nn *NameNode) DataNode(id cluster.NodeID) (*DataNode, error) {
 	if int(id) < 0 || int(id) >= len(nn.datanodes) {
-		return nil, fmt.Errorf("dfs: no datanode %d", id)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	return nn.datanodes[id], nil
 }
@@ -691,26 +700,26 @@ func (nn *NameNode) checkFile(name string) error {
 	}
 	for _, bm := range fm.Blocks {
 		if len(bm.Replicas) == 0 {
-			return fmt.Errorf("dfs: inconsistent %q block %d: no replicas in metadata", name, bm.Index)
+			return fmt.Errorf("%w: %q block %d: no replicas in metadata", ErrInconsistent, name, bm.Index)
 		}
 		seen := make(map[cluster.NodeID]bool, len(bm.Replicas))
 		for _, r := range bm.Replicas {
 			if int(r) < 0 || int(r) >= len(nn.datanodes) {
-				return fmt.Errorf("dfs: inconsistent %q block %d: bad node id %d", name, bm.Index, r)
+				return fmt.Errorf("%w: %q block %d: bad node id %d", ErrInconsistent, name, bm.Index, r)
 			}
 			if seen[r] {
-				return fmt.Errorf("dfs: inconsistent %q block %d: duplicate holder %d", name, bm.Index, r)
+				return fmt.Errorf("%w: %q block %d: duplicate holder %d", ErrInconsistent, name, bm.Index, r)
 			}
 			seen[r] = true
 			data, ok := nn.datanodes[r].StoredData(bm.ID)
 			if !ok {
-				return fmt.Errorf("dfs: inconsistent %q block %d: holder %d lost block %d", name, bm.Index, r, bm.ID)
+				return fmt.Errorf("%w: %q block %d: holder %d lost block %d", ErrInconsistent, name, bm.Index, r, bm.ID)
 			}
 			if int64(len(data)) != bm.Size {
-				return fmt.Errorf("dfs: inconsistent %q block %d: holder %d has %d bytes, want %d", name, bm.Index, r, len(data), bm.Size)
+				return fmt.Errorf("%w: %q block %d: holder %d has %d bytes, want %d", ErrInconsistent, name, bm.Index, r, len(data), bm.Size)
 			}
 			if crc32.ChecksumIEEE(data) != bm.Checksum {
-				return fmt.Errorf("dfs: inconsistent %q block %d: holder %d stores corrupt bytes", name, bm.Index, r)
+				return fmt.Errorf("%w: %q block %d: holder %d stores corrupt bytes", ErrInconsistent, name, bm.Index, r)
 			}
 		}
 	}

@@ -1,0 +1,79 @@
+package hadoopsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// scenarioReplay builds an identically parameterized scenario from
+// scratch and runs it once with the given seed, journaling every
+// event.
+func scenarioReplay(t *testing.T, seed uint64) (metrics.RunResult, *Journal) {
+	t.Helper()
+	c, err := cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes: 12, InterruptedRatio: 0.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Journal{}
+	sc := Scenario{
+		Config:   Config{Cluster: c, Journal: j},
+		Policy:   &placement.Random{Cluster: c},
+		Blocks:   96,
+		Replicas: 2,
+	}
+	res, err := RunScenario(sc, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, j
+}
+
+// TestRunScenarioSeedReplayBitIdentical is the simulator half of the
+// seed-replay contract: placing blocks and simulating the map phase
+// twice from the same seed must yield the same metrics and a
+// bit-identical journal (same events, same float64 bit patterns for
+// every timestamp).
+func TestRunScenarioSeedReplayBitIdentical(t *testing.T) {
+	resA, jA := scenarioReplay(t, 11)
+	resB, jB := scenarioReplay(t, 11)
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("run results differ:\n%+v\n%+v", resA, resB)
+	}
+	if len(jA.Events) == 0 || len(jA.Events) != len(jB.Events) {
+		t.Fatalf("journal lengths: %d vs %d", len(jA.Events), len(jB.Events))
+	}
+	for i := range jA.Events {
+		a, b := jA.Events[i], jB.Events[i]
+		if a.Kind != b.Kind || a.Node != b.Node || a.Task != b.Task {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+		}
+		if math.Float64bits(a.Time) != math.Float64bits(b.Time) {
+			t.Fatalf("event %d time not bit-identical: %x vs %x", i,
+				math.Float64bits(a.Time), math.Float64bits(b.Time))
+		}
+	}
+}
+
+// TestRunScenarioSeedDivergence proves the replay test is not
+// vacuous: a different seed must change the event sequence.
+func TestRunScenarioSeedDivergence(t *testing.T) {
+	_, jA := scenarioReplay(t, 11)
+	_, jB := scenarioReplay(t, 12)
+	if len(jA.Events) != len(jB.Events) {
+		return
+	}
+	for i := range jA.Events {
+		if jA.Events[i] != jB.Events[i] {
+			return
+		}
+	}
+	t.Fatal("seeds 11 and 12 produced identical journals")
+}

@@ -1,0 +1,39 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+)
+
+// TestValidateOverCapErrorDeterministic pins the Validate error text:
+// with several nodes over the cap, the reported violator must always
+// be the lowest node id, not whichever the per-call map iteration
+// order happened to visit first.
+func TestValidateOverCapErrorDeterministic(t *testing.T) {
+	a := &Assignment{
+		Nodes: 8,
+		Replicas: [][]cluster.NodeID{
+			{5}, {5}, {5},
+			{1}, {1}, {1},
+			{3}, {3}, {3},
+		},
+	}
+	first := ""
+	for i := 0; i < 50; i++ {
+		err := a.Validate(1, 2)
+		if err == nil {
+			t.Fatal("over-cap assignment validated")
+		}
+		if first == "" {
+			first = err.Error()
+			if !strings.Contains(first, "node 1 ") {
+				t.Fatalf("expected lowest violator (node 1) in %q", first)
+			}
+		}
+		if err.Error() != first {
+			t.Fatalf("call %d produced %q, first call produced %q", i, err.Error(), first)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/adaptsim/adapt/internal/cluster"
 	"github.com/adaptsim/adapt/internal/stats"
@@ -143,9 +144,16 @@ func (a *Assignment) Validate(k, limit int) error {
 		}
 	}
 	if limit > 0 {
-		for id, c := range counts {
-			if c > limit {
-				return fmt.Errorf("placement: node %d holds %d blocks, cap %d", id, c, limit)
+		// Check nodes in id order so the reported violation (and the
+		// error text) is deterministic, not map-iteration-dependent.
+		ids := make([]cluster.NodeID, 0, len(counts))
+		for id := range counts {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if counts[id] > limit {
+				return fmt.Errorf("placement: node %d holds %d blocks, cap %d", id, counts[id], limit)
 			}
 		}
 	}
