@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test test-short race soak bench
+.PHONY: ci vet lint build test test-short race race-engine soak bench bench-smoke
 
 # Full CI gate: static checks, build, and the race-enabled test suite
 # (includes the churn-soak test).
@@ -30,9 +30,24 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Focused race gate for the parallel experiment engine: the
+# parallel≡sequential equivalence suite and the seeded trial runner
+# under the race detector.
+race-engine:
+	$(GO) test -race ./internal/experiments/... ./internal/hadoopsim/...
+
 # Just the churn-soak invariants (10k chaos events, 32-node DFS).
 soak:
 	$(GO) test -race -run TestChurnSoak -v ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Tiny end-to-end run of the benchmark harness: a small host/worker
+# sweep must produce a BENCH_sim.json that -bench-verify accepts
+# (parses, schema-stable, bit-identical across worker counts).
+bench-smoke:
+	$(GO) run ./cmd/adapt-bench -exp bench \
+		-bench-hosts 48,96 -bench-workers 1,2 -bench-tasks 5 \
+		-bench-out /tmp/BENCH_sim_smoke.json
+	$(GO) run ./cmd/adapt-bench -bench-verify /tmp/BENCH_sim_smoke.json

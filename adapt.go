@@ -58,6 +58,16 @@ type RNG = stats.RNG
 // NewRNG returns a seeded generator; equal seeds give equal streams.
 func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
 
+// DeriveSeed derives a child seed from a root and positional
+// coordinates with SplitMix64 steps — the parallel experiment engine's
+// per-cell seeding scheme. Stable across runs, platforms, and worker
+// counts.
+var DeriveSeed = stats.DeriveSeed
+
+// HashLabel hashes a label to a uint64 suitable as a DeriveSeed part
+// (64-bit FNV-1a).
+var HashLabel = stats.HashLabel
+
 // Distribution is a probability distribution over non-negative values.
 type Distribution = stats.Distribution
 
@@ -246,6 +256,13 @@ func RunSimulation(cfg SimConfig, g *RNG) (RunResult, error) {
 // the map phase.
 func RunScenario(sc Scenario, g *RNG) (RunResult, error) {
 	return hadoopsim.RunScenario(sc, g)
+}
+
+// RunTrialsSeeded repeats a scenario across a worker pool with
+// per-trial seeds derived from the trial index; the aggregate is
+// bit-identical for every worker count.
+func RunTrialsSeeded(sc Scenario, trials, workers int, seed uint64) (RunAggregate, error) {
+	return hadoopsim.RunTrialsSeeded(sc, trials, workers, seed)
 }
 
 // RunTrials repeats a scenario and aggregates (the paper averages 10
@@ -469,7 +486,13 @@ type (
 	SensitivityRow        = experiments.SensitivityRow
 	AblationConfig        = experiments.AblationConfig
 	AblationRow           = experiments.AblationRow
+	BenchConfig           = experiments.BenchConfig
+	BenchReport           = experiments.BenchReport
+	BenchRun              = experiments.BenchRun
 )
+
+// BenchSchema identifies the BENCH_sim.json document layout.
+const BenchSchema = experiments.BenchSchema
 
 // Strategy identifiers.
 const (
@@ -510,4 +533,6 @@ var (
 	SensitivityTable        = experiments.SensitivityTable
 	Ablation                = experiments.Ablation
 	AblationTable           = experiments.AblationTable
+	BenchSim                = experiments.BenchSim
+	BenchTable              = experiments.BenchTable
 )

@@ -42,6 +42,7 @@ func run(args []string) error {
 		strategy      = fs.String("strategy", "adapt", "placement strategy: random | adapt | naive")
 		replicas      = fs.Int("replicas", 1, "replication degree")
 		trials        = fs.Int("trials", 1, "independent runs to average")
+		workers       = fs.Int("workers", 0, "concurrent trial runners (0 = GOMAXPROCS); results are identical for any value")
 		seed          = fs.Uint64("seed", 1, "random seed")
 		meanMTBI      = fs.Float64("trace-mtbi", 3000, "trace mode: compressed pooled mean MTBI (s)")
 		noSpec        = fs.Bool("no-speculation", false, "disable speculative execution")
@@ -132,7 +133,14 @@ func run(args []string) error {
 		journal = &adapt.SimJournal{}
 		sc.Config.Journal = journal
 	}
-	agg, err := adapt.RunTrials(sc, *trials, g.Split())
+	// Trials derive per-trial seeds from the CLI seed, so the output is
+	// bit-identical for every -workers value. The timeline journal
+	// serializes event appends, so it pins the run to one worker.
+	if journal != nil {
+		*workers = 1
+	}
+	agg, err := adapt.RunTrialsSeeded(sc, *trials, *workers,
+		adapt.DeriveSeed(*seed, adapt.HashLabel("adapt-sim/trials")))
 	if err != nil {
 		return err
 	}

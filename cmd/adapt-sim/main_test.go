@@ -1,8 +1,51 @@
 package main
 
 import (
+	"io"
+	"os"
 	"testing"
 )
+
+// captureRun executes run() with stdout redirected to a pipe and
+// returns the printed report.
+func captureRun(t *testing.T, args []string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return string(out)
+}
+
+// TestRunWorkersOutputInvariant: the printed report is byte-identical
+// for every -workers value — the CLI face of the deterministic
+// parallel-trials contract.
+func TestRunWorkersOutputInvariant(t *testing.T) {
+	base := []string{
+		"-nodes", "16", "-blocks-per-node", "5",
+		"-strategy", "adapt", "-trials", "4", "-seed", "9",
+	}
+	serial := captureRun(t, append([]string{"-workers", "1"}, base...))
+	parallel := captureRun(t, append([]string{"-workers", "8"}, base...))
+	if serial != parallel {
+		t.Fatalf("-workers changed the report:\n%s---\n%s", serial, parallel)
+	}
+	if serial == "" {
+		t.Fatal("captured report is empty")
+	}
+}
 
 func TestRunEmulationMode(t *testing.T) {
 	err := run([]string{

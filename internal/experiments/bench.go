@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// The benchmark harness: a fixed, paper-shaped simulation sweep run at
+// several worker counts, recording wall-clock, throughput, and speedup
+// vs the single-worker baseline, plus a result fingerprint that proves
+// every worker count computed bit-identical science. The report
+// marshals to the schema-stable BENCH_sim.json that seeds the repo's
+// performance trajectory.
+
+// BenchSchema identifies the BENCH_sim.json layout. Bump only on
+// incompatible changes; trajectory tooling keys on it.
+const BenchSchema = "adapt-bench-sim/v1"
+
+// BenchConfig parameterizes the harness. Zero fields take the
+// paper-shaped defaults.
+type BenchConfig struct {
+	// Hosts are the population sizes to sweep (default
+	// 1024/4096/8192 — the paper's §V-C scale trajectory).
+	Hosts []int
+	// Workers are the engine worker counts to compare (default
+	// 1, 2, 4, 8). The first entry is the speedup baseline.
+	Workers []int
+	// TasksPerNode is the per-node load (default 10 — reduced from
+	// Table 4's 100 so the full harness stays minutes-scale; the
+	// engine's parallel structure is identical).
+	TasksPerNode int
+	// Trials per cell aggregate (default 1).
+	Trials int
+	// Seed is the root seed (default 1).
+	Seed uint64
+	// Series under measurement (default random/1rep and adapt/1rep).
+	Series []Series
+	// Now supplies wall-clock readings; defaults to time.Now. Tests
+	// inject a fake clock to keep assertions deterministic.
+	Now func() time.Time
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if len(c.Hosts) == 0 {
+		c.Hosts = []int{1024, 4096, 8192}
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	if c.TasksPerNode == 0 {
+		c.TasksPerNode = 10
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Series) == 0 {
+		c.Series = []Series{{StrategyRandom, 1}, {StrategyAdapt, 1}}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// BenchRun is one measured (hosts, workers) harness point.
+type BenchRun struct {
+	Hosts   int `json:"hosts"`
+	Workers int `json:"workers"`
+	// Cells is the number of (series, trial) measurement cells the
+	// point executed (environment builds not counted).
+	Cells       int     `json:"cells"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cellsPerSec"`
+	// Speedup is baseline wall-clock / this wall-clock, where the
+	// baseline is the first configured worker count (conventionally 1).
+	Speedup float64 `json:"speedupVsBaseline"`
+	// Fingerprint is a sha256 over every result value at full
+	// precision; equal fingerprints mean bit-identical results.
+	Fingerprint string `json:"fingerprint"`
+	// Identical reports whether this run's fingerprint matches the
+	// baseline worker count's — the engine's determinism guarantee,
+	// re-verified on every bench run.
+	Identical bool `json:"identicalToBaseline"`
+}
+
+// BenchReportConfig echoes the harness parameters into the report.
+type BenchReportConfig struct {
+	Hosts        []int    `json:"hosts"`
+	Workers      []int    `json:"workers"`
+	TasksPerNode int      `json:"tasksPerNode"`
+	Trials       int      `json:"trials"`
+	Seed         uint64   `json:"seed"`
+	Series       []string `json:"series"`
+}
+
+// BenchReport is the BENCH_sim.json document.
+type BenchReport struct {
+	Schema     string            `json:"schema"`
+	NumCPU     int               `json:"numCPU"`
+	GoMaxProcs int               `json:"goMaxProcs"`
+	Config     BenchReportConfig `json:"config"`
+	Runs       []BenchRun        `json:"runs"`
+}
+
+// ErrBenchSchema reports a BENCH_sim.json that does not match the
+// schema this binary writes.
+var ErrBenchSchema = errors.New("experiments: bench report schema mismatch")
+
+// Validate checks the report is structurally sound: right schema,
+// non-empty runs, positive coordinates, fingerprints present, and
+// every run bit-identical to its baseline.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrBenchSchema, r.Schema, BenchSchema)
+	}
+	if len(r.Runs) == 0 {
+		return errors.New("experiments: bench report has no runs")
+	}
+	for i, run := range r.Runs {
+		if run.Hosts <= 0 || run.Workers <= 0 || run.Cells <= 0 {
+			return fmt.Errorf("experiments: bench run %d has non-positive coordinates: %+v", i, run)
+		}
+		if run.Seconds < 0 {
+			return fmt.Errorf("experiments: bench run %d has negative wall-clock", i)
+		}
+		if run.Fingerprint == "" {
+			return fmt.Errorf("experiments: bench run %d missing fingerprint", i)
+		}
+		if !run.Identical {
+			return fmt.Errorf("experiments: bench run %d (hosts=%d workers=%d) not bit-identical to baseline", i, run.Hosts, run.Workers)
+		}
+	}
+	return nil
+}
+
+// fingerprintSimResult hashes every measured value of a sweep at full
+// precision (hex floats), walking XVals and Series in order so the
+// digest is deterministic. Two results fingerprint equal iff they are
+// bit-identical.
+func fingerprintSimResult(res *SimulationResult) string {
+	h := sha256.New()
+	writeCell := func(w io.Writer, c SimulationCell) {
+		fmt.Fprintf(w, "%x|%s|%x|%x|%x|%x|%x|%x\n",
+			c.X, c.Series.Label(), c.Elapsed, c.Locality,
+			c.Ratios.Rework, c.Ratios.Recovery, c.Ratios.Migration, c.Ratios.Misc)
+	}
+	for _, x := range res.XVals {
+		fmt.Fprintf(h, "[%s]\n", x)
+		for _, s := range res.Series {
+			if c, ok := res.Cell(x, s); ok {
+				writeCell(h, c)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BenchSim runs the harness: for every hosts value, the same
+// simulation point is executed once per worker count, timed, and
+// fingerprinted. The first worker count is the baseline for both the
+// speedup column and the bit-identity check.
+func BenchSim(cfg BenchConfig) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	labels := make([]string, len(cfg.Series))
+	for i, s := range cfg.Series {
+		labels[i] = s.Label()
+	}
+	report := &BenchReport{
+		Schema:     BenchSchema,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config: BenchReportConfig{
+			Hosts:        cfg.Hosts,
+			Workers:      cfg.Workers,
+			TasksPerNode: cfg.TasksPerNode,
+			Trials:       cfg.Trials,
+			Seed:         cfg.Seed,
+			Series:       labels,
+		},
+	}
+	for _, hosts := range cfg.Hosts {
+		if hosts <= 0 {
+			return nil, fmt.Errorf("experiments: bench hosts must be positive, got %d", hosts)
+		}
+		var baseSeconds float64
+		var baseFingerprint string
+		for i, workers := range cfg.Workers {
+			if workers <= 0 {
+				return nil, fmt.Errorf("experiments: bench workers must be positive, got %d", workers)
+			}
+			simCfg := SimulationConfig{
+				Hosts:        hosts,
+				TasksPerNode: cfg.TasksPerNode,
+				Trials:       cfg.Trials,
+				Seed:         cfg.Seed,
+				Series:       cfg.Series,
+				Workers:      workers,
+			}.withDefaults()
+			res := &SimulationResult{
+				Name:   fmt.Sprintf("bench: %d hosts", hosts),
+				XTitle: "hosts",
+				Series: simCfg.Series,
+				Cells:  make(map[string]map[string]SimulationCell),
+			}
+			start := cfg.Now()
+			if err := runSimulationSweep([]simPoint{{cfg: simCfg, x: float64(hosts), xLabel: fmt.Sprintf("%d", hosts)}}, workers, res); err != nil {
+				return nil, err
+			}
+			seconds := cfg.Now().Sub(start).Seconds()
+			run := BenchRun{
+				Hosts:       hosts,
+				Workers:     workers,
+				Cells:       len(simCfg.Series) * simCfg.Trials,
+				Seconds:     seconds,
+				Fingerprint: fingerprintSimResult(res),
+			}
+			if seconds > 0 {
+				run.CellsPerSec = float64(run.Cells) / seconds
+			}
+			if i == 0 {
+				baseSeconds = seconds
+				baseFingerprint = run.Fingerprint
+			}
+			if seconds > 0 {
+				run.Speedup = baseSeconds / seconds
+			}
+			run.Identical = run.Fingerprint == baseFingerprint
+			report.Runs = append(report.Runs, run)
+		}
+	}
+	return report, nil
+}
+
+// BenchTable renders the harness report for the terminal.
+func BenchTable(r *BenchReport) *Table {
+	t := &Table{
+		Title: "Parallel engine benchmark (simulation sweep)",
+		Note: fmt.Sprintf("%d CPU / GOMAXPROCS %d; speedup and bit-identity vs the first worker count",
+			r.NumCPU, r.GoMaxProcs),
+		Header: []string{"hosts", "workers", "cells", "seconds", "cells/sec", "speedup", "identical"},
+	}
+	for _, run := range r.Runs {
+		ident := "yes"
+		if !run.Identical {
+			ident = "NO"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", run.Hosts),
+			fmt.Sprintf("%d", run.Workers),
+			fmt.Sprintf("%d", run.Cells),
+			fmt.Sprintf("%.2f", run.Seconds),
+			fmt.Sprintf("%.2f", run.CellsPerSec),
+			fmt.Sprintf("%.2fx", run.Speedup),
+			ident,
+		)
+	}
+	return t
+}

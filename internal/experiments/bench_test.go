@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock yields strictly increasing instants one second apart, so
+// bench wall-clock fields are deterministic under test.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(1_000_000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestBenchSimReport(t *testing.T) {
+	report, err := BenchSim(BenchConfig{
+		Hosts:        []int{48, 64},
+		Workers:      []int{1, 2},
+		TasksPerNode: 5,
+		Seed:         3,
+		Now:          fakeClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(report.Runs))
+	}
+	for i, run := range report.Runs {
+		if !run.Identical {
+			t.Fatalf("run %d (hosts=%d workers=%d) not bit-identical to baseline", i, run.Hosts, run.Workers)
+		}
+		if run.Cells != 2 {
+			t.Fatalf("run %d cells = %d, want 2 (2 series x 1 trial)", i, run.Cells)
+		}
+		if run.Seconds <= 0 || run.CellsPerSec <= 0 || run.Speedup <= 0 {
+			t.Fatalf("run %d has non-positive measurements: %+v", i, run)
+		}
+	}
+	// Same hosts, different workers => same fingerprint; different
+	// hosts => different fingerprint.
+	if report.Runs[0].Fingerprint != report.Runs[1].Fingerprint {
+		t.Fatal("worker count changed the fingerprint")
+	}
+	if report.Runs[0].Fingerprint == report.Runs[2].Fingerprint {
+		t.Fatal("different host counts share a fingerprint")
+	}
+	// The fake clock ticks once per Now() call: 1 s per run.
+	if report.Runs[0].Seconds != 1 {
+		t.Fatalf("fake-clock seconds = %g, want 1", report.Runs[0].Seconds)
+	}
+
+	tbl := BenchTable(report).String()
+	for _, want := range []string{"hosts", "speedup", "identical", "yes"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("bench table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// TestBenchReportSchemaStable pins the JSON layout: the exact key set
+// (in marshal order) is part of the BENCH_sim.json contract that
+// trajectory tooling parses across PRs.
+func TestBenchReportSchemaStable(t *testing.T) {
+	report, err := BenchSim(BenchConfig{
+		Hosts:        []int{48},
+		Workers:      []int{1},
+		TasksPerNode: 5,
+		Now:          fakeClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"schema":"` + BenchSchema + `"`,
+		`"numCPU":`, `"goMaxProcs":`, `"config":`,
+		`"hosts":`, `"workers":`, `"tasksPerNode":`, `"trials":`, `"seed":`, `"series":`,
+		`"runs":`, `"cells":`, `"seconds":`, `"cellsPerSec":`,
+		`"speedupVsBaseline":`, `"fingerprint":`, `"identicalToBaseline":`,
+	} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("marshalled report missing %s:\n%s", key, buf)
+		}
+	}
+	// Round-trips losslessly through the public types.
+	var back BenchReport
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchReportValidateRejects(t *testing.T) {
+	good, err := BenchSim(BenchConfig{
+		Hosts: []int{48}, Workers: []int{1}, TasksPerNode: 5, Now: fakeClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *good
+	bad.Schema = "something-else/v9"
+	if err := bad.Validate(); !errors.Is(err, ErrBenchSchema) {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+
+	bad = *good
+	bad.Runs = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty runs accepted")
+	}
+
+	bad = *good
+	bad.Runs = append([]BenchRun(nil), good.Runs...)
+	bad.Runs[0].Identical = false
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-identical run accepted")
+	}
+
+	bad = *good
+	bad.Runs = append([]BenchRun(nil), good.Runs...)
+	bad.Runs[0].Fingerprint = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing fingerprint accepted")
+	}
+}
+
+func TestBenchSimRejectsBadConfig(t *testing.T) {
+	if _, err := BenchSim(BenchConfig{Hosts: []int{0}, Workers: []int{1}, Now: fakeClock()}); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+	if _, err := BenchSim(BenchConfig{Hosts: []int{48}, Workers: []int{0, 1}, Now: fakeClock()}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentEngines is the shared-state regression test from the
+// parallelization audit: two independent engine instances run
+// concurrently (each itself multi-worker), twice each, and every run
+// must reproduce its own serial baseline. Any package-level cache,
+// shared RNG, or reused buffer between engine instances shows up here
+// as a mismatch — or, under -race, as a race report.
+func TestConcurrentEngines(t *testing.T) {
+	simCfg := SimulationConfig{
+		Hosts:        48,
+		TasksPerNode: 5,
+		Trials:       1,
+		Seed:         11,
+		Series:       []Series{{StrategyRandom, 1}, {StrategyAdapt, 1}},
+		Workers:      4,
+	}
+	emuCfg := tinyEmulation()
+	emuCfg.Workers = 4
+
+	serialSim := simCfg
+	serialSim.Workers = 1
+	simBaseline, err := Figure5c(serialSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialEmu := emuCfg
+	serialEmu.Workers = 1
+	emuBaseline, err := Figure3a(serialEmu)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for round := 0; round < 2; round++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			res, err := Figure5c(simCfg)
+			if err != nil {
+				t.Errorf("concurrent simulation engine: %v", err)
+				return
+			}
+			if fingerprintSimResult(res) != fingerprintSimResult(simBaseline) {
+				t.Error("concurrent simulation engine diverged from serial baseline")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			res, err := Figure3a(emuCfg)
+			if err != nil {
+				t.Errorf("concurrent emulation engine: %v", err)
+				return
+			}
+			if got, want := res.ElapsedTable().String(), emuBaseline.ElapsedTable().String(); got != want {
+				t.Errorf("concurrent emulation engine diverged:\n%s\n---\n%s", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,10 +4,7 @@ import (
 	"fmt"
 
 	"github.com/adaptsim/adapt/internal/cluster"
-	"github.com/adaptsim/adapt/internal/hadoopsim"
 	"github.com/adaptsim/adapt/internal/metrics"
-	"github.com/adaptsim/adapt/internal/netsim"
-	"github.com/adaptsim/adapt/internal/stats"
 )
 
 // EmulationConfig mirrors the paper's emulated environment (§V-A,
@@ -26,6 +23,12 @@ type EmulationConfig struct {
 	Seed             uint64
 	Series           []Series        // default EmulationSeries()
 	Groups           []cluster.Group // default Table2Groups()
+	// Workers bounds how many experiment cells — (series, scale,
+	// trial) units — run concurrently; 0 or negative means
+	// GOMAXPROCS. Results are bit-identical for every worker count:
+	// each cell's RNG seed is derived from its coordinates via
+	// stats.DeriveSeed and results land in pre-indexed slots.
+	Workers int
 }
 
 // PaperEmulationConfig returns the full-size configuration of
@@ -157,56 +160,11 @@ func (r *EmulationResult) table(title string, cell func(EmulationCell) string) *
 	return t
 }
 
-// runEmulationPoint executes all series at one parameter point.
+// runEmulationPoint executes all series at one parameter point
+// (a single-point sweep through the parallel engine).
 func runEmulationPoint(cfg EmulationConfig, x float64, xLabel string, res *EmulationResult) error {
-	g := stats.NewRNG(cfg.Seed)
-	emuCfg := cluster.EmulationConfig{
-		Nodes:            cfg.Nodes,
-		InterruptedRatio: cfg.InterruptedRatio,
-		Groups:           cfg.Groups,
-		Shuffle:          true,
-	}
-	c, err := cluster.NewEmulation(emuCfg, g.Split())
-	if err != nil {
-		return fmt.Errorf("experiments: %s: %w", res.Name, err)
-	}
-	taskGamma := cfg.Gamma * cfg.BlockMB / 64
-	blocks := cfg.Nodes * cfg.BlocksPerNode
-
-	row := make(map[string]EmulationCell, len(cfg.Series))
-	for _, series := range cfg.Series {
-		pol, err := policyFor(series.Strategy, c, taskGamma)
-		if err != nil {
-			return err
-		}
-		sc := hadoopsim.Scenario{
-			Config: hadoopsim.Config{
-				Cluster:    c,
-				BlockBytes: cfg.BlockMB * 1024 * 1024,
-				Gamma:      cfg.Gamma,
-				Network:    netsim.FromMegabits(cfg.BandwidthMbps),
-			},
-			Policy:   pol,
-			Blocks:   blocks,
-			Replicas: series.Replicas,
-		}
-		agg, err := hadoopsim.RunTrials(sc, cfg.Trials, g.Split())
-		if err != nil {
-			return fmt.Errorf("experiments: %s %s: %w", res.Name, series.Label(), err)
-		}
-		row[series.Label()] = EmulationCell{
-			X:             x,
-			XLabel:        xLabel,
-			Series:        series,
-			Elapsed:       agg.Elapsed.Mean(),
-			ElapsedStdErr: agg.Elapsed.StdErr(),
-			Locality:      agg.Locality.Mean(),
-			Overheads:     agg.MeanRatio(),
-		}
-	}
-	res.XVals = append(res.XVals, xLabel)
-	res.Cells[xLabel] = row
-	return nil
+	cfg = cfg.withDefaults()
+	return runEmulationSweep([]emuPoint{{cfg: cfg, x: x, xLabel: xLabel}}, cfg.Workers, res)
 }
 
 // Figure3a sweeps the interrupted-node ratio over {1/4, 1/2, 3/4}
@@ -219,13 +177,15 @@ func Figure3a(cfg EmulationConfig) (*EmulationResult, error) {
 		Series: cfg.Series,
 		Cells:  make(map[string]map[string]EmulationCell),
 	}
+	points := make([]emuPoint, 0, 3)
 	for _, ratio := range []float64{0.25, 0.5, 0.75} {
 		point := cfg
 		point.InterruptedRatio = ratio
 		point.Seed = cfg.Seed + uint64(ratio*1000)
-		if err := runEmulationPoint(point, ratio, fmt.Sprintf("%.2f", ratio), res); err != nil {
-			return nil, err
-		}
+		points = append(points, emuPoint{cfg: point, x: ratio, xLabel: fmt.Sprintf("%.2f", ratio)})
+	}
+	if err := runEmulationSweep(points, cfg.Workers, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -240,13 +200,15 @@ func Figure3b(cfg EmulationConfig) (*EmulationResult, error) {
 		Series: cfg.Series,
 		Cells:  make(map[string]map[string]EmulationCell),
 	}
+	points := make([]emuPoint, 0, 4)
 	for _, mbps := range []float64{4, 8, 16, 32} {
 		point := cfg
 		point.BandwidthMbps = mbps
 		point.Seed = cfg.Seed + uint64(mbps)
-		if err := runEmulationPoint(point, mbps, fmt.Sprintf("%g", mbps), res); err != nil {
-			return nil, err
-		}
+		points = append(points, emuPoint{cfg: point, x: mbps, xLabel: fmt.Sprintf("%g", mbps)})
+	}
+	if err := runEmulationSweep(points, cfg.Workers, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -263,14 +225,16 @@ func Figure3c(cfg EmulationConfig) (*EmulationResult, error) {
 	}
 	// Paper sweep is {32, 64, 128, 256} around the default 128; keep
 	// the same x/default ratios for scaled configs.
+	points := make([]emuPoint, 0, 4)
 	for _, factor := range []float64{0.25, 0.5, 1, 2} {
 		nodes := maxInt(8, int(float64(cfg.Nodes)*factor))
 		point := cfg
 		point.Nodes = nodes
 		point.Seed = cfg.Seed + uint64(nodes)
-		if err := runEmulationPoint(point, float64(nodes), fmt.Sprintf("%d", nodes), res); err != nil {
-			return nil, err
-		}
+		points = append(points, emuPoint{cfg: point, x: float64(nodes), xLabel: fmt.Sprintf("%d", nodes)})
+	}
+	if err := runEmulationSweep(points, cfg.Workers, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

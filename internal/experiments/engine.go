@@ -1,0 +1,278 @@
+package experiments
+
+// The parallel experiment engine. A sweep is decomposed into
+// independent (series, scale, trial) cells; each cell derives its RNG
+// seed from its coordinates alone via stats.DeriveSeed and writes its
+// result into a pre-indexed slot, so a sweep's output is bit-identical
+// to the sequential runner no matter how many workers execute it or in
+// what order cells complete.
+//
+// Environments (trace populations and clusters) are built once per
+// (point, trial) and shared read-only by every series of that trial:
+// all strategies face the same failure sample, the paper's paired-
+// comparison methodology. Reduction into result tables walks points,
+// series, and trials in index order, so floating-point accumulation
+// order is fixed too.
+
+import (
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/hadoopsim"
+	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/netsim"
+	"github.com/adaptsim/adapt/internal/par"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// envStream tags the environment-construction RNG stream so it can
+// never collide with a series stream (series hashes are FNV-1a of
+// their labels; the tag is drawn from the same space but no series is
+// labelled "env/stream").
+var envStream = stats.HashLabel("env/stream")
+
+// cellSeed derives the RNG seed for one experiment cell from its
+// coordinates: the point's seed (which already encodes the sweep
+// value), the series identity, and the trial index.
+func cellSeed(pointSeed uint64, s Series, trial int) uint64 {
+	return stats.DeriveSeed(pointSeed, stats.HashLabel(s.Label()), uint64(trial))
+}
+
+// simPoint is one sweep value of a simulation figure: a fully
+// defaulted configuration with the point's parameter applied.
+type simPoint struct {
+	cfg    SimulationConfig
+	x      float64
+	xLabel string
+}
+
+// buildSimEnv generates the trace population and cluster for one
+// (point, trial). Deterministic in (cfg.Seed, trial) alone.
+func buildSimEnv(cfg SimulationConfig, trial int) (*cluster.Cluster, error) {
+	g := stats.NewRNG(stats.DeriveSeed(cfg.Seed, envStream, uint64(trial)))
+	set, err := cfg.traceSet(g)
+	if err != nil {
+		return nil, fmt.Errorf("traces: %w", err)
+	}
+	c, err := cluster.NewFromTraces(set)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Mode == SimModeParametric {
+		c = c.WithoutTraces()
+	}
+	return c, nil
+}
+
+// runSimCell executes one (point, series, trial) simulation cell on a
+// shared read-only cluster.
+func runSimCell(cfg SimulationConfig, c *cluster.Cluster, series Series, trial int) (metrics.RunResult, error) {
+	taskGamma := cfg.Gamma * cfg.BlockMB / 64
+	pol, err := policyFor(series.Strategy, c, taskGamma)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	sc := hadoopsim.Scenario{
+		Config: hadoopsim.Config{
+			Cluster:       c,
+			BlockBytes:    cfg.BlockMB * 1024 * 1024,
+			Gamma:         cfg.Gamma,
+			Network:       netsim.FromMegabits(cfg.BandwidthMbps),
+			SourcePenalty: cfg.SourcePenalty,
+		},
+		Policy:   pol,
+		Blocks:   cfg.Hosts * cfg.TasksPerNode,
+		Replicas: series.Replicas,
+	}
+	return hadoopsim.RunScenario(sc, stats.NewRNG(cellSeed(cfg.Seed, series, trial)))
+}
+
+// runSimulationSweep executes every (point, series, trial) cell of a
+// figure across workers goroutines and reduces the slots into res in
+// point/series/trial order. Each point's cfg must already carry its
+// defaults and per-point seed.
+func runSimulationSweep(points []simPoint, workers int, res *SimulationResult) error {
+	// Phase 1: environments, one per (point, trial), built in parallel.
+	type envKey struct{ point, trial int }
+	var envJobs []envKey
+	envs := make([][]*cluster.Cluster, len(points))
+	for p := range points {
+		envs[p] = make([]*cluster.Cluster, points[p].cfg.Trials)
+		for t := 0; t < points[p].cfg.Trials; t++ {
+			envJobs = append(envJobs, envKey{p, t})
+		}
+	}
+	if err := par.ForEach(workers, len(envJobs), func(j int) error {
+		k := envJobs[j]
+		env, err := buildSimEnv(points[k.point].cfg, k.trial)
+		if err != nil {
+			return fmt.Errorf("experiments: %s %s: %w", res.Name, points[k.point].xLabel, err)
+		}
+		envs[k.point][k.trial] = env
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2: cells, one per (point, series, trial), into pre-indexed
+	// slots.
+	type cellKey struct{ point, series, trial int }
+	var cellJobs []cellKey
+	slots := make([][][]metrics.RunResult, len(points))
+	for p := range points {
+		cfg := points[p].cfg
+		slots[p] = make([][]metrics.RunResult, len(cfg.Series))
+		for s := range cfg.Series {
+			slots[p][s] = make([]metrics.RunResult, cfg.Trials)
+			for t := 0; t < cfg.Trials; t++ {
+				cellJobs = append(cellJobs, cellKey{p, s, t})
+			}
+		}
+	}
+	if err := par.ForEach(workers, len(cellJobs), func(j int) error {
+		k := cellJobs[j]
+		cfg := points[k.point].cfg
+		series := cfg.Series[k.series]
+		r, err := runSimCell(cfg, envs[k.point][k.trial], series, k.trial)
+		if err != nil {
+			return fmt.Errorf("experiments: %s %s %s: %w", res.Name, points[k.point].xLabel, series.Label(), err)
+		}
+		slots[k.point][k.series][k.trial] = r
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Reduce in index order: accumulation order (and thus every
+	// floating-point sum) is independent of scheduling.
+	for p := range points {
+		cfg := points[p].cfg
+		row := make(map[string]SimulationCell, len(cfg.Series))
+		for s, series := range cfg.Series {
+			agg := &metrics.Aggregate{}
+			for t := 0; t < cfg.Trials; t++ {
+				agg.Observe(slots[p][s][t])
+			}
+			row[series.Label()] = SimulationCell{
+				X:        points[p].x,
+				XLabel:   points[p].xLabel,
+				Series:   series,
+				Ratios:   agg.MeanRatio(),
+				Elapsed:  agg.Elapsed.Mean(),
+				Locality: agg.Locality.Mean(),
+			}
+		}
+		res.XVals = append(res.XVals, points[p].xLabel)
+		res.Cells[points[p].xLabel] = row
+	}
+	return nil
+}
+
+// emuPoint is one sweep value of an emulation figure.
+type emuPoint struct {
+	cfg    EmulationConfig
+	x      float64
+	xLabel string
+}
+
+// buildEmuEnv constructs the emulated cluster for one point.
+// Deterministic in cfg.Seed alone; all trials of a point share it, as
+// the paper's fixed testbed does.
+func buildEmuEnv(cfg EmulationConfig) (*cluster.Cluster, error) {
+	g := stats.NewRNG(stats.DeriveSeed(cfg.Seed, envStream))
+	return cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes:            cfg.Nodes,
+		InterruptedRatio: cfg.InterruptedRatio,
+		Groups:           cfg.Groups,
+		Shuffle:          true,
+	}, g)
+}
+
+// runEmuCell executes one (point, series, trial) emulation cell.
+func runEmuCell(cfg EmulationConfig, c *cluster.Cluster, series Series, trial int) (metrics.RunResult, error) {
+	taskGamma := cfg.Gamma * cfg.BlockMB / 64
+	pol, err := policyFor(series.Strategy, c, taskGamma)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	sc := hadoopsim.Scenario{
+		Config: hadoopsim.Config{
+			Cluster:    c,
+			BlockBytes: cfg.BlockMB * 1024 * 1024,
+			Gamma:      cfg.Gamma,
+			Network:    netsim.FromMegabits(cfg.BandwidthMbps),
+		},
+		Policy:   pol,
+		Blocks:   cfg.Nodes * cfg.BlocksPerNode,
+		Replicas: series.Replicas,
+	}
+	return hadoopsim.RunScenario(sc, stats.NewRNG(cellSeed(cfg.Seed, series, trial)))
+}
+
+// runEmulationSweep executes every (point, series, trial) emulation
+// cell across workers goroutines and reduces into res in index order.
+func runEmulationSweep(points []emuPoint, workers int, res *EmulationResult) error {
+	// Phase 1: one cluster per point.
+	envs := make([]*cluster.Cluster, len(points))
+	if err := par.ForEach(workers, len(points), func(p int) error {
+		env, err := buildEmuEnv(points[p].cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", res.Name, err)
+		}
+		envs[p] = env
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2: cells.
+	type cellKey struct{ point, series, trial int }
+	var cellJobs []cellKey
+	slots := make([][][]metrics.RunResult, len(points))
+	for p := range points {
+		cfg := points[p].cfg
+		slots[p] = make([][]metrics.RunResult, len(cfg.Series))
+		for s := range cfg.Series {
+			slots[p][s] = make([]metrics.RunResult, cfg.Trials)
+			for t := 0; t < cfg.Trials; t++ {
+				cellJobs = append(cellJobs, cellKey{p, s, t})
+			}
+		}
+	}
+	if err := par.ForEach(workers, len(cellJobs), func(j int) error {
+		k := cellJobs[j]
+		cfg := points[k.point].cfg
+		series := cfg.Series[k.series]
+		r, err := runEmuCell(cfg, envs[k.point], series, k.trial)
+		if err != nil {
+			return fmt.Errorf("experiments: %s %s %s: %w", res.Name, points[k.point].xLabel, series.Label(), err)
+		}
+		slots[k.point][k.series][k.trial] = r
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for p := range points {
+		cfg := points[p].cfg
+		row := make(map[string]EmulationCell, len(cfg.Series))
+		for s, series := range cfg.Series {
+			agg := &metrics.Aggregate{}
+			for t := 0; t < cfg.Trials; t++ {
+				agg.Observe(slots[p][s][t])
+			}
+			row[series.Label()] = EmulationCell{
+				X:             points[p].x,
+				XLabel:        points[p].xLabel,
+				Series:        series,
+				Elapsed:       agg.Elapsed.Mean(),
+				ElapsedStdErr: agg.Elapsed.StdErr(),
+				Locality:      agg.Locality.Mean(),
+				Overheads:     agg.MeanRatio(),
+			}
+		}
+		res.XVals = append(res.XVals, points[p].xLabel)
+		res.Cells[points[p].xLabel] = row
+	}
+	return nil
+}

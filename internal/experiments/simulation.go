@@ -3,10 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/adaptsim/adapt/internal/cluster"
-	"github.com/adaptsim/adapt/internal/hadoopsim"
 	"github.com/adaptsim/adapt/internal/metrics"
-	"github.com/adaptsim/adapt/internal/netsim"
 	"github.com/adaptsim/adapt/internal/stats"
 	"github.com/adaptsim/adapt/internal/trace"
 )
@@ -47,6 +44,12 @@ type SimulationConfig struct {
 	// down wait for a recovery — the strict Hadoop semantics, under
 	// which sole-replica unavailability is far more punishing.
 	SourcePenalty float64
+	// Workers bounds how many experiment cells — (series, scale,
+	// trial) units — run concurrently; 0 or negative means
+	// GOMAXPROCS. Results are bit-identical for every worker count:
+	// each cell's RNG seed is derived from its coordinates via
+	// stats.DeriveSeed and results land in pre-indexed slots.
+	Workers int
 	// Mode selects how interruptions reach the simulator. The default
 	// SimModeParametric estimates each host's (λ, μ) from its trace
 	// and regenerates failures from those parameters — the paper's
@@ -217,69 +220,11 @@ func (r *SimulationResult) OverheadTable() *Table {
 	return t
 }
 
-// runSimulationPoint executes all series at one parameter point.
+// runSimulationPoint executes all series at one parameter point
+// (a single-point sweep through the parallel engine).
 func runSimulationPoint(cfg SimulationConfig, x float64, xLabel string, res *SimulationResult) error {
-	taskGamma := cfg.Gamma * cfg.BlockMB / 64
-	blocks := cfg.Hosts * cfg.TasksPerNode
-
-	aggs := make(map[string]*metrics.Aggregate, len(cfg.Series))
-	for _, s := range cfg.Series {
-		aggs[s.Label()] = &metrics.Aggregate{}
-	}
-
-	for trial := 0; trial < cfg.Trials; trial++ {
-		g := stats.NewRNG(cfg.Seed + uint64(trial)*7919)
-		set, err := cfg.traceSet(g.Split())
-		if err != nil {
-			return fmt.Errorf("experiments: %s: traces: %w", res.Name, err)
-		}
-		c, err := cluster.NewFromTraces(set)
-		if err != nil {
-			return fmt.Errorf("experiments: %s: cluster: %w", res.Name, err)
-		}
-		if cfg.Mode == SimModeParametric {
-			c = c.WithoutTraces()
-		}
-		for _, series := range cfg.Series {
-			pol, err := policyFor(series.Strategy, c, taskGamma)
-			if err != nil {
-				return err
-			}
-			sc := hadoopsim.Scenario{
-				Config: hadoopsim.Config{
-					Cluster:       c,
-					BlockBytes:    cfg.BlockMB * 1024 * 1024,
-					Gamma:         cfg.Gamma,
-					Network:       netsim.FromMegabits(cfg.BandwidthMbps),
-					SourcePenalty: cfg.SourcePenalty,
-				},
-				Policy:   pol,
-				Blocks:   blocks,
-				Replicas: series.Replicas,
-			}
-			r, err := hadoopsim.RunScenario(sc, g.Split())
-			if err != nil {
-				return fmt.Errorf("experiments: %s %s: %w", res.Name, series.Label(), err)
-			}
-			aggs[series.Label()].Observe(r)
-		}
-	}
-
-	row := make(map[string]SimulationCell, len(cfg.Series))
-	for _, series := range cfg.Series {
-		agg := aggs[series.Label()]
-		row[series.Label()] = SimulationCell{
-			X:        x,
-			XLabel:   xLabel,
-			Series:   series,
-			Ratios:   agg.MeanRatio(),
-			Elapsed:  agg.Elapsed.Mean(),
-			Locality: agg.Locality.Mean(),
-		}
-	}
-	res.XVals = append(res.XVals, xLabel)
-	res.Cells[xLabel] = row
-	return nil
+	cfg = cfg.withDefaults()
+	return runSimulationSweep([]simPoint{{cfg: cfg, x: x, xLabel: xLabel}}, cfg.Workers, res)
 }
 
 // Figure5a sweeps the network bandwidth over {4, 8, 16, 32} Mb/s.
@@ -291,13 +236,15 @@ func Figure5a(cfg SimulationConfig) (*SimulationResult, error) {
 		Series: cfg.Series,
 		Cells:  make(map[string]map[string]SimulationCell),
 	}
+	points := make([]simPoint, 0, 4)
 	for _, mbps := range []float64{4, 8, 16, 32} {
 		point := cfg
 		point.BandwidthMbps = mbps
 		point.Seed = cfg.Seed + uint64(mbps)
-		if err := runSimulationPoint(point, mbps, fmt.Sprintf("%g", mbps), res); err != nil {
-			return nil, err
-		}
+		points = append(points, simPoint{cfg: point, x: mbps, xLabel: fmt.Sprintf("%g", mbps)})
+	}
+	if err := runSimulationSweep(points, cfg.Workers, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -313,6 +260,7 @@ func Figure5b(cfg SimulationConfig) (*SimulationResult, error) {
 		Series: cfg.Series,
 		Cells:  make(map[string]map[string]SimulationCell),
 	}
+	points := make([]simPoint, 0, 4)
 	for _, blockMB := range []float64{32, 64, 128, 256} {
 		point := cfg
 		point.BlockMB = blockMB
@@ -320,9 +268,10 @@ func Figure5b(cfg SimulationConfig) (*SimulationResult, error) {
 		// blocks grow.
 		point.TasksPerNode = maxInt(1, int(float64(cfg.TasksPerNode)*64/blockMB))
 		point.Seed = cfg.Seed + uint64(blockMB)
-		if err := runSimulationPoint(point, blockMB, fmt.Sprintf("%g", blockMB), res); err != nil {
-			return nil, err
-		}
+		points = append(points, simPoint{cfg: point, x: blockMB, xLabel: fmt.Sprintf("%g", blockMB)})
+	}
+	if err := runSimulationSweep(points, cfg.Workers, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -338,6 +287,7 @@ func Figure5c(cfg SimulationConfig) (*SimulationResult, error) {
 		Cells:  make(map[string]map[string]SimulationCell),
 	}
 	seen := make(map[int]bool, 4)
+	points := make([]simPoint, 0, 4)
 	for _, factor := range []float64{0.25, 0.5, 1, 2} {
 		hosts := maxInt(32, int(float64(cfg.Hosts)*factor))
 		if seen[hosts] {
@@ -347,9 +297,10 @@ func Figure5c(cfg SimulationConfig) (*SimulationResult, error) {
 		point := cfg
 		point.Hosts = hosts
 		point.Seed = cfg.Seed + uint64(hosts)
-		if err := runSimulationPoint(point, float64(hosts), fmt.Sprintf("%d", hosts), res); err != nil {
-			return nil, err
-		}
+		points = append(points, simPoint{cfg: point, x: float64(hosts), xLabel: fmt.Sprintf("%d", hosts)})
+	}
+	if err := runSimulationSweep(points, cfg.Workers, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/par"
 	"github.com/adaptsim/adapt/internal/placement"
 	"github.com/adaptsim/adapt/internal/stats"
 )
@@ -56,6 +57,37 @@ func RunTrials(sc Scenario, trials int, g *stats.RNG) (metrics.Aggregate, error)
 		if err != nil {
 			return agg, fmt.Errorf("trial %d: %w", t, err)
 		}
+		agg.Observe(res)
+	}
+	return agg, nil
+}
+
+// RunTrialsSeeded repeats a scenario trials times across up to workers
+// goroutines (workers < 1 means GOMAXPROCS). Each trial's RNG is
+// seeded with stats.DeriveSeed(seed, trial) — a function of the trial
+// index alone — and results are collected into per-trial slots and
+// aggregated in index order, so the aggregate is bit-identical for
+// every worker count. The scenario's cluster and policy are shared
+// read-only across trials and must not be mutated concurrently
+// (repository policies and clusters are immutable after construction).
+func RunTrialsSeeded(sc Scenario, trials, workers int, seed uint64) (metrics.Aggregate, error) {
+	var agg metrics.Aggregate
+	if trials <= 0 {
+		return agg, fmt.Errorf("hadoopsim: trials must be positive, got %d", trials)
+	}
+	results := make([]metrics.RunResult, trials)
+	err := par.ForEach(workers, trials, func(t int) error {
+		res, err := RunScenario(sc, stats.NewRNG(stats.DeriveSeed(seed, uint64(t))))
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", t, err)
+		}
+		results[t] = res
+		return nil
+	})
+	if err != nil {
+		return agg, err
+	}
+	for _, res := range results {
 		agg.Observe(res)
 	}
 	return agg, nil

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// Property-based checks of the closed-form model (§III, eqs. 2–5)
+// over seeded-random parameter draws: the closed form must agree with
+// its compositional definition, respond monotonically to worse
+// availability, and collapse to the failure-free time in the γλ→0
+// limit.
+
+// drawAvailability samples a stable (λμ < 1) availability and a task
+// length, spanning several orders of magnitude.
+func drawAvailability(g *stats.RNG) (Availability, float64) {
+	// MTBI from ~10 s to ~10^5 s, recovery chosen to keep λμ in
+	// [1e-6, 0.95] so the M/G/1 process stays comfortably stable and
+	// the downtime term stays large enough that a 10% perturbation is
+	// visible above float64 rounding.
+	mtbi := math.Exp(g.Float64()*math.Log(1e4)) * 10
+	util := 1e-6 + (0.95-1e-6)*g.Float64()
+	mu := util * mtbi
+	gamma := math.Exp(g.Float64()*math.Log(1e3)) * 0.1 // 0.1 s .. 100 s
+	return FromMTBI(mtbi, mu), gamma
+}
+
+func relErr(a, b float64) float64 {
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	if denom == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / denom
+}
+
+// TestClosedFormMatchesComposition: E[T] (eq. 5) must equal
+// γ + E[S]·(E[X] + E[Y]) assembled from eqs. 2–4, for any stable
+// parameters.
+func TestClosedFormMatchesComposition(t *testing.T) {
+	g := stats.NewRNG(101)
+	for i := 0; i < 2000; i++ {
+		a, gamma := drawAvailability(g)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("draw %d produced invalid availability: %v", i, err)
+		}
+		closed := a.ExpectedTaskTime(gamma)
+		composed := gamma + a.ExpectedAttempts(gamma)*(a.ExpectedRework(gamma)+a.ExpectedDowntime())
+		if relErr(closed, composed) > 1e-9 {
+			t.Fatalf("draw %d (%v, gamma=%g): closed form %g vs composition %g",
+				i, a, gamma, closed, composed)
+		}
+	}
+}
+
+// TestExpectedTaskTimeMonotoneRandomDraws generalizes the fixed-point
+// monotonicity checks in model_test.go: more frequent interruptions
+// (larger λ) and slower recovery (larger μ) must never shorten the
+// expected task time, for any stable random parameter draw.
+func TestExpectedTaskTimeMonotoneRandomDraws(t *testing.T) {
+	g := stats.NewRNG(202)
+	for i := 0; i < 2000; i++ {
+		a, gamma := drawAvailability(g)
+		base := a.ExpectedTaskTime(gamma)
+
+		bumpLambda := a
+		bumpLambda.Lambda *= 1 + 0.1*(1+g.Float64())
+		if bumpLambda.Utilization() < 1 {
+			if got := bumpLambda.ExpectedTaskTime(gamma); got <= base {
+				t.Fatalf("draw %d: E[T] not increasing in lambda: %g -> %g (%v, gamma=%g)",
+					i, base, got, a, gamma)
+			}
+		}
+
+		bumpMu := a
+		bumpMu.Mu *= 1 + 0.1*(1+g.Float64())
+		if bumpMu.Utilization() < 1 {
+			if got := bumpMu.ExpectedTaskTime(gamma); got <= base {
+				t.Fatalf("draw %d: E[T] not increasing in mu: %g -> %g (%v, gamma=%g)",
+					i, base, got, a, gamma)
+			}
+		}
+	}
+}
+
+// TestGammaLambdaLimit: as γλ → 0 the task barely ever sees an
+// interruption and E[T] → γ.
+func TestGammaLambdaLimit(t *testing.T) {
+	g := stats.NewRNG(303)
+	for i := 0; i < 500; i++ {
+		_, gamma := drawAvailability(g)
+		mu := 10 * g.Float64()
+		prev := math.Inf(1)
+		for _, lambda := range []float64{1e-4, 1e-6, 1e-8, 1e-10} {
+			a := Availability{Lambda: lambda, Mu: mu}
+			et := a.ExpectedTaskTime(gamma)
+			if et < gamma {
+				t.Fatalf("draw %d: E[T] %g below failure-free time %g", i, et, gamma)
+			}
+			if et > prev {
+				t.Fatalf("draw %d: E[T] not shrinking as lambda -> 0: %g after %g", i, et, prev)
+			}
+			prev = et
+		}
+		if relErr(prev, gamma) > 1e-6 {
+			t.Fatalf("draw %d: limit E[T] = %g, want -> gamma = %g", i, prev, gamma)
+		}
+		// And exactly gamma for the dedicated host.
+		if got := (Availability{Mu: mu}).ExpectedTaskTime(gamma); got != gamma {
+			t.Fatalf("dedicated host E[T] = %g, want gamma = %g", got, gamma)
+		}
+	}
+}
+
+// TestEfficiencyInverse: the placement weight must be exactly the
+// reciprocal of the expected task time wherever the latter is finite
+// and positive.
+func TestEfficiencyInverse(t *testing.T) {
+	g := stats.NewRNG(404)
+	for i := 0; i < 1000; i++ {
+		a, gamma := drawAvailability(g)
+		et := a.ExpectedTaskTime(gamma)
+		eff := a.Efficiency(gamma)
+		if relErr(eff*et, 1) > 1e-12 {
+			t.Fatalf("draw %d: efficiency %g x E[T] %g = %g, want 1", i, eff, et, eff*et)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package par provides the small deterministic worker-pool primitive
+// the experiment engines share: run n independent, pre-indexed units
+// of work across a bounded number of goroutines, with results written
+// into caller-owned slots (never appended) so that output is
+// bit-identical regardless of worker count or completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a configured worker count to an effective one: values
+// below 1 mean "use GOMAXPROCS".
+func Resolve(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines (workers < 1 means GOMAXPROCS). fn must write any output
+// it produces into the caller's index-i slot; ForEach imposes no
+// ordering between calls beyond that.
+//
+// Error handling is deterministic: if any calls fail, ForEach returns
+// the error with the lowest index — the same error the workers=1 run
+// would surface — regardless of scheduling. With multiple workers all
+// n calls are attempted even after a failure (their results are
+// discarded by the caller); the sequential path stops at the first
+// error, which is observationally identical because a returned error
+// invalidates the whole run.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers = Resolve(workers); workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

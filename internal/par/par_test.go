@@ -1,0 +1,84 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		n := 100
+		hits := make([]atomic.Int64, n)
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("n=0: err=%v called=%v", err, called)
+	}
+	if err := ForEach(4, -5, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("n<0: err=%v called=%v", err, called)
+	}
+}
+
+// TestForEachLowestIndexError verifies deterministic error selection:
+// whichever worker finishes first, the reported error is the one the
+// sequential run would have hit.
+func TestForEachLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 16} {
+		err := ForEach(workers, 50, func(i int) error {
+			if i == 7 || i == 33 {
+				return fmt.Errorf("%w at %d", sentinel, i)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if got := err.Error(); got != "boom at 7" {
+			t.Fatalf("workers=%d: got %q, want lowest-index error", workers, got)
+		}
+	}
+}
+
+func TestForEachSequentialStopsEarly(t *testing.T) {
+	ran := 0
+	err := ForEach(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("err=%v ran=%d, want early stop after index 3", err, ran)
+	}
+}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -291,6 +292,12 @@ func (p *weightedPlacer) placeOne(used map[int]bool) (int, error) {
 		}
 		if p.isSaturated(node) {
 			if err := p.rebuildWithoutSaturated(); err != nil {
+				if errors.Is(err, ErrNoWeight) {
+					// Every weighted node is saturated; only the slow
+					// path's uniform fallback over zero-weight capacity
+					// can still place this block.
+					break
+				}
 				return -1, err
 			}
 			continue

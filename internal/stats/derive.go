@@ -1,0 +1,61 @@
+package stats
+
+// Seed derivation for the parallel experiment engine: every
+// (series, scale, trial) cell of a sweep draws its randomness from an
+// RNG seeded by DeriveSeed, never from a shared stream, so results are
+// bit-identical whether cells run sequentially or across any number of
+// workers in any completion order.
+
+// splitmix64 is the SplitMix64 output permutation (Steele et al.,
+// "Fast splittable pseudorandom number generators"). It is a bijection
+// on uint64 with strong avalanche behaviour, which keeps derived seeds
+// far apart even when the inputs differ in a single low bit.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// DeriveSeed folds the parts into the root seed with SplitMix64 steps
+// and returns a child seed. The derivation is:
+//
+//   - stable: a (root, parts...) tuple always yields the same seed,
+//     across runs, platforms, and worker counts;
+//   - order-sensitive: DeriveSeed(r, a, b) != DeriveSeed(r, b, a) in
+//     general, so positional coordinates (series, scale, trial) occupy
+//     distinct roles;
+//   - well-separated: each step applies the SplitMix64 golden-gamma
+//     increment and finalizer, so adjacent coordinates (trial 3 vs
+//     trial 4) produce unrelated streams.
+//
+// Experiment engines use it as
+// DeriveSeed(pointSeed, seriesHash, trial) so that a cell's randomness
+// depends only on its coordinates, never on which worker ran it or
+// what ran before it.
+func DeriveSeed(root uint64, parts ...uint64) uint64 {
+	s := root
+	for _, p := range parts {
+		s += 0x9e3779b97f4a7c15
+		s = splitmix64(s ^ splitmix64(p))
+	}
+	return splitmix64(s)
+}
+
+// HashLabel hashes a label (e.g. a Series label or a stream tag) to a
+// uint64 suitable as a DeriveSeed part, using 64-bit FNV-1a. Stable
+// across runs and platforms.
+func HashLabel(label string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return h
+}

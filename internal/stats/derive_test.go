@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(1, 2, 3, 4)
+	b := DeriveSeed(1, 2, 3, 4)
+	if a != b {
+		t.Fatalf("DeriveSeed not stable: %x vs %x", a, b)
+	}
+	// Pin one value so accidental algorithm changes (which would break
+	// replay of recorded experiments) fail loudly.
+	if got := DeriveSeed(0); got != splitmix64(0) {
+		t.Fatalf("DeriveSeed(0) = %x, want splitmix64(0) = %x", got, splitmix64(0))
+	}
+}
+
+func TestDeriveSeedOrderAndRootSensitive(t *testing.T) {
+	if DeriveSeed(1, 2, 3) == DeriveSeed(1, 3, 2) {
+		t.Fatal("derivation ignores part order")
+	}
+	if DeriveSeed(1, 2, 3) == DeriveSeed(2, 2, 3) {
+		t.Fatal("derivation ignores root")
+	}
+	if DeriveSeed(1, 2) == DeriveSeed(1, 2, 0) {
+		t.Fatal("appending a zero part should still move the seed")
+	}
+}
+
+// TestDeriveSeedSeparation checks that a dense grid of experiment
+// coordinates yields no colliding seeds and no colliding first draws —
+// the property the parallel engine relies on for independent cells.
+func TestDeriveSeedSeparation(t *testing.T) {
+	seeds := make(map[uint64]string)
+	first := make(map[uint64]string)
+	for series := uint64(0); series < 10; series++ {
+		for scale := uint64(0); scale < 10; scale++ {
+			for trial := uint64(0); trial < 10; trial++ {
+				key := fmt.Sprintf("(%d,%d,%d)", series, scale, trial)
+				s := DeriveSeed(42, series, scale, trial)
+				if prev, dup := seeds[s]; dup {
+					t.Fatalf("seed collision between %q and (%d,%d,%d)", prev, series, scale, trial)
+				}
+				seeds[s] = key
+				d := NewRNG(s).Uint64()
+				if prev, dup := first[d]; dup {
+					t.Fatalf("first-draw collision between %q and (%d,%d,%d)", prev, series, scale, trial)
+				}
+				first[d] = key
+			}
+		}
+	}
+}
+
+func TestHashLabel(t *testing.T) {
+	if HashLabel("adapt/1rep") == HashLabel("adapt/2rep") {
+		t.Fatal("label hash collides on distinct series")
+	}
+	if HashLabel("") == HashLabel("env") {
+		t.Fatal("label hash collides empty vs env")
+	}
+	if HashLabel("env") != HashLabel("env") {
+		t.Fatal("label hash unstable")
+	}
+}
