@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test test-short race race-engine soak bench bench-smoke
+.PHONY: ci vet lint build test test-short race race-engine race-svc svc-smoke soak bench bench-smoke
 
 # Full CI gate: static checks, build, and the race-enabled test suite
 # (includes the churn-soak test).
@@ -35,6 +35,18 @@ race:
 # under the race detector.
 race-engine:
 	$(GO) test -race ./internal/experiments/... ./internal/hadoopsim/...
+
+# Focused race gate for the networked service layer: loopback TCP
+# cluster end-to-end, partition survival, heartbeat-driven (λ, μ)
+# convergence, and graceful-shutdown ordering under the race detector.
+race-svc:
+	$(GO) test -race ./internal/svc/...
+
+# End-to-end smoke of the networked cluster binary: boot a loopback
+# NameNode + DataNodes, write a file, partition a replica holder, read
+# through failover, heal, and adapt-rebalance from heartbeats.
+svc-smoke:
+	$(GO) run ./cmd/adapt-fs local-demo -nodes 4 -blocks 8
 
 # Just the churn-soak invariants (10k chaos events, 32-node DFS).
 soak:

@@ -16,6 +16,16 @@
 // values:
 //
 //	adapt-fs -chaos -nodes 32 -chaos-events 2000 -replicas 3
+//
+// Subcommands run the networked cluster (internal/svc) instead of the
+// in-memory demo:
+//
+//	adapt-fs serve-datanode -id 0 -listen :9864 -namenode host:9870
+//	adapt-fs serve-namenode -listen :9870 -http :9871 -datanodes a:9864,b:9864
+//	adapt-fs put -namenode host:9870 -adapt local.bin /data
+//	adapt-fs local-demo -nodes 4
+//
+// See `adapt-fs help` for the full list.
 package main
 
 import (
@@ -23,12 +33,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	adapt "github.com/adaptsim/adapt"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		if err := runService(args[0], args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "adapt-fs:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(args); err != nil {
 		fmt.Fprintln(os.Stderr, "adapt-fs:", err)
 		os.Exit(1)
 	}

@@ -31,3 +31,18 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestLocalDemoSubcommand(t *testing.T) {
+	if err := runService("local-demo", []string{"-nodes", "4", "-blocks", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceHelpAndUnknown(t *testing.T) {
+	if err := runService("help", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := runService("bogus", nil); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}

@@ -8,22 +8,23 @@ import (
 	"strings"
 )
 
-// errtaxonomyAnalyzer guards the dfs error taxonomy. Inside
-// internal/dfs every error constructed in a function body must wrap a
-// cause or a taxonomy sentinel with %w (so errors.Is and IsTransient
-// classify it); bare fmt.Errorf without %w and function-local
-// errors.New both produce errors no caller can classify. Everywhere
-// in the repository, matching on err.Error() text — string
-// comparison, switch, or strings.* helpers — is flagged: the string
-// form is not part of any error's contract.
+// errtaxonomyAnalyzer guards the storage error taxonomy. Inside
+// internal/dfs and internal/svc every error constructed in a function
+// body must wrap a cause or a taxonomy sentinel with %w (so errors.Is
+// and IsTransient classify it — for svc the contract extends across
+// the wire, where codes map back to sentinels); bare fmt.Errorf
+// without %w and function-local errors.New both produce errors no
+// caller can classify. Everywhere in the repository, matching on
+// err.Error() text — string comparison, switch, or strings.* helpers
+// — is flagged: the string form is not part of any error's contract.
 func errtaxonomyAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "errtaxonomy",
-		Doc:  "dfs errors must wrap a sentinel or cause with %w; never match on err.Error() text",
+		Doc:  "dfs/svc errors must wrap a sentinel or cause with %w; never match on err.Error() text",
 	}
 	a.Run = func(p *Pass) {
 		info := p.Pkg.Info
-		inDFS := inScope(p.Pkg.Rel, "internal/dfs")
+		inDFS := inScope(p.Pkg.Rel, "internal/dfs", "internal/svc")
 		for _, f := range p.Pkg.Files {
 			// Rule A: unclassifiable error construction inside
 			// internal/dfs function bodies. Package-level sentinel

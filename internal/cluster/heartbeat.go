@@ -59,6 +59,34 @@ func (h *HeartbeatEstimator) ObserveInterruption(id NodeID, downtime float64) er
 	return nil
 }
 
+// ObserveBatch folds one networked heartbeat's worth of observations
+// in a single step: uptime seconds of heartbeating, plus
+// interruptions rejoins whose downtimes sum to downtime seconds. It
+// is equivalent to one ObserveUptime(uptime) followed by the
+// individual ObserveInterruption calls — the estimator only keeps
+// sums, so per-interruption detail is not needed on the wire.
+func (h *HeartbeatEstimator) ObserveBatch(id NodeID, uptime float64, interruptions int64, downtime float64) error {
+	if uptime < 0 {
+		return fmt.Errorf("cluster: negative observation window %g", uptime)
+	}
+	if interruptions < 0 {
+		return fmt.Errorf("cluster: negative interruption count %d", interruptions)
+	}
+	if downtime < 0 {
+		return fmt.Errorf("cluster: negative downtime %g", downtime)
+	}
+	if downtime > 0 && interruptions == 0 {
+		return fmt.Errorf("cluster: downtime %g with zero interruptions", downtime)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.stats(id)
+	s.observedFor += uptime + downtime
+	s.interruptions += interruptions
+	s.totalDowntime += downtime
+	return nil
+}
+
 func (h *HeartbeatEstimator) stats(id NodeID) *nodeStats {
 	s, ok := h.nodes[id]
 	if !ok {

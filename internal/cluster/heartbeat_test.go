@@ -181,3 +181,43 @@ func TestHeartbeatObservedAndConcurrentSnapshots(t *testing.T) {
 		t.Fatalf("applied mu = %g, want 1", mu)
 	}
 }
+
+// TestObserveBatchEquivalence proves one ObserveBatch equals the
+// incremental calls it summarizes, and that it rejects bad deltas.
+func TestObserveBatchEquivalence(t *testing.T) {
+	inc := NewHeartbeatEstimator()
+	if err := inc.ObserveUptime(3, 100); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{4, 6} {
+		if err := inc.ObserveInterruption(3, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batch := NewHeartbeatEstimator()
+	if err := batch.ObserveBatch(3, 100, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := inc.Estimate(3), batch.Estimate(3)
+	if a != b {
+		t.Fatalf("batch estimate %+v != incremental %+v", b, a)
+	}
+	secA, intA := inc.Observed(3)
+	secB, intB := batch.Observed(3)
+	if secA != secB || intA != intB {
+		t.Fatalf("observed (%g,%d) != (%g,%d)", secB, intB, secA, intA)
+	}
+
+	for _, bad := range []struct {
+		up, down float64
+		ints     int64
+	}{
+		{-1, 0, 0}, {0, -1, 1}, {0, 1, 0}, {1, 0, -1},
+	} {
+		if err := batch.ObserveBatch(3, bad.up, bad.ints, bad.down); err == nil {
+			t.Fatalf("ObserveBatch(%+v) accepted", bad)
+		}
+	}
+}

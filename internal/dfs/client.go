@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -19,6 +20,12 @@ import (
 // ErrNoReplica — see IsTransient) are retried with bounded exponential
 // backoff per Retry, and writes degrade gracefully to alternate live
 // nodes, reporting the replication actually achieved.
+//
+// Every operation has a Context variant that bounds its total latency:
+// backoff waits end early when the deadline passes and replica RPCs
+// inherit the deadline, so a networked caller can cap tail latency.
+// The plain variants use context.Background() and keep the historical
+// count-based retry semantics.
 type Client struct {
 	nn *NameNode
 	g  *stats.RNG
@@ -75,24 +82,40 @@ func (c *Client) CopyFromLocal(name string, data []byte, useAdapt bool) (*FileMe
 	return fm, err
 }
 
+// CopyFromLocalContext is CopyFromLocal bounded by ctx.
+func (c *Client) CopyFromLocalContext(ctx context.Context, name string, data []byte, useAdapt bool) (*FileMeta, error) {
+	fm, _, err := c.CopyFromLocalReportContext(ctx, name, data, useAdapt)
+	return fm, err
+}
+
 // CopyFromLocalReport is CopyFromLocal plus a WriteReport describing
 // the replication achieved under failures: holders that rejected the
 // write are replaced by alternate live nodes, and blocks below target
 // replication are reported as degraded instead of failing the copy.
 func (c *Client) CopyFromLocalReport(name string, data []byte, useAdapt bool) (*FileMeta, WriteReport, error) {
+	return c.CopyFromLocalReportContext(context.Background(), name, data, useAdapt)
+}
+
+// CopyFromLocalReportContext is CopyFromLocalReport bounded by ctx.
+func (c *Client) CopyFromLocalReportContext(ctx context.Context, name string, data []byte, useAdapt bool) (*FileMeta, WriteReport, error) {
 	var report WriteReport
 	pol, err := c.policy(useAdapt)
 	if err != nil {
 		return nil, report, err
 	}
-	fm, err := c.nn.createFile(name, data, c.BlockSize, c.Replication, pol, c.g.Split(), c.Retry, &report)
+	fm, err := c.nn.createFile(ctx, name, data, c.BlockSize, c.Replication, pol, c.g.Split(), c.Retry, &report)
 	return fm, report, err
 }
 
 // Cp copies an existing file to a new name, placing the copy's blocks
 // with the selected distributor.
 func (c *Client) Cp(src, dst string, useAdapt bool) (*FileMeta, error) {
-	data, err := c.ReadFile(src)
+	return c.CpContext(context.Background(), src, dst, useAdapt)
+}
+
+// CpContext is Cp bounded by ctx.
+func (c *Client) CpContext(ctx context.Context, src, dst string, useAdapt bool) (*FileMeta, error) {
+	data, err := c.ReadFileContext(ctx, src)
 	if err != nil {
 		return nil, fmt.Errorf("dfs: cp %q: %w", src, err)
 	}
@@ -104,7 +127,7 @@ func (c *Client) Cp(src, dst string, useAdapt bool) (*FileMeta, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.nn.createFile(dst, data, srcMeta.BlockSize, srcMeta.Replication, pol, c.g.Split(), c.Retry, nil)
+	return c.nn.createFile(ctx, dst, data, srcMeta.BlockSize, srcMeta.Replication, pol, c.g.Split(), c.Retry, nil)
 }
 
 // ReadFile reads a whole file back, failing over across replicas
@@ -112,9 +135,16 @@ func (c *Client) Cp(src, dst string, useAdapt bool) (*FileMeta, error) {
 // backoff, re-fetching metadata between attempts so repairs and
 // redistributions done meanwhile are picked up.
 func (c *Client) ReadFile(name string) ([]byte, error) {
+	return c.ReadFileContext(context.Background(), name)
+}
+
+// ReadFileContext is ReadFile bounded by ctx: backoff waits are cut
+// short at the deadline and the context error is returned wrapped, so
+// callers distinguish "retries exhausted" from "deadline exceeded".
+func (c *Client) ReadFileContext(ctx context.Context, name string) ([]byte, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		data, err := c.nn.ReadFile(name)
+		data, err := c.nn.ReadFileContext(ctx, name)
 		if err == nil {
 			return data, nil
 		}
@@ -125,7 +155,9 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 		if attempt >= c.Retry.attempts() {
 			return nil, lastErr
 		}
-		c.Retry.wait(attempt)
+		if werr := c.Retry.wait(ctx, attempt); werr != nil {
+			return nil, fmt.Errorf("dfs: read %q interrupted: %w (last error: %v)", name, werr, lastErr)
+		}
 		c.nn.counters.ReadRetries.Add(1)
 	}
 }
@@ -134,9 +166,14 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 // on transient failure. Unlike ReadFile it works from the caller's
 // BlockMeta snapshot, so it cannot see holders added after the stat.
 func (c *Client) ReadBlock(bm BlockMeta) ([]byte, error) {
+	return c.ReadBlockContext(context.Background(), bm)
+}
+
+// ReadBlockContext is ReadBlock bounded by ctx.
+func (c *Client) ReadBlockContext(ctx context.Context, bm BlockMeta) ([]byte, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		data, err := c.nn.ReadBlock(bm)
+		data, err := c.nn.ReadBlockContext(ctx, bm)
 		if err == nil {
 			return data, nil
 		}
@@ -147,7 +184,9 @@ func (c *Client) ReadBlock(bm BlockMeta) ([]byte, error) {
 		if attempt >= c.Retry.attempts() {
 			return nil, lastErr
 		}
-		c.Retry.wait(attempt)
+		if werr := c.Retry.wait(ctx, attempt); werr != nil {
+			return nil, fmt.Errorf("dfs: read of block %d interrupted: %w (last error: %v)", bm.ID, werr, lastErr)
+		}
 		c.nn.counters.ReadRetries.Add(1)
 	}
 }
@@ -157,21 +196,31 @@ func (c *Client) ReadBlock(bm BlockMeta) ([]byte, error) {
 // only the replicas whose holder changed (analogous to the rebalance
 // facility, §IV-B2). It returns the number of replicas moved.
 func (c *Client) Adapt(name string) (int, error) {
+	return c.AdaptContext(context.Background(), name)
+}
+
+// AdaptContext is Adapt bounded by ctx.
+func (c *Client) AdaptContext(ctx context.Context, name string) (int, error) {
 	pol, err := c.policy(true)
 	if err != nil {
 		return 0, err
 	}
-	return c.redistribute(name, pol)
+	return c.redistribute(ctx, name, pol)
 }
 
 // Rebalance redistributes an existing file's blocks with the stock
 // uniform policy — the baseline the adapt command is analogous to.
 func (c *Client) Rebalance(name string) (int, error) {
+	return c.RebalanceContext(context.Background(), name)
+}
+
+// RebalanceContext is Rebalance bounded by ctx.
+func (c *Client) RebalanceContext(ctx context.Context, name string) (int, error) {
 	pol, err := c.policy(false)
 	if err != nil {
 		return 0, err
 	}
-	return c.redistribute(name, pol)
+	return c.redistribute(ctx, name, pol)
 }
 
 // redistribute moves an existing file's replicas onto the placement
@@ -183,7 +232,7 @@ func (c *Client) Rebalance(name string) (int, error) {
 // replicas for the maintenance pass to ignore. The whole operation
 // holds the file's structural lock, serializing with Delete,
 // MaintainReplication, and other redistributions of the same file.
-func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
+func (c *Client) redistribute(ctx context.Context, name string, pol placement.Policy) (int, error) {
 	unlock := c.nn.lockFile(name)
 	defer unlock()
 
@@ -206,9 +255,9 @@ func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
 	var written []write
 	abort := func(cause error) (int, error) {
 		for _, w := range written {
-			dn, err := c.nn.DataNode(w.node)
+			s, err := c.nn.Store(w.node)
 			if err == nil {
-				dn.Delete(w.id)
+				_ = s.Delete(context.WithoutCancel(ctx), w.id)
 			}
 		}
 		return 0, cause
@@ -236,16 +285,16 @@ func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
 				continue
 			}
 			if data == nil {
-				data, err = c.ReadBlock(bm)
+				data, err = c.ReadBlockContext(ctx, bm)
 				if err != nil {
 					return abort(fmt.Errorf("dfs: adapt %q block %d: %w", name, i, err))
 				}
 			}
-			dn, err := c.nn.DataNode(h)
+			s, err := c.nn.Store(h)
 			if err != nil {
 				return abort(err)
 			}
-			if err := dn.Put(bm.ID, data); err != nil {
+			if err := s.Put(ctx, bm.ID, data); err != nil {
 				if errors.Is(err, ErrNodeDown) {
 					c.nn.counters.NodeDownErrors.Add(1)
 				}
@@ -284,11 +333,11 @@ func (c *Client) redistribute(name string, pol placement.Policy) (int, error) {
 	// crash here leaks surplus copies, never data.
 	for i := range prune {
 		for _, r := range prune[i] {
-			dn, err := c.nn.DataNode(r)
+			s, err := c.nn.Store(r)
 			if err != nil {
 				return moved, err
 			}
-			dn.Delete(newBlocks[i].ID)
+			_ = s.Delete(context.WithoutCancel(ctx), newBlocks[i].ID)
 		}
 	}
 	c.nn.counters.RedistributedReplicas.Add(int64(moved))

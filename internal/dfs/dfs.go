@@ -14,6 +14,7 @@ package dfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -80,6 +81,9 @@ var (
 	// pointing at missing, corrupt, or malformed replicas. Permanent —
 	// it means an invariant broke, not that a retry could help.
 	ErrInconsistent = errors.New("dfs: metadata inconsistent")
+	// ErrNotLocal marks a request for the in-process *DataNode of a
+	// node whose BlockStore is a remote proxy; always a caller bug.
+	ErrNotLocal = errors.New("dfs: datanode is not local to this namenode")
 )
 
 // Op identifies a DataNode operation for fault injection.
@@ -271,28 +275,43 @@ type NameNode struct {
 	files     map[string]*FileMeta
 	fileLocks map[string]*sync.Mutex
 	nextBlock BlockID
-	datanodes []*DataNode
+	stores    []BlockStore
 	heartbeat *cluster.HeartbeatEstimator
 	counters  *metrics.ResilienceCounters
 }
 
-// NewNameNode builds a NameNode and one DataNode per cluster node.
+// NewNameNode builds a NameNode and one in-process DataNode per
+// cluster node.
 func NewNameNode(c *cluster.Cluster) (*NameNode, error) {
 	if c == nil || c.Len() == 0 {
 		return nil, cluster.ErrNoNodes
 	}
-	nn := &NameNode{
+	stores := make([]BlockStore, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		stores[i] = localStore{NewDataNode(cluster.NodeID(i))}
+	}
+	return NewNameNodeWithStores(c, stores)
+}
+
+// NewNameNodeWithStores builds a NameNode over caller-supplied block
+// stores — the networked layer's entry point, where each store is an
+// RPC proxy for one remote DataNode. The stores must be one per
+// cluster node, in node-id order.
+func NewNameNodeWithStores(c *cluster.Cluster, stores []BlockStore) (*NameNode, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, cluster.ErrNoNodes
+	}
+	if len(stores) != c.Len() {
+		return nil, fmt.Errorf("%w: %d stores for %d nodes", ErrUnknownNode, len(stores), c.Len())
+	}
+	return &NameNode{
 		cluster:   c,
 		files:     make(map[string]*FileMeta),
 		fileLocks: make(map[string]*sync.Mutex),
+		stores:    stores,
 		heartbeat: cluster.NewHeartbeatEstimator(),
 		counters:  &metrics.ResilienceCounters{},
-	}
-	nn.datanodes = make([]*DataNode, c.Len())
-	for i := 0; i < c.Len(); i++ {
-		nn.datanodes[i] = NewDataNode(cluster.NodeID(i))
-	}
-	return nn, nil
+	}, nil
 }
 
 // Resilience returns the shared retry/failover/repair counters every
@@ -302,19 +321,22 @@ func (nn *NameNode) Resilience() *metrics.ResilienceCounters { return nn.counter
 // SetNodeUp flips one DataNode's liveness — the hook a chaos engine
 // drives. It returns an error for unknown ids.
 func (nn *NameNode) SetNodeUp(id cluster.NodeID, up bool) error {
-	dn, err := nn.DataNode(id)
+	s, err := nn.Store(id)
 	if err != nil {
 		return err
 	}
-	dn.SetUp(up)
+	s.SetUp(up)
 	return nil
 }
 
-// SetFaultInjector attaches a fault injector to every DataNode (nil
-// detaches).
+// SetFaultInjector attaches a fault injector to every in-process
+// DataNode (nil detaches). Remote stores are unaffected: their chaos
+// surface is the transport fault hook, not the storage hook.
 func (nn *NameNode) SetFaultInjector(f FaultInjector) {
-	for _, dn := range nn.datanodes {
-		dn.SetFaults(f)
+	for _, s := range nn.stores {
+		if ls, ok := s.(localStore); ok {
+			ls.dn.SetFaults(f)
+		}
 	}
 }
 
@@ -336,12 +358,27 @@ func (nn *NameNode) lockFile(name string) func() {
 // Cluster returns the underlying cluster.
 func (nn *NameNode) Cluster() *cluster.Cluster { return nn.cluster }
 
-// DataNode returns the DataNode for a cluster node.
+// DataNode returns the in-process DataNode for a cluster node. On a
+// NameNode built over remote stores it fails with ErrNotLocal; use
+// Store for the transport-agnostic view.
 func (nn *NameNode) DataNode(id cluster.NodeID) (*DataNode, error) {
-	if int(id) < 0 || int(id) >= len(nn.datanodes) {
+	s, err := nn.Store(id)
+	if err != nil {
+		return nil, err
+	}
+	l, ok := s.(interface{ Local() *DataNode })
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d", ErrNotLocal, id)
+	}
+	return l.Local(), nil
+}
+
+// Store returns the BlockStore for a cluster node.
+func (nn *NameNode) Store(id cluster.NodeID) (BlockStore, error) {
+	if int(id) < 0 || int(id) >= len(nn.stores) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
-	return nn.datanodes[id], nil
+	return nn.stores[id], nil
 }
 
 // Heartbeat returns the heartbeat estimator (the ADAPT performance
@@ -390,6 +427,14 @@ func (nn *NameNode) Exists(name string) bool {
 // redistribute and repair on the same file so a concurrent structural
 // operation can never strand replicas.
 func (nn *NameNode) Delete(name string) error {
+	return nn.DeleteContext(context.Background(), name)
+}
+
+// DeleteContext is Delete with a deadline for the replica
+// invalidations. Replica deletes are best-effort (HDFS's lazy block
+// invalidation): an unreachable holder keeps a surplus copy, never
+// live metadata.
+func (nn *NameNode) DeleteContext(ctx context.Context, name string) error {
 	unlock := nn.lockFile(name)
 	defer unlock()
 	nn.mu.Lock()
@@ -402,7 +447,7 @@ func (nn *NameNode) Delete(name string) error {
 	nn.mu.Unlock()
 	for _, bm := range fm.Blocks {
 		for _, r := range bm.Replicas {
-			nn.datanodes[r].Delete(bm.ID)
+			_ = nn.stores[r].Delete(ctx, bm.ID)
 		}
 	}
 	return nil
@@ -458,7 +503,7 @@ func copyFileMeta(fm *FileMeta) *FileMeta {
 // than failing the write. Only a block no live node accepts fails the
 // create, after bounded backoff-retry; replicas written for earlier
 // blocks are then cleaned up so nothing leaks.
-func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replication int, pol placement.Policy, g *stats.RNG, retry RetryPolicy, report *WriteReport) (*FileMeta, error) {
+func (nn *NameNode) createFile(ctx context.Context, name string, data []byte, blockSize int64, replication int, pol placement.Policy, g *stats.RNG, retry RetryPolicy, report *WriteReport) (*FileMeta, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadBlockSize, blockSize)
 	}
@@ -496,7 +541,7 @@ func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replic
 	cleanup := func() {
 		for _, bm := range fm.Blocks {
 			for _, r := range bm.Replicas {
-				nn.datanodes[r].Delete(bm.ID)
+				_ = nn.stores[r].Delete(context.WithoutCancel(ctx), bm.ID)
 			}
 		}
 	}
@@ -519,7 +564,7 @@ func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replic
 		id := nn.nextBlock
 		nn.nextBlock++
 		nn.mu.Unlock()
-		placed, err := nn.writeBlockReplicas(id, chunk, holders, replication, g, retry, report)
+		placed, err := nn.writeBlockReplicas(ctx, id, chunk, holders, replication, g, retry, report)
 		if err != nil {
 			cleanup()
 			return nil, fmt.Errorf("dfs: create %q block %d: %w", name, i, err)
@@ -557,7 +602,7 @@ func (nn *NameNode) createFile(name string, data []byte, blockSize int64, replic
 // returns the holders that acknowledged. With zero acknowledgements it
 // waits out the retry policy's backoff (nodes may rejoin) before
 // giving up with ErrNoLiveNodes.
-func (nn *NameNode) writeBlockReplicas(id BlockID, chunk []byte, want []cluster.NodeID, k int, g *stats.RNG, retry RetryPolicy, report *WriteReport) ([]cluster.NodeID, error) {
+func (nn *NameNode) writeBlockReplicas(ctx context.Context, id BlockID, chunk []byte, want []cluster.NodeID, k int, g *stats.RNG, retry RetryPolicy, report *WriteReport) ([]cluster.NodeID, error) {
 	var placed []cluster.NodeID
 	for attempt := 1; ; attempt++ {
 		tried := make(map[cluster.NodeID]bool, k)
@@ -566,7 +611,7 @@ func (nn *NameNode) writeBlockReplicas(id BlockID, chunk []byte, want []cluster.
 				return
 			}
 			tried[h] = true
-			if err := nn.datanodes[h].Put(id, chunk); err != nil {
+			if err := nn.stores[h].Put(ctx, id, chunk); err != nil {
 				if errors.Is(err, ErrNodeDown) {
 					nn.counters.NodeDownErrors.Add(1)
 				}
@@ -586,11 +631,11 @@ func (nn *NameNode) writeBlockReplicas(id BlockID, chunk []byte, want []cluster.
 		// Divert missing replicas to alternate live nodes, visited in
 		// a random rotation so degraded writes spread load.
 		if len(placed) < k {
-			n := len(nn.datanodes)
+			n := len(nn.stores)
 			start := g.IntN(n)
 			for off := 0; off < n && len(placed) < k; off++ {
 				h := cluster.NodeID((start + off) % n)
-				if nn.datanodes[h].Up() {
+				if nn.stores[h].Up() {
 					try(h, true)
 				}
 			}
@@ -601,7 +646,9 @@ func (nn *NameNode) writeBlockReplicas(id BlockID, chunk []byte, want []cluster.
 		if attempt >= retry.attempts() {
 			return nil, fmt.Errorf("%w: block %d (%d attempts)", ErrNoLiveNodes, id, attempt)
 		}
-		retry.wait(attempt)
+		if err := retry.wait(ctx, attempt); err != nil {
+			return nil, fmt.Errorf("dfs: write of block %d interrupted: %w", id, err)
+		}
 		nn.counters.WriteRetries.Add(1)
 		if report != nil {
 			report.Retries++
@@ -613,10 +660,16 @@ func (nn *NameNode) writeBlockReplicas(id BlockID, chunk []byte, want []cluster.
 // the CRC32 checksum and failing over to the next replica on node
 // failure, missing bytes, or corruption.
 func (nn *NameNode) ReadBlock(bm BlockMeta) ([]byte, error) {
+	return nn.ReadBlockContext(context.Background(), bm)
+}
+
+// ReadBlockContext is ReadBlock with a deadline for the replica
+// fetches.
+func (nn *NameNode) ReadBlockContext(ctx context.Context, bm BlockMeta) ([]byte, error) {
 	var lastErr error
 	attempted := 0
 	for _, r := range bm.Replicas {
-		dn := nn.datanodes[r]
+		dn := nn.stores[r]
 		if !dn.Up() {
 			continue
 		}
@@ -624,7 +677,7 @@ func (nn *NameNode) ReadBlock(bm BlockMeta) ([]byte, error) {
 			nn.counters.ReadFailovers.Add(1)
 		}
 		attempted++
-		data, err := dn.Get(bm.ID)
+		data, err := dn.Get(ctx, bm.ID)
 		if err != nil {
 			if errors.Is(err, ErrNodeDown) {
 				nn.counters.NodeDownErrors.Add(1)
@@ -647,6 +700,11 @@ func (nn *NameNode) ReadBlock(bm BlockMeta) ([]byte, error) {
 
 // ReadFile reassembles a whole file from live replicas.
 func (nn *NameNode) ReadFile(name string) ([]byte, error) {
+	return nn.ReadFileContext(context.Background(), name)
+}
+
+// ReadFileContext is ReadFile with a deadline for the block fetches.
+func (nn *NameNode) ReadFileContext(ctx context.Context, name string) ([]byte, error) {
 	fm, err := nn.Stat(name)
 	if err != nil {
 		return nil, err
@@ -654,7 +712,7 @@ func (nn *NameNode) ReadFile(name string) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.Grow(int(fm.Size))
 	for _, bm := range fm.Blocks {
-		data, err := nn.ReadBlock(bm)
+		data, err := nn.ReadBlockContext(ctx, bm)
 		if err != nil {
 			return nil, err
 		}
@@ -704,14 +762,14 @@ func (nn *NameNode) checkFile(name string) error {
 		}
 		seen := make(map[cluster.NodeID]bool, len(bm.Replicas))
 		for _, r := range bm.Replicas {
-			if int(r) < 0 || int(r) >= len(nn.datanodes) {
+			if int(r) < 0 || int(r) >= len(nn.stores) {
 				return fmt.Errorf("%w: %q block %d: bad node id %d", ErrInconsistent, name, bm.Index, r)
 			}
 			if seen[r] {
 				return fmt.Errorf("%w: %q block %d: duplicate holder %d", ErrInconsistent, name, bm.Index, r)
 			}
 			seen[r] = true
-			data, ok := nn.datanodes[r].StoredData(bm.ID)
+			data, ok := nn.stores[r].StoredData(context.Background(), bm.ID)
 			if !ok {
 				return fmt.Errorf("%w: %q block %d: holder %d lost block %d", ErrInconsistent, name, bm.Index, r, bm.ID)
 			}

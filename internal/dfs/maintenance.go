@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -28,6 +29,11 @@ type ReplicationReport struct {
 // Blocks whose every holder is down cannot be repaired (their bytes
 // are unreachable) and are reported as such.
 func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationReport, error) {
+	return c.MaintainReplicationContext(context.Background(), name, useAdapt)
+}
+
+// MaintainReplicationContext is MaintainReplication bounded by ctx.
+func (c *Client) MaintainReplicationContext(ctx context.Context, name string, useAdapt bool) (ReplicationReport, error) {
 	var report ReplicationReport
 	unlock := c.nn.lockFile(name)
 	defer unlock()
@@ -50,11 +56,11 @@ func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationRep
 		holderSet := make(map[cluster.NodeID]bool, len(bm.Replicas))
 		for _, r := range bm.Replicas {
 			holderSet[r] = true
-			dn, err := c.nn.DataNode(r)
+			s, err := c.nn.Store(r)
 			if err != nil {
 				return report, err
 			}
-			if dn.Up() {
+			if s.Up() {
 				live++
 			}
 		}
@@ -67,7 +73,7 @@ func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationRep
 			c.nn.counters.UnrepairableBlocks.Add(1)
 			continue
 		}
-		data, err := c.ReadBlock(bm)
+		data, err := c.ReadBlockContext(ctx, bm)
 		if err != nil {
 			report.Unrepairable++
 			c.nn.counters.UnrepairableBlocks.Add(1)
@@ -79,11 +85,11 @@ func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationRep
 			if !ok {
 				break // no live node left to host another replica
 			}
-			dn, err := c.nn.DataNode(target)
+			s, err := c.nn.Store(target)
 			if err != nil {
 				return report, err
 			}
-			if err := dn.Put(bm.ID, data); err != nil {
+			if err := s.Put(ctx, bm.ID, data); err != nil {
 				if !IsTransient(err) {
 					return report, fmt.Errorf("dfs: repair %q block %d: %w", name, bm.Index, err)
 				}
@@ -151,8 +157,8 @@ func pickWeighted(weights []float64, exclude map[cluster.NodeID]bool, nn *NameNo
 		if w <= 0 || exclude[id] {
 			continue
 		}
-		dn, err := nn.DataNode(id)
-		if err != nil || !dn.Up() {
+		s, err := nn.Store(id)
+		if err != nil || !s.Up() {
 			continue
 		}
 		total += w
@@ -166,8 +172,8 @@ func pickWeighted(weights []float64, exclude map[cluster.NodeID]bool, nn *NameNo
 		if w <= 0 || exclude[id] {
 			continue
 		}
-		dn, err := nn.DataNode(id)
-		if err != nil || !dn.Up() {
+		s, err := nn.Store(id)
+		if err != nil || !s.Up() {
 			continue
 		}
 		r -= w
@@ -181,8 +187,8 @@ func pickWeighted(weights []float64, exclude map[cluster.NodeID]bool, nn *NameNo
 		if weights[i] <= 0 || exclude[id] {
 			continue
 		}
-		dn, err := nn.DataNode(id)
-		if err == nil && dn.Up() {
+		s, err := nn.Store(id)
+		if err == nil && s.Up() {
 			return id, true
 		}
 	}

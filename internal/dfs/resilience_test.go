@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -173,7 +174,7 @@ func TestRedistributeAbortKeepsFileIntact(t *testing.T) {
 	mustDataNode(t, nn, failTarget).SetUp(false)
 
 	pol := &fixedPolicy{Plan: [][]cluster.NodeID{{moveTarget}, {failTarget}}}
-	if _, err := cl.redistribute("f", pol); err == nil {
+	if _, err := cl.redistribute(context.Background(), "f", pol); err == nil {
 		t.Fatal("redistribute onto a down node should fail")
 	} else if !IsTransient(err) {
 		t.Fatalf("mid-flight node-down failure should be transient, got %v", err)
@@ -213,7 +214,7 @@ func TestRedistributePublishesBeforePruning(t *testing.T) {
 	oldHolder := fm.Blocks[0].Replicas[0]
 	newHolder := cluster.NodeID((int(oldHolder) + 1) % 4)
 
-	moved, err := cl.redistribute("f", &fixedPolicy{Plan: [][]cluster.NodeID{{newHolder}}})
+	moved, err := cl.redistribute(context.Background(), "f", &fixedPolicy{Plan: [][]cluster.NodeID{{newHolder}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestDegradedWriteFallsBackAndReports(t *testing.T) {
 	data := bytes.Repeat([]byte("degraded!!"), 10) // 1 block
 	pol := &fixedPolicy{Plan: [][]cluster.NodeID{{2, 3, 0}}}
 	var report WriteReport
-	fm, err := nn.createFile("f", data, cl.BlockSize, cl.Replication, pol, stats.NewRNG(1), cl.Retry, &report)
+	fm, err := nn.createFile(context.Background(), "f", data, cl.BlockSize, cl.Replication, pol, stats.NewRNG(1), cl.Retry, &report)
 	if err != nil {
 		t.Fatalf("degraded write should succeed on surviving nodes: %v", err)
 	}

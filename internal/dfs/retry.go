@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"context"
 	"errors"
 	"time"
 )
@@ -55,17 +56,34 @@ func (p RetryPolicy) backoff(retry int) time.Duration {
 	return d
 }
 
-// wait sleeps the backoff for retry number retry (1-based).
-func (p RetryPolicy) wait(retry int) {
+// wait sleeps the backoff for retry number retry (1-based), giving up
+// early when the context is cancelled or its deadline passes. It
+// returns the context's error in that case and nil after a full
+// backoff. A context with no deadline preserves the historical
+// count-based semantics exactly: the wait always completes.
+func (p RetryPolicy) wait(ctx context.Context, retry int) error {
 	d := p.backoff(retry)
 	if d <= 0 {
-		return
+		return ctx.Err()
 	}
 	if p.Sleep != nil {
+		// Virtual-time waits run to completion (tests and simulations
+		// drive the clock); cancellation is observed at the boundary.
 		p.Sleep(d)
-		return
+		return ctx.Err()
 	}
-	time.Sleep(d)
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // IsTransient classifies an error from the dfs layer: transient errors

@@ -1,0 +1,86 @@
+package dfs
+
+import (
+	"context"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+)
+
+// BlockStore is the NameNode's view of one node's block storage. The
+// in-process *DataNode satisfies it through localStore; the networked
+// layer (internal/svc) substitutes an RPC proxy so the same engine —
+// createFile, ReadBlock, redistribute, repair — drives remote
+// DataNodes over TCP without knowing the difference.
+//
+// Error contract: implementations must surface "the node is not
+// serving" conditions (down, unreachable, partitioned) as errors
+// wrapping ErrNodeDown so the failover and retry machinery classifies
+// them; permanent conditions use the other dfs sentinels.
+type BlockStore interface {
+	// ID returns the cluster node this store belongs to.
+	ID() cluster.NodeID
+	// Up reports whether the store is believed to be serving. For a
+	// remote store this is the NameNode's liveness belief (heartbeat
+	// freshness), not ground truth: operations may still fail with
+	// ErrNodeDown, and the caller must fail over.
+	Up() bool
+	// SetUp flips the liveness belief — the chaos engine's hook for
+	// local stores, the heartbeat tracker's for remote ones.
+	SetUp(up bool)
+	// Put stores one block replica.
+	Put(ctx context.Context, id BlockID, data []byte) error
+	// Get reads one block replica.
+	Get(ctx context.Context, id BlockID) ([]byte, error)
+	// Delete removes a block replica. Deletes are metadata-driven and
+	// best-effort (HDFS's lazy invalidation); an error means the
+	// replica may survive as surplus, never that data was lost.
+	Delete(ctx context.Context, id BlockID) error
+	// StoredData returns the bytes the store holds for a block
+	// regardless of up state and without fault injection — the "bits
+	// on disk" view used by consistency verification. ok is false when
+	// the block is absent or the store is unreachable.
+	StoredData(ctx context.Context, id BlockID) ([]byte, bool)
+}
+
+// localStore adapts the in-process *DataNode to BlockStore. The
+// context is honored only between operations (in-memory calls are
+// instantaneous); remote stores honor it as an RPC deadline.
+type localStore struct{ dn *DataNode }
+
+func (s localStore) ID() cluster.NodeID { return s.dn.ID() }
+func (s localStore) Up() bool           { return s.dn.Up() }
+func (s localStore) SetUp(up bool)      { s.dn.SetUp(up) }
+
+func (s localStore) Put(ctx context.Context, id BlockID, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.dn.Put(id, data)
+}
+
+func (s localStore) Get(ctx context.Context, id BlockID) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.dn.Get(id)
+}
+
+func (s localStore) Delete(ctx context.Context, id BlockID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.dn.Delete(id)
+	return nil
+}
+
+func (s localStore) StoredData(ctx context.Context, id BlockID) ([]byte, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	return s.dn.StoredData(id)
+}
+
+// Local exposes the wrapped DataNode; NameNode.DataNode uses it to
+// keep the historical *DataNode accessor working on all-local
+// clusters.
+func (s localStore) Local() *DataNode { return s.dn }

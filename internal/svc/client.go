@@ -1,0 +1,136 @@
+package svc
+
+import (
+	"context"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/model"
+)
+
+// Client is the shell-style client for a networked NameNode: typed
+// wrappers over the nn.* RPCs, one multiplexed redialing connection
+// underneath. Errors arrive rehydrated, so errors.Is against the dfs
+// sentinels and dfs.IsTransient behave exactly as in-process.
+type Client struct {
+	peer *peerConn
+}
+
+// Dial creates a client for the NameNode at addr. name is this
+// client's endpoint name for the fault hook ("shell" is conventional);
+// faults may be nil. The connection is established lazily on first
+// call.
+func Dial(addr, name string, faults TransportFaults) *Client {
+	return &Client{peer: newPeerConn(addr, name, "namenode", faults)}
+}
+
+// Close tears down the connection; the client may be reused (calls
+// redial).
+func (c *Client) Close() { c.peer.close() }
+
+// CopyFromLocal stores data as a new file, with the ADAPT distributor
+// when useAdapt is set, returning the metadata and the write report.
+func (c *Client) CopyFromLocal(ctx context.Context, name string, data []byte, useAdapt bool) (*dfs.FileMeta, dfs.WriteReport, error) {
+	var res copyResult
+	err := c.peer.call(ctx, "nn.copyFromLocal", copyParams{Name: name, Data: data, Adapt: useAdapt}, &res)
+	if err != nil {
+		return nil, dfs.WriteReport{}, err
+	}
+	return res.Meta, res.Report, nil
+}
+
+// Cp copies src to dst, placing the copy with the selected
+// distributor.
+func (c *Client) Cp(ctx context.Context, src, dst string, useAdapt bool) (*dfs.FileMeta, error) {
+	var fm dfs.FileMeta
+	if err := c.peer.call(ctx, "nn.cp", cpParams{Src: src, Dst: dst, Adapt: useAdapt}, &fm); err != nil {
+		return nil, err
+	}
+	return &fm, nil
+}
+
+// ReadFile reads a whole file back through the NameNode's failover
+// read path.
+func (c *Client) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	var res readResult
+	if err := c.peer.call(ctx, "nn.read", nameParams{Name: name}, &res); err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}
+
+// Stat returns a file's metadata.
+func (c *Client) Stat(ctx context.Context, name string) (*dfs.FileMeta, error) {
+	var fm dfs.FileMeta
+	if err := c.peer.call(ctx, "nn.stat", nameParams{Name: name}, &fm); err != nil {
+		return nil, err
+	}
+	return &fm, nil
+}
+
+// List returns all file names.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	var res listResult
+	if err := c.peer.call(ctx, "nn.list", nil, &res); err != nil {
+		return nil, err
+	}
+	return res.Files, nil
+}
+
+// Delete removes a file.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	return c.peer.call(ctx, "nn.delete", nameParams{Name: name}, nil)
+}
+
+// Adapt reshapes an existing file's placement with the
+// availability-aware distributor (the paper's new shell command),
+// returning how many replicas moved.
+func (c *Client) Adapt(ctx context.Context, name string) (int, error) {
+	var res movedResult
+	if err := c.peer.call(ctx, "nn.adapt", nameParams{Name: name}, &res); err != nil {
+		return 0, err
+	}
+	return res.Moved, nil
+}
+
+// Rebalance reshapes an existing file's placement with the stock
+// random distributor (the HDFS-rebalance analogue).
+func (c *Client) Rebalance(ctx context.Context, name string) (int, error) {
+	var res movedResult
+	if err := c.peer.call(ctx, "nn.rebalance", nameParams{Name: name}, &res); err != nil {
+		return 0, err
+	}
+	return res.Moved, nil
+}
+
+// BlockDistribution returns the per-node replica counts for a file.
+func (c *Client) BlockDistribution(ctx context.Context, name string) ([]int, error) {
+	var res distResult
+	if err := c.peer.call(ctx, "nn.dist", nameParams{Name: name}, &res); err != nil {
+		return nil, err
+	}
+	return res.Counts, nil
+}
+
+// MaintainReplication re-replicates a file's under-replicated blocks.
+func (c *Client) MaintainReplication(ctx context.Context, name string, useAdapt bool) (dfs.ReplicationReport, error) {
+	var rep dfs.ReplicationReport
+	err := c.peer.call(ctx, "nn.maintain", maintainParams{Name: name, Adapt: useAdapt}, &rep)
+	return rep, err
+}
+
+// Estimates returns the NameNode's current per-node (λ, μ) estimates,
+// as folded from heartbeats.
+func (c *Client) Estimates(ctx context.Context) (map[cluster.NodeID]model.Availability, error) {
+	var res estimatesResult
+	if err := c.peer.call(ctx, "nn.estimates", nil, &res); err != nil {
+		return nil, err
+	}
+	return res.Estimates, nil
+}
+
+// CheckConsistency asks the NameNode to verify every live replica's
+// bits against block checksums.
+func (c *Client) CheckConsistency(ctx context.Context) error {
+	return c.peer.call(ctx, "nn.consistency", nil, nil)
+}

@@ -1,0 +1,248 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is one multiplexed client connection: concurrent Calls are
+// correlated by request id, so a slow block fetch does not serialize
+// behind a heartbeat. A Conn that observes a transport error dies and
+// fails all pending calls with ErrConnClosed; the owning peer redials
+// on the next call.
+type Conn struct {
+	local  string // our endpoint name, sent as request.From
+	peer   string // the peer's endpoint name, for the fault hook
+	faults TransportFaults
+	nc     net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *response
+	dead    bool
+	cause   error
+}
+
+// dialConn opens a TCP connection and starts its reader. The fault
+// hook is consulted first, so a partitioned endpoint cannot even
+// dial.
+func dialConn(ctx context.Context, addr, local, peer string, faults TransportFaults) (*Conn, error) {
+	if faults != nil {
+		if err := faults.FailMessage(local, peer); err != nil {
+			return nil, fmt.Errorf("svc: dial %s: %w", addr, err)
+		}
+	}
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("svc: dial %s: %w", addr, err)
+	}
+	c := &Conn{
+		local:   local,
+		peer:    peer,
+		faults:  faults,
+		nc:      nc,
+		pending: make(map[uint64]chan *response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop routes response frames to their pending calls until the
+// connection dies.
+func (c *Conn) readLoop() {
+	for {
+		var resp response
+		if err := readFrame(c.nc, &resp); err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			r := resp
+			ch <- &r
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every pending call.
+func (c *Conn) fail(cause error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.cause = cause
+	stranded := c.pending
+	c.pending = make(map[uint64]chan *response)
+	c.mu.Unlock()
+	_ = c.nc.Close()
+	for _, ch := range stranded {
+		close(ch)
+	}
+}
+
+// Close tears the connection down; pending calls fail with
+// ErrConnClosed.
+func (c *Conn) Close() {
+	c.fail(ErrConnClosed)
+}
+
+// Dead reports whether the connection has failed.
+func (c *Conn) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Call performs one RPC: params are marshalled, the deadline budget
+// from ctx rides in the envelope, and the response is unmarshalled
+// into result (ignored when result is nil). Errors from the peer are
+// rehydrated as RemoteError.
+func (c *Conn) Call(ctx context.Context, method string, params, result any) error {
+	if c.faults != nil {
+		if err := c.faults.FailMessage(c.local, c.peer); err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return fmt.Errorf("svc: call %s: %w", method, err)
+		}
+		if d := c.faults.MessageDelay(c.local, c.peer); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("svc: call %s: %w", method, ctx.Err())
+			}
+		}
+	}
+
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("svc: call %s: encode params: %w", method, err)
+		}
+		raw = b
+	}
+
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.dead {
+		cause := c.cause
+		c.mu.Unlock()
+		return fmt.Errorf("svc: call %s: %w", method, cause)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := request{
+		ID:         id,
+		From:       c.local,
+		Method:     method,
+		DeadlineMS: deadlineBudget(ctx, time.Now()),
+		Params:     raw,
+	}
+	c.wmu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.nc.SetWriteDeadline(dl)
+	} else {
+		_ = c.nc.SetWriteDeadline(time.Time{})
+	}
+	err := writeFrame(c.nc, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("svc: call %s: %w", method, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return fmt.Errorf("svc: call %s: %w", method, ErrConnClosed)
+		}
+		if err := decodeError(resp); err != nil {
+			return fmt.Errorf("svc: call %s: %w", method, err)
+		}
+		if result != nil {
+			if len(resp.Result) == 0 {
+				return fmt.Errorf("%w: call %s returned no result", ErrBadFrame, method)
+			}
+			if err := json.Unmarshal(resp.Result, result); err != nil {
+				return fmt.Errorf("%w: call %s result: %v", ErrBadFrame, method, err)
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("svc: call %s: %w", method, ctx.Err())
+	}
+}
+
+// peerConn is a redialing wrapper: it lazily dials, reuses a live
+// Conn across calls, and drops a dead one so the next call redials.
+// Safe for concurrent use.
+type peerConn struct {
+	addr   string
+	local  string
+	peer   string
+	faults TransportFaults
+
+	mu   sync.Mutex
+	conn *Conn
+}
+
+func newPeerConn(addr, local, peer string, faults TransportFaults) *peerConn {
+	return &peerConn{addr: addr, local: local, peer: peer, faults: faults}
+}
+
+func (p *peerConn) get(ctx context.Context) (*Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil && !p.conn.Dead() {
+		return p.conn, nil
+	}
+	c, err := dialConn(ctx, p.addr, p.local, p.peer, p.faults)
+	if err != nil {
+		return nil, err
+	}
+	p.conn = c
+	return c, nil
+}
+
+// call dials (or reuses) the connection and performs one RPC.
+func (p *peerConn) call(ctx context.Context, method string, params, result any) error {
+	c, err := p.get(ctx)
+	if err != nil {
+		return err
+	}
+	return c.Call(ctx, method, params, result)
+}
+
+// close tears down the cached connection.
+func (p *peerConn) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}

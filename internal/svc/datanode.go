@@ -1,0 +1,234 @@
+package svc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+)
+
+// heartbeatParams is the wire form of one heartbeat. Observation
+// fields are cumulative totals since the DataNode started, not
+// deltas: a lost beat loses nothing, because the next beat carries
+// everything, and the NameNode folds only the difference from the
+// last total it saw. Seq orders beats so a delayed duplicate cannot
+// rewind the estimator.
+type heartbeatParams struct {
+	Node          cluster.NodeID `json:"node"`
+	Seq           uint64         `json:"seq"`
+	Uptime        float64        `json:"uptime"`        // cumulative observed uptime, seconds
+	Interruptions int64          `json:"interruptions"` // cumulative interruption count
+	Downtime      float64        `json:"downtime"`      // cumulative downtime, seconds
+}
+
+// endpointName returns the transport endpoint name for a DataNode,
+// shared by the server side, the NameNode's proxies, and the chaos
+// partition keys.
+func endpointName(id cluster.NodeID) string {
+	return fmt.Sprintf("datanode-%d", id)
+}
+
+// DataNodeServer is one networked DataNode: a dfs.DataNode behind a
+// frame server, plus the availability recorder that accumulates the
+// node's own interruption observations and ships them to the NameNode
+// as heartbeats — the paper's "slave daemons report availability
+// traces" loop.
+type DataNodeServer struct {
+	id     cluster.NodeID
+	dn     *dfs.DataNode
+	srv    *Server
+	faults TransportFaults
+	nn     *peerConn
+
+	mu            sync.Mutex
+	seq           uint64
+	uptime        float64
+	interruptions int64
+	downtime      float64
+
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// NewDataNodeServer creates a DataNode service for node id. faults
+// may be nil. Call ConnectNameNode before heartbeating (the NameNode
+// binds after its DataNodes, so the address arrives late).
+func NewDataNodeServer(id cluster.NodeID, faults TransportFaults) *DataNodeServer {
+	d := &DataNodeServer{
+		id:     id,
+		dn:     dfs.NewDataNode(id),
+		faults: faults,
+	}
+	d.srv = NewServer(endpointName(id), faults, d.handle)
+	return d
+}
+
+// ConnectNameNode points the heartbeat channel at the NameNode. The
+// connection itself is established lazily on the first beat.
+func (d *DataNodeServer) ConnectNameNode(nnAddr string) {
+	d.nn = newPeerConn(nnAddr, endpointName(d.id), "namenode", d.faults)
+}
+
+// Listen binds the block service (use "127.0.0.1:0" for tests).
+func (d *DataNodeServer) Listen(addr string) error {
+	return d.srv.Listen(addr)
+}
+
+// Addr returns the bound block-service address.
+func (d *DataNodeServer) Addr() string { return d.srv.Addr() }
+
+// Node exposes the underlying dfs.DataNode (fault injection, direct
+// inspection in tests).
+func (d *DataNodeServer) Node() *dfs.DataNode { return d.dn }
+
+func (d *DataNodeServer) handle(ctx context.Context, from, method string, params []byte) (any, error) {
+	switch method {
+	case "dn.put":
+		var p putParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := d.dn.Put(p.Block, p.Data); err != nil {
+			return nil, err
+		}
+		return struct{}{}, nil
+	case "dn.get":
+		var p getParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := d.dn.Get(p.Block)
+		if err != nil {
+			return nil, err
+		}
+		return getResult{Data: data}, nil
+	case "dn.delete":
+		var p getParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		d.dn.Delete(p.Block)
+		return struct{}{}, nil
+	case "dn.stored":
+		var p getParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		data, ok := d.dn.StoredData(p.Block)
+		return storedResult{Data: data, OK: ok}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
+	}
+}
+
+// ObserveUptime accrues d seconds of observed uptime. The chaos
+// engine's observer routing calls this in virtual time; a wall-clock
+// heartbeat loop calls it with real elapsed time.
+func (d *DataNodeServer) ObserveUptime(sec float64) error {
+	if sec < 0 {
+		return fmt.Errorf("svc: negative uptime %v: %w", sec, ErrBadObservation)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.uptime += sec
+	return nil
+}
+
+// ObserveInterruption accrues one interruption with the given
+// downtime in seconds.
+func (d *DataNodeServer) ObserveInterruption(downtimeSec float64) error {
+	if downtimeSec < 0 {
+		return fmt.Errorf("svc: negative downtime %v: %w", downtimeSec, ErrBadObservation)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.interruptions++
+	d.downtime += downtimeSec
+	return nil
+}
+
+// FlushHeartbeat sends one heartbeat carrying the cumulative
+// observation totals to the NameNode.
+func (d *DataNodeServer) FlushHeartbeat(ctx context.Context) error {
+	if d.nn == nil {
+		return fmt.Errorf("svc: heartbeat from %s: namenode not connected: %w", endpointName(d.id), ErrConnClosed)
+	}
+	d.mu.Lock()
+	d.seq++
+	hb := heartbeatParams{
+		Node:          d.id,
+		Seq:           d.seq,
+		Uptime:        d.uptime,
+		Interruptions: d.interruptions,
+		Downtime:      d.downtime,
+	}
+	d.mu.Unlock()
+	if err := d.nn.call(ctx, "nn.heartbeat", hb, nil); err != nil {
+		return fmt.Errorf("svc: heartbeat from %s: %w", endpointName(d.id), err)
+	}
+	return nil
+}
+
+// StartHeartbeats begins a wall-clock heartbeat loop. When
+// accrueWallUptime is set, each tick also records the real elapsed
+// time as observed uptime (a deployment posture); tests that drive
+// observations in virtual time leave it off. Safe to call once.
+func (d *DataNodeServer) StartHeartbeats(interval time.Duration, accrueWallUptime bool) {
+	d.loopStop = make(chan struct{})
+	d.loopDone = make(chan struct{})
+	go func() {
+		defer close(d.loopDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		last := time.Now()
+		for {
+			select {
+			case <-d.loopStop:
+				return
+			case now := <-t.C:
+				if accrueWallUptime {
+					_ = d.ObserveUptime(now.Sub(last).Seconds())
+					last = now
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				_ = d.FlushHeartbeat(ctx) // transient loss is the design point: totals carry over
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop gracefully shuts the DataNode down: the heartbeat loop halts,
+// a final heartbeat flushes the last observations (best-effort,
+// bounded by ctx), in-flight block RPCs drain, and connections close.
+func (d *DataNodeServer) Stop(ctx context.Context) error {
+	if d.loopStop != nil {
+		close(d.loopStop)
+		<-d.loopDone
+		d.loopStop = nil
+	}
+	var flushErr error
+	if d.nn != nil {
+		flushErr = d.FlushHeartbeat(ctx)
+	}
+	err := d.srv.Shutdown(ctx)
+	if d.nn != nil {
+		d.nn.close()
+	}
+	if err != nil {
+		return err
+	}
+	if flushErr != nil && ctx.Err() != nil {
+		return fmt.Errorf("svc: stop %s: %w", endpointName(d.id), ctx.Err())
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package svc is the networked ADAPT cluster (paper §IV/§V brought to
+// real sockets): a NameNode service holding metadata, the heartbeat
+// collector, and the performance predictor; DataNode services storing
+// block replicas; and a shell-style client — all speaking
+// length-prefixed JSON frames over TCP, stdlib only.
+//
+// The services are thin transports over the existing internal/dfs
+// engine: the NameNode runs dfs.NameNode/dfs.Client over remote
+// BlockStore proxies, so copyFromLocal, cp, the live adapt rebalance,
+// replica failover, and crash-consistent redistribution are exactly
+// the code paths the in-process tests already certify. DataNodes send
+// periodic heartbeats carrying cumulative interruption observations;
+// the NameNode folds the deltas into per-node (λ, μ) estimates and
+// refreshes the 1/E[T] placement weights, closing the paper's
+// predictor loop over the wire.
+//
+// Every RPC takes a context deadline, and both ends of the transport
+// consult a pluggable TransportFaults hook so a chaos engine
+// (chaos.NetFaults) can drop, delay, and partition connections.
+package svc
+
+import "errors"
+
+// Service-layer sentinels. Wire errors arriving from a peer are
+// rehydrated so errors.Is matches these and the dfs sentinels across
+// the network.
+var (
+	// ErrStaleHeartbeat marks a heartbeat whose sequence number is not
+	// newer than the last one folded for that node: a delayed or
+	// replayed beat that must not rewind the estimator.
+	ErrStaleHeartbeat = errors.New("svc: stale heartbeat")
+	// ErrUnknownMethod marks an RPC the peer does not implement.
+	ErrUnknownMethod = errors.New("svc: unknown method")
+	// ErrShuttingDown marks requests rejected because the server is
+	// draining; in-flight requests still complete.
+	ErrShuttingDown = errors.New("svc: server shutting down")
+	// ErrUnknownDataNode marks a heartbeat or block RPC naming a node
+	// id outside the cluster.
+	ErrUnknownDataNode = errors.New("svc: unknown datanode")
+	// ErrConnClosed marks calls failed because the connection died
+	// (peer gone, partition, or local close) before a response.
+	ErrConnClosed = errors.New("svc: connection closed")
+	// ErrBadObservation marks an availability observation that cannot
+	// be folded (negative durations, downtime without interruptions).
+	ErrBadObservation = errors.New("svc: bad availability observation")
+	// ErrFrameTooLarge marks a frame exceeding MaxFrameSize in either
+	// direction; the connection is torn down (framing is lost).
+	ErrFrameTooLarge = errors.New("svc: frame too large")
+	// ErrBadFrame marks an undecodable frame; the connection is torn
+	// down.
+	ErrBadFrame = errors.New("svc: bad frame")
+)
+
+// errorCode maps error chains to stable wire codes and back, so
+// errors.Is works across the network: a dfs.ErrFileNotFound raised in
+// the NameNode's engine arrives at the shell client still matching
+// dfs.ErrFileNotFound.
+type errorCode struct {
+	code     string
+	sentinel error
+}
+
+// wireCodes is consulted in order at encode time (first errors.Is
+// match wins) and by exact code at decode time.
+var wireCodes = []errorCode{}
+
+// registerCode is called from init functions below and from
+// wire_dfs.go to keep the table in one place.
+func registerCode(code string, sentinel error) {
+	wireCodes = append(wireCodes, errorCode{code: code, sentinel: sentinel})
+}
+
+func init() {
+	registerCode("stale_heartbeat", ErrStaleHeartbeat)
+	registerCode("unknown_method", ErrUnknownMethod)
+	registerCode("shutting_down", ErrShuttingDown)
+	registerCode("unknown_datanode", ErrUnknownDataNode)
+	registerCode("conn_closed", ErrConnClosed)
+	registerCode("bad_observation", ErrBadObservation)
+}
+
+// codeFor returns the wire code for an error chain ("" when no
+// sentinel matches).
+func codeFor(err error) string {
+	for _, ec := range wireCodes {
+		if errors.Is(err, ec.sentinel) {
+			return ec.code
+		}
+	}
+	return ""
+}
+
+// sentinelFor returns the sentinel for a wire code (nil when
+// unknown — the error still carries its message and transience).
+func sentinelFor(code string) error {
+	for _, ec := range wireCodes {
+		if ec.code == code {
+			return ec.sentinel
+		}
+	}
+	return nil
+}
+
+// RemoteError is an error that crossed the wire: it prints the peer's
+// message, unwraps to the sentinel its code names (so errors.Is
+// works), and preserves the peer's transient classification (so
+// dfs.IsTransient works).
+type RemoteError struct {
+	Code     string
+	Msg      string
+	IsRetry  bool
+	sentinel error
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Unwrap exposes the sentinel named by the wire code.
+func (e *RemoteError) Unwrap() error { return e.sentinel }
+
+// Transient reports the peer-side dfs.IsTransient classification.
+func (e *RemoteError) Transient() bool { return e.IsRetry }

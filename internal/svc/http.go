@@ -1,0 +1,145 @@
+package svc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MetricsSnapshot collects everything the observability endpoint
+// exports, so the exposition text can be rendered (and unit-tested)
+// from a plain value.
+type MetricsSnapshot struct {
+	UptimeSeconds float64
+	Files         int
+	Blocks        int
+	NodesUp       int
+	NodesTotal    int
+
+	// Resilience is the engine's counter snapshot in export order.
+	Resilience map[string]int64
+
+	// Per-node heartbeat freshness and (λ, μ) estimates, keyed by
+	// numeric node id.
+	HeartbeatAge map[int]float64
+	Lambda       map[int]float64
+	Mu           map[int]float64
+}
+
+// snapshotMetrics gathers the NameNode's current state for export.
+func (s *NameNodeServer) snapshotMetrics(now time.Time) MetricsSnapshot {
+	rs := s.nn.Resilience().Snapshot()
+	m := MetricsSnapshot{
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Files:         len(s.nn.List()),
+		Blocks:        s.nn.TotalBlocks(),
+		NodesTotal:    len(s.stores),
+		Resilience: map[string]int64{
+			"read_retries":           rs.ReadRetries,
+			"read_failovers":         rs.ReadFailovers,
+			"write_failovers":        rs.WriteFailovers,
+			"write_retries":          rs.WriteRetries,
+			"degraded_writes":        rs.DegradedWrites,
+			"checksum_failures":      rs.ChecksumFailures,
+			"node_down_errors":       rs.NodeDownErrors,
+			"repaired_replicas":      rs.RepairedReplicas,
+			"unrepairable_blocks":    rs.UnrepairableBlocks,
+			"redistributed_replicas": rs.RedistributedReplicas,
+			"injected_faults":        rs.InjectedFaults,
+			"injected_corruptions":   rs.InjectedCorruptions,
+		},
+		HeartbeatAge: make(map[int]float64),
+		Lambda:       make(map[int]float64),
+		Mu:           make(map[int]float64),
+	}
+	for _, st := range s.stores {
+		if st.Up() {
+			m.NodesUp++
+		}
+	}
+	for id, age := range s.HeartbeatAges(now) {
+		m.HeartbeatAge[int(id)] = age.Seconds()
+	}
+	for id, av := range s.Estimates() {
+		m.Lambda[int(id)] = av.Lambda
+		m.Mu[int(id)] = av.Mu
+	}
+	return m
+}
+
+// RenderMetrics writes the snapshot in Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one sample per
+// line, node-scoped series labelled with node="<id>".
+func RenderMetrics(m MetricsSnapshot) string {
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("adapt_namenode_uptime_seconds", "Seconds since the NameNode service started.", m.UptimeSeconds)
+	gauge("adapt_namenode_files", "Files in the namespace.", float64(m.Files))
+	gauge("adapt_namenode_blocks", "Blocks in the namespace.", float64(m.Blocks))
+	gauge("adapt_namenode_datanodes_up", "DataNodes currently believed up.", float64(m.NodesUp))
+	gauge("adapt_namenode_datanodes_total", "DataNodes in the cluster.", float64(m.NodesTotal))
+
+	names := make([]string, 0, len(m.Resilience))
+	for name := range m.Resilience {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := "adapt_dfs_" + name + "_total"
+		fmt.Fprintf(&b, "# HELP %s Cumulative DFS resilience counter %s.\n# TYPE %s counter\n%s %d\n",
+			full, name, full, full, m.Resilience[name])
+	}
+
+	series := func(name, help string, vals map[int]float64) {
+		if len(vals) == 0 {
+			return
+		}
+		ids := make([]int, 0, len(vals))
+		for id := range vals {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%s{node=\"%d\"} %g\n", name, id, vals[id])
+		}
+	}
+	series("adapt_namenode_heartbeat_age_seconds", "Age of the freshest heartbeat per DataNode.", m.HeartbeatAge)
+	series("adapt_namenode_lambda", "Estimated interruption rate lambda per DataNode (1/s).", m.Lambda)
+	series("adapt_namenode_mu", "Estimated mean downtime mu per DataNode (s).", m.Mu)
+	return b.String()
+}
+
+// ServeHTTP exposes /metrics (Prometheus text) and /healthz on the
+// NameNode, so the service plugs into standard scrapers and probes.
+func (s *NameNodeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = fmt.Fprint(w, RenderMetrics(s.snapshotMetrics(time.Now())))
+	case "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		heartbeating := len(s.HeartbeatAges(time.Now()))
+		_, _ = fmt.Fprintf(w, `{"status":"ok","datanodes":%d,"heartbeating":%d}`+"\n", len(s.stores), heartbeating)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ListenHTTP binds the observability endpoint and serves it until the
+// returned shutdown function is called.
+func (s *NameNodeServer) ListenHTTP(addr string) (string, func(context.Context) error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("svc: listen http %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Shutdown, nil
+}

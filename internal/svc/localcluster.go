@@ -1,0 +1,151 @@
+package svc
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// LocalCluster is a full networked ADAPT cluster on loopback: one
+// NameNode service and one DataNode service per cluster node, all on
+// real TCP sockets bound to 127.0.0.1:0. It exists for tests, the CLI
+// demo, and CI smoke runs — the topology is real (frames, deadlines,
+// partitions all cross actual sockets), only the machines are
+// imaginary.
+//
+// LocalCluster satisfies the chaos engine's Target and Observer
+// contracts (structurally — chaos does not know svc): SetNodeUp flips
+// the physical DataNode under the named service, and the Observe
+// methods route availability observations to that DataNode's own
+// recorder, so estimates reach the NameNode exclusively through
+// heartbeats on the wire.
+type LocalCluster struct {
+	NN     *NameNodeServer
+	DNs    []*DataNodeServer
+	faults TransportFaults
+}
+
+// StartLocalCluster boots one DataNode service per node of c plus the
+// NameNode service, all on loopback. faults may be nil; when it is a
+// *chaos.NetFaults shared with test code, partitions and drops apply
+// to every connection in the cluster.
+func StartLocalCluster(c *cluster.Cluster, g *stats.RNG, faults TransportFaults, cfg NameNodeConfig) (*LocalCluster, error) {
+	lc := &LocalCluster{faults: faults}
+	dnAddrs := make([]string, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		dn := NewDataNodeServer(cluster.NodeID(i), faults)
+		if err := dn.Listen("127.0.0.1:0"); err != nil {
+			lc.teardown()
+			return nil, err
+		}
+		lc.DNs = append(lc.DNs, dn)
+		dnAddrs[i] = dn.Addr()
+	}
+	nn, err := NewNameNodeServer(c, dnAddrs, g, faults, cfg)
+	if err != nil {
+		lc.teardown()
+		return nil, err
+	}
+	if err := nn.Listen("127.0.0.1:0"); err != nil {
+		lc.teardown()
+		return nil, err
+	}
+	lc.NN = nn
+	for _, dn := range lc.DNs {
+		dn.ConnectNameNode(nn.Addr())
+	}
+	return lc, nil
+}
+
+// teardown force-closes whatever has started (boot failure path).
+func (lc *LocalCluster) teardown() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already-cancelled: close immediately, no drain
+	for _, dn := range lc.DNs {
+		_ = dn.srv.Shutdown(ctx)
+	}
+	if lc.NN != nil {
+		_ = lc.NN.Shutdown(ctx)
+	}
+}
+
+// Client returns a shell client for the cluster's NameNode under the
+// given endpoint name.
+func (lc *LocalCluster) Client(name string) *Client {
+	return Dial(lc.NN.Addr(), name, lc.faults)
+}
+
+// DataNode returns the service for one node id.
+func (lc *LocalCluster) DataNode(id cluster.NodeID) (*DataNodeServer, error) {
+	if int(id) < 0 || int(id) >= len(lc.DNs) {
+		return nil, fmt.Errorf("%w: node %d", ErrUnknownDataNode, id)
+	}
+	return lc.DNs[id], nil
+}
+
+// SetNodeUp flips the physical up state of one DataNode — the chaos
+// engine's churn hook. The NameNode is not told: it finds out the way
+// a real master does, by RPCs failing and heartbeats arriving.
+func (lc *LocalCluster) SetNodeUp(id cluster.NodeID, up bool) error {
+	dn, err := lc.DataNode(id)
+	if err != nil {
+		return err
+	}
+	dn.Node().SetUp(up)
+	return nil
+}
+
+// ObserveUptime routes an availability observation to the node's own
+// recorder — the chaos engine's observer hook. The observation
+// reaches the NameNode only when the node heartbeats.
+func (lc *LocalCluster) ObserveUptime(id cluster.NodeID, d float64) error {
+	dn, err := lc.DataNode(id)
+	if err != nil {
+		return err
+	}
+	return dn.ObserveUptime(d)
+}
+
+// ObserveInterruption routes one interruption observation to the
+// node's own recorder.
+func (lc *LocalCluster) ObserveInterruption(id cluster.NodeID, downtime float64) error {
+	dn, err := lc.DataNode(id)
+	if err != nil {
+		return err
+	}
+	return dn.ObserveInterruption(downtime)
+}
+
+// FlushHeartbeats makes every DataNode send one heartbeat now —
+// deterministic test alternative to the wall-clock loops.
+func (lc *LocalCluster) FlushHeartbeats(ctx context.Context) error {
+	for _, dn := range lc.DNs {
+		if err := dn.FlushHeartbeat(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the whole cluster down gracefully, DataNodes first so
+// their final heartbeats land on a live NameNode, then the NameNode.
+func (lc *LocalCluster) Close(ctx context.Context) error {
+	var firstErr error
+	for _, dn := range lc.DNs {
+		if err := dn.Stop(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if lc.NN != nil {
+		if err := lc.NN.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Engine exposes the NameNode's dfs engine for test assertions.
+func (lc *LocalCluster) Engine() *dfs.NameNode { return lc.NN.Engine() }

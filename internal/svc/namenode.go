@@ -1,0 +1,361 @@
+package svc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/model"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// Op RPC params/results (the shell surface of §IV-A over the wire).
+type copyParams struct {
+	Name  string `json:"name"`
+	Data  []byte `json:"data"`
+	Adapt bool   `json:"adapt"`
+}
+
+type copyResult struct {
+	Meta   *dfs.FileMeta   `json:"meta"`
+	Report dfs.WriteReport `json:"report"`
+}
+
+type cpParams struct {
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+	Adapt bool   `json:"adapt"`
+}
+
+type nameParams struct {
+	Name string `json:"name"`
+}
+
+type readResult struct {
+	Data []byte `json:"data"`
+}
+
+type listResult struct {
+	Files []string `json:"files"`
+}
+
+type movedResult struct {
+	Moved int `json:"moved"`
+}
+
+type distResult struct {
+	Counts []int `json:"counts"`
+}
+
+type maintainParams struct {
+	Name  string `json:"name"`
+	Adapt bool   `json:"adapt"`
+}
+
+type estimatesResult struct {
+	Estimates map[cluster.NodeID]model.Availability `json:"estimates"`
+}
+
+// hbState is the NameNode's per-DataNode heartbeat bookkeeping: the
+// last sequence folded and the cumulative totals it carried, so the
+// next beat folds only the delta.
+type hbState struct {
+	seq           uint64
+	uptime        float64
+	interruptions int64
+	downtime      float64
+	lastBeat      time.Time
+}
+
+// NameNodeServer is the networked ADAPT master: file metadata, the
+// block distributor, and the performance predictor behind a frame
+// server. It is a transport shell over dfs.NameNode + dfs.Client
+// running on remoteStore proxies, so every operation — placement,
+// replica failover, crash-consistent redistribution — is the engine
+// code the in-process tests certify, now spanning TCP.
+//
+// Heartbeats close the predictor loop: each beat's cumulative totals
+// are diffed against the last folded state, the delta feeds
+// cluster.HeartbeatEstimator, and RefreshAvailability rewrites the
+// per-node (λ, μ) that the 1/E[T] placement weights read. availMu
+// orders those rewrites against concurrent placements: folds take the
+// write side, operations that build policies or walk cluster state
+// take the read side.
+type NameNodeServer struct {
+	nn     *dfs.NameNode
+	cl     *dfs.Client
+	srv    *Server
+	stores []*remoteStore
+	start  time.Time
+
+	availMu sync.RWMutex
+
+	hbMu sync.Mutex
+	hb   map[cluster.NodeID]*hbState
+}
+
+// NameNodeConfig tunes the service's client engine. Zero values keep
+// the dfs defaults.
+type NameNodeConfig struct {
+	BlockSize   int64
+	Replication int
+	Gamma       float64
+}
+
+// NewNameNodeServer creates the master for cluster c whose DataNodes
+// serve blocks at dnAddrs (indexed by NodeID; length must equal
+// c.Len()). The RNG drives placement randomness. faults may be nil.
+func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, faults TransportFaults, cfg NameNodeConfig) (*NameNodeServer, error) {
+	if len(dnAddrs) != c.Len() {
+		return nil, fmt.Errorf("svc: %d datanode addrs for %d nodes: %w", len(dnAddrs), c.Len(), dfs.ErrUnknownNode)
+	}
+	stores := make([]*remoteStore, c.Len())
+	ifaces := make([]dfs.BlockStore, c.Len())
+	for i := range stores {
+		id := cluster.NodeID(i)
+		stores[i] = newRemoteStore(id, dnAddrs[i], "namenode", endpointName(id), faults)
+		ifaces[i] = stores[i]
+	}
+	nn, err := dfs.NewNameNodeWithStores(c, ifaces)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := dfs.NewClient(nn, g)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize > 0 {
+		cl.BlockSize = cfg.BlockSize
+	}
+	if cfg.Replication > 0 {
+		cl.Replication = cfg.Replication
+	}
+	if cfg.Gamma > 0 {
+		cl.Gamma = cfg.Gamma
+	}
+	s := &NameNodeServer{
+		nn:     nn,
+		cl:     cl,
+		stores: stores,
+		start:  time.Now(),
+		hb:     make(map[cluster.NodeID]*hbState),
+	}
+	s.srv = NewServer("namenode", faults, s.handle)
+	return s, nil
+}
+
+// Listen binds the metadata service.
+func (s *NameNodeServer) Listen(addr string) error { return s.srv.Listen(addr) }
+
+// Addr returns the bound service address.
+func (s *NameNodeServer) Addr() string { return s.srv.Addr() }
+
+// Engine exposes the underlying dfs.NameNode (counters, consistency
+// checks in tests).
+func (s *NameNodeServer) Engine() *dfs.NameNode { return s.nn }
+
+// Shutdown drains in-flight RPCs (bounded by ctx) and closes the
+// DataNode proxy connections.
+func (s *NameNodeServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	for _, st := range s.stores {
+		st.close()
+	}
+	return err
+}
+
+func (s *NameNodeServer) handle(ctx context.Context, from, method string, params []byte) (any, error) {
+	switch method {
+	case "nn.heartbeat":
+		var p heartbeatParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		if err := s.foldHeartbeat(p); err != nil {
+			return nil, err
+		}
+		return struct{}{}, nil
+	case "nn.copyFromLocal":
+		var p copyParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		fm, report, err := s.cl.CopyFromLocalReportContext(ctx, p.Name, p.Data, p.Adapt)
+		if err != nil {
+			return nil, err
+		}
+		return copyResult{Meta: fm, Report: report}, nil
+	case "nn.cp":
+		var p cpParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		return s.cl.CpContext(ctx, p.Src, p.Dst, p.Adapt)
+	case "nn.read":
+		var p nameParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		data, err := s.cl.ReadFileContext(ctx, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		return readResult{Data: data}, nil
+	case "nn.stat":
+		var p nameParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		return s.nn.Stat(p.Name)
+	case "nn.list":
+		return listResult{Files: s.nn.List()}, nil
+	case "nn.delete":
+		var p nameParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		if err := s.nn.DeleteContext(ctx, p.Name); err != nil {
+			return nil, err
+		}
+		return struct{}{}, nil
+	case "nn.adapt":
+		var p nameParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		moved, err := s.cl.AdaptContext(ctx, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		return movedResult{Moved: moved}, nil
+	case "nn.rebalance":
+		var p nameParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		moved, err := s.cl.RebalanceContext(ctx, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		return movedResult{Moved: moved}, nil
+	case "nn.dist":
+		var p nameParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		counts, err := s.nn.BlockDistribution(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		return distResult{Counts: counts}, nil
+	case "nn.maintain":
+		var p maintainParams
+		if err := unmarshalParams(params, &p); err != nil {
+			return nil, err
+		}
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		return s.cl.MaintainReplicationContext(ctx, p.Name, p.Adapt)
+	case "nn.estimates":
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		return estimatesResult{Estimates: s.nn.Heartbeat().Snapshot()}, nil
+	case "nn.consistency":
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		if err := s.nn.CheckConsistency(); err != nil {
+			return nil, err
+		}
+		return struct{}{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
+	}
+}
+
+// foldHeartbeat diffs one beat's cumulative totals against the last
+// folded state and feeds the delta to the estimator, then refreshes
+// the cluster's (λ, μ) so subsequent placements read the new weights.
+// A beat whose sequence is not newer than the last folded one is
+// rejected as stale (delayed duplicate); a beat also flips the
+// sender's liveness belief up — it is, evidently, talking.
+func (s *NameNodeServer) foldHeartbeat(p heartbeatParams) error {
+	if int(p.Node) < 0 || int(p.Node) >= len(s.stores) {
+		return fmt.Errorf("%w: node %d", ErrUnknownDataNode, p.Node)
+	}
+
+	s.hbMu.Lock()
+	st, ok := s.hb[p.Node]
+	if !ok {
+		st = &hbState{}
+		s.hb[p.Node] = st
+	}
+	if p.Seq <= st.seq {
+		s.hbMu.Unlock()
+		return fmt.Errorf("%w: node %d seq %d <= %d", ErrStaleHeartbeat, p.Node, p.Seq, st.seq)
+	}
+	dUp := p.Uptime - st.uptime
+	dInt := p.Interruptions - st.interruptions
+	dDown := p.Downtime - st.downtime
+	if dUp < 0 || dInt < 0 || dDown < 0 {
+		s.hbMu.Unlock()
+		return fmt.Errorf("%w: node %d cumulative totals went backwards", ErrBadObservation, p.Node)
+	}
+	st.seq = p.Seq
+	st.uptime = p.Uptime
+	st.interruptions = p.Interruptions
+	st.downtime = p.Downtime
+	st.lastBeat = time.Now()
+	s.hbMu.Unlock()
+
+	s.availMu.Lock()
+	defer s.availMu.Unlock()
+	if dUp > 0 || dInt > 0 {
+		if err := s.nn.Heartbeat().ObserveBatch(p.Node, dUp, dInt, dDown); err != nil {
+			return fmt.Errorf("svc: fold heartbeat from node %d: %w", p.Node, err)
+		}
+		s.nn.RefreshAvailability()
+	}
+	s.stores[p.Node].SetUp(true)
+	return nil
+}
+
+// RefreshAvailability re-applies the estimator to the cluster under
+// the write lock — the same fold the heartbeat path performs, exposed
+// for tests and operational tooling.
+func (s *NameNodeServer) RefreshAvailability() int {
+	s.availMu.Lock()
+	defer s.availMu.Unlock()
+	return s.nn.RefreshAvailability()
+}
+
+// Estimates returns the current (λ, μ) snapshot.
+func (s *NameNodeServer) Estimates() map[cluster.NodeID]model.Availability {
+	s.availMu.RLock()
+	defer s.availMu.RUnlock()
+	return s.nn.Heartbeat().Snapshot()
+}
+
+// HeartbeatAges returns, per node that has ever heartbeated, the age
+// of its freshest beat. The /metrics endpoint exports these.
+func (s *NameNodeServer) HeartbeatAges(now time.Time) map[cluster.NodeID]time.Duration {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	out := make(map[cluster.NodeID]time.Duration, len(s.hb))
+	for id, st := range s.hb {
+		out[id] = now.Sub(st.lastBeat)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package svc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler serves one RPC. from is the caller's endpoint name from the
+// request envelope; ctx carries the caller's propagated deadline.
+type Handler func(ctx context.Context, from, method string, params []byte) (any, error)
+
+// Server accepts frame connections and dispatches each request to its
+// Handler on a fresh goroutine, so one slow block transfer never
+// blocks a heartbeat on the same connection. Shutdown drains in-flight
+// requests before returning: new requests are rejected with
+// ErrShuttingDown, running handlers complete and flush their
+// responses.
+type Server struct {
+	name    string // endpoint name, for the fault hook
+	faults  TransportFaults
+	handler Handler
+
+	ln net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+	down     bool
+	inflight sync.WaitGroup
+}
+
+// NewServer creates a server for the named endpoint. faults may be
+// nil.
+func NewServer(name string, faults TransportFaults, handler Handler) *Server {
+	return &Server{
+		name:    name,
+		faults:  faults,
+		handler: handler,
+		conns:   make(map[net.Conn]bool),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("svc: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return fmt.Errorf("svc: listen %s: %w", addr, ErrShuttingDown)
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		if s.down {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		s.conns[nc] = true
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	var wmu sync.Mutex // serializes response frames on this conn
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		_ = nc.Close()
+	}()
+	for {
+		var req request
+		if err := readFrame(nc, &req); err != nil {
+			return
+		}
+		// The serving side consults the fault hook too: a partition
+		// severs requests already in flight from the far side, not
+		// just new dials.
+		if s.faults != nil {
+			if err := s.faults.FailMessage(req.From, s.name); err != nil {
+				return
+			}
+		}
+		// Admission and wg.Add happen under the same lock Shutdown
+		// takes before waiting, so a request is either rejected or
+		// fully drained — never lost in between.
+		s.mu.Lock()
+		if s.down {
+			s.mu.Unlock()
+			s.reply(nc, &wmu, req.ID, nil, fmt.Errorf("svc: %s rejecting %s: %w", s.name, req.Method, ErrShuttingDown))
+			continue
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		go func(req request) {
+			defer s.inflight.Done()
+			ctx := context.Background()
+			if req.DeadlineMS > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+				defer cancel()
+			}
+			result, err := s.handler(ctx, req.From, req.Method, req.Params)
+			s.reply(nc, &wmu, req.ID, result, err)
+		}(req)
+	}
+}
+
+// reply writes one response frame (result xor err).
+func (s *Server) reply(nc net.Conn, wmu *sync.Mutex, id uint64, result any, err error) {
+	resp := response{ID: id}
+	if err != nil {
+		encodeError(&resp, err)
+	} else {
+		raw, merr := marshalResult(result)
+		if merr != nil {
+			encodeError(&resp, merr)
+		} else {
+			resp.Result = raw
+		}
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	if werr := writeFrame(nc, resp); werr != nil {
+		_ = nc.Close() // framing is gone; reader sees EOF and cleans up
+	}
+}
+
+// Shutdown stops accepting, rejects new requests, waits for in-flight
+// handlers to drain (bounded by ctx), then closes all connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		return nil
+	}
+	s.down = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("svc: shutdown of %s: %w", s.name, ctx.Err())
+	}
+
+	s.mu.Lock()
+	for nc := range s.conns {
+		_ = nc.Close()
+	}
+	s.mu.Unlock()
+	return err
+}

@@ -1,0 +1,157 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// TestShutdownDrainsInflightAndRejectsNew pins the graceful-shutdown
+// contract at the server layer: a request in flight when Shutdown
+// begins completes and gets its response; a request arriving after
+// rejects with ErrShuttingDown; Shutdown returns only once the
+// handler has drained.
+func TestShutdownDrainsInflightAndRejectsNew(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := NewServer("test", nil, func(ctx context.Context, from, method string, params []byte) (any, error) {
+		if method == "slow" {
+			close(entered)
+			<-release
+		}
+		return struct{}{}, nil
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := dialConn(ctx, srv.Addr(), "tester", "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var slowErr error
+	go func() {
+		defer wg.Done()
+		slowErr = conn.Call(ctx, "slow", nil, nil)
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		shutdownDone <- srv.Shutdown(sctx)
+	}()
+
+	// Wait until the server has flipped to draining, then verify new
+	// requests on the existing connection are rejected.
+	for {
+		srv.mu.Lock()
+		down := srv.down
+		srv.mu.Unlock()
+		if down {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := conn.Call(ctx, "fast", nil, nil); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("call during drain = %v, want ErrShuttingDown", err)
+	}
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v before the in-flight handler finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	wg.Wait()
+	if slowErr != nil {
+		t.Fatalf("in-flight call during graceful shutdown = %v, want success", slowErr)
+	}
+}
+
+// TestShutdownDeadlineExpires: a handler that never finishes must not
+// wedge Shutdown forever — the context bounds the drain.
+func TestShutdownDeadlineExpires(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := NewServer("test", nil, func(ctx context.Context, from, method string, params []byte) (any, error) {
+		<-block
+		return struct{}{}, nil
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := dialConn(ctx, srv.Addr(), "tester", "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() { _ = conn.Call(ctx, "wedge", nil, nil) }()
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+
+	sctx, scancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer scancel()
+	if err := srv.Shutdown(sctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestClusterCloseFlushesFinalHeartbeats: Close stops DataNodes
+// before the NameNode, so observations recorded but never heartbeated
+// still reach the estimator via each node's final flush.
+func TestClusterCloseFlushesFinalHeartbeats(t *testing.T) {
+	nodes := make([]cluster.Node, 3)
+	c, err := cluster.New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := StartLocalCluster(c, stats.NewRNG(11), nil, NameNodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record observations without flushing any heartbeat.
+	if err := lc.ObserveUptime(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.ObserveInterruption(1, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := lc.Close(ctx); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+
+	est := lc.NN.Engine().Heartbeat().Estimate(1)
+	if est.Lambda == 0 || est.Mu != 20 {
+		t.Fatalf("final heartbeat not folded: estimate = %+v", est)
+	}
+
+	// The NameNode is down now: a fresh client call must fail cleanly,
+	// not hang.
+	cl := lc.Client("late")
+	defer cl.Close()
+	short, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	if _, err := cl.List(short); err == nil {
+		t.Fatal("call to a closed cluster succeeded")
+	}
+}

@@ -1,0 +1,168 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/chaos"
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// TestEstimatesConvergeFromHeartbeatsAlone is the predictor-loop
+// soak: M/G/1 churn with known (λ, μ) is injected against the
+// DataNodes in virtual time, each node records only its own
+// observations, and the NameNode — whose cluster view starts with no
+// availability information at all — must recover the injected
+// parameters to within 20% purely from the heartbeats crossing the
+// wire, then place an ADAPT-distributed file accordingly.
+func TestEstimatesConvergeFromHeartbeatsAlone(t *testing.T) {
+	// The ground-truth cluster drives the churn generator; the
+	// NameNode is booted from an availability-stripped copy so every
+	// (λ, μ) it learns can only have arrived via heartbeat.
+	truth, err := cluster.NewEmulation(cluster.EmulationConfig{
+		Nodes:            4,
+		InterruptedRatio: 0.5,
+	}, stats.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.InterruptedCount() != 2 {
+		t.Fatalf("interrupted = %d, want 2", truth.InterruptedCount())
+	}
+	stripped, err := cluster.New(make([]cluster.Node, truth.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lc, err := StartLocalCluster(stripped, stats.NewRNG(22), nil, NameNodeConfig{
+		BlockSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = lc.Close(ctx)
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Churn in virtual time, with the LocalCluster as both target
+	// (liveness flips hit the physical DataNodes) and observer (each
+	// node's own recorder accumulates what it saw).
+	eng, err := chaos.New(chaos.Config{Cluster: truth, Target: lc, Observer: lc}, stats.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds, perRound = 40, 100
+	for i := 0; i < rounds; i++ {
+		if _, err := eng.Run(perRound); err != nil {
+			t.Fatal(err)
+		}
+		// Periodic heartbeats, as the wall-clock loop would send them.
+		if err := lc.FlushHeartbeats(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.FlushHeartbeats(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := lc.Client("shell")
+	defer cl.Close()
+	est, err := cl.Estimates(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := cluster.NodeID(0); int(id) < truth.Len(); id++ {
+		want := truth.Node(id).Availability
+		got := est[id]
+		if want.Dedicated() {
+			if got.Lambda != 0 {
+				t.Errorf("node %d: dedicated node estimated λ=%g", id, got.Lambda)
+			}
+			continue
+		}
+		if relErr(got.Lambda, want.Lambda) > 0.20 {
+			t.Errorf("node %d: λ̂=%g vs λ=%g (%.1f%% off)", id, got.Lambda, want.Lambda, 100*relErr(got.Lambda, want.Lambda))
+		}
+		if relErr(got.Mu, want.Mu) > 0.20 {
+			t.Errorf("node %d: μ̂=%g vs μ=%g (%.1f%% off)", id, got.Mu, want.Mu, 100*relErr(got.Mu, want.Mu))
+		}
+	}
+
+	// The learned weights must steer ADAPT placement: a fresh file
+	// distributed with the availability-aware policy puts more
+	// replicas on the reliable half of the cluster.
+	data := make([]byte, 12*1024)
+	if _, _, err := cl.CopyFromLocal(ctx, "soak", data, true); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := cl.BlockDistribution(ctx, "soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, reliable := 0, 0
+	for id := 0; id < truth.Len(); id++ {
+		if truth.Node(cluster.NodeID(id)).Interrupted() {
+			flaky += counts[id]
+		} else {
+			reliable += counts[id]
+		}
+	}
+	if reliable <= flaky {
+		t.Fatalf("ADAPT placement ignored learned weights: flaky=%d reliable=%d (%v)", flaky, reliable, counts)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+// TestStaleHeartbeatRejected: a replayed sequence number must be
+// refused so a delayed duplicate cannot rewind the estimator.
+func TestStaleHeartbeatRejected(t *testing.T) {
+	stripped, err := cluster.New(make([]cluster.Node, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := StartLocalCluster(stripped, stats.NewRNG(31), nil, NameNodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = lc.Close(ctx)
+	})
+
+	if err := lc.NN.foldHeartbeat(heartbeatParams{Node: 0, Seq: 3, Uptime: 100}); err != nil {
+		t.Fatal(err)
+	}
+	err = lc.NN.foldHeartbeat(heartbeatParams{Node: 0, Seq: 3, Uptime: 120})
+	if !errors.Is(err, ErrStaleHeartbeat) {
+		t.Fatalf("replayed seq accepted: %v", err)
+	}
+	if err := lc.NN.foldHeartbeat(heartbeatParams{Node: 0, Seq: 4, Uptime: 120, Interruptions: 1, Downtime: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Totals must never run backwards even with a fresh seq.
+	err = lc.NN.foldHeartbeat(heartbeatParams{Node: 0, Seq: 5, Uptime: 60})
+	if !errors.Is(err, ErrBadObservation) {
+		t.Fatalf("regressing totals accepted: %v", err)
+	}
+	if err := lc.NN.foldHeartbeat(heartbeatParams{Node: 99, Seq: 1}); !errors.Is(err, ErrUnknownDataNode) {
+		t.Fatalf("unknown node accepted: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+)
+
+// DataNode RPC params/results. Block bytes ride as JSON base64
+// ([]byte marshals to base64 in encoding/json).
+type putParams struct {
+	Block dfs.BlockID `json:"block"`
+	Data  []byte      `json:"data"`
+}
+
+type getParams struct {
+	Block dfs.BlockID `json:"block"`
+}
+
+type getResult struct {
+	Data []byte `json:"data"`
+}
+
+type storedResult struct {
+	Data []byte `json:"data"`
+	OK   bool   `json:"ok"`
+}
+
+// remoteStore is the NameNode's RPC proxy for one DataNode's block
+// storage: it implements dfs.BlockStore, so the exact engine code
+// paths — createFile, ReadBlock, redistribute, repair — drive remote
+// DataNodes over TCP.
+//
+// Up is the NameNode's liveness belief, not ground truth: it flips
+// down when an RPC fails at the transport layer and back up when a
+// heartbeat arrives. Transport failures are wrapped in
+// dfs.ErrNodeDown per the BlockStore error contract, so the failover
+// and retry machinery classifies a partitioned node exactly like a
+// crashed one.
+type remoteStore struct {
+	id   cluster.NodeID
+	peer *peerConn
+
+	mu sync.Mutex
+	up bool
+}
+
+func newRemoteStore(id cluster.NodeID, addr, local, peerName string, faults TransportFaults) *remoteStore {
+	return &remoteStore{
+		id:   id,
+		peer: newPeerConn(addr, local, peerName, faults),
+		up:   true,
+	}
+}
+
+func (s *remoteStore) ID() cluster.NodeID { return s.id }
+
+func (s *remoteStore) Up() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.up
+}
+
+func (s *remoteStore) SetUp(up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.up = up
+}
+
+// call performs one RPC against the DataNode. Transport-layer
+// failures (dial refused, connection severed, partition) mark the
+// store down and come back wrapping dfs.ErrNodeDown; errors the peer
+// itself returned pass through with their own taxonomy.
+func (s *remoteStore) call(ctx context.Context, method string, params, result any) error {
+	err := s.peer.call(ctx, method, params, result)
+	if err == nil {
+		return nil
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return err // the peer answered; its error speaks for itself
+	}
+	s.SetUp(false)
+	return fmt.Errorf("%w: datanode %d unreachable: %v", dfs.ErrNodeDown, s.id, err)
+}
+
+func (s *remoteStore) Put(ctx context.Context, id dfs.BlockID, data []byte) error {
+	return s.call(ctx, "dn.put", putParams{Block: id, Data: data}, nil)
+}
+
+func (s *remoteStore) Get(ctx context.Context, id dfs.BlockID) ([]byte, error) {
+	var res getResult
+	if err := s.call(ctx, "dn.get", getParams{Block: id}, &res); err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}
+
+func (s *remoteStore) Delete(ctx context.Context, id dfs.BlockID) error {
+	return s.call(ctx, "dn.delete", getParams{Block: id}, nil)
+}
+
+func (s *remoteStore) StoredData(ctx context.Context, id dfs.BlockID) ([]byte, bool) {
+	var res storedResult
+	if err := s.call(ctx, "dn.stored", getParams{Block: id}, &res); err != nil {
+		return nil, false
+	}
+	return res.Data, res.OK
+}
+
+// close tears down the proxy's cached connection.
+func (s *remoteStore) close() { s.peer.close() }
+
+func unmarshalParams(params []byte, v any) error {
+	if err := json.Unmarshal(params, v); err != nil {
+		return fmt.Errorf("%w: params: %v", ErrBadFrame, err)
+	}
+	return nil
+}
