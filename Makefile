@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test test-short race race-engine race-svc svc-smoke soak bench bench-smoke
+.PHONY: ci vet lint build test test-short race race-engine race-svc race-wal svc-smoke crash-smoke soak bench bench-smoke
 
 # Full CI gate: static checks, build, and the race-enabled test suite
 # (includes the churn-soak test).
@@ -42,11 +42,23 @@ race-engine:
 race-svc:
 	$(GO) test -race ./internal/svc/...
 
+# Focused race gate for the durability layer: the WAL itself plus the
+# crash-recovery, failure-detector, and auto-repair tests in svc.
+race-wal:
+	$(GO) test -race ./internal/wal/...
+	$(GO) test -race -run 'Durable|Crash|Journal|Snapshot|Detector|Repair|Epoch' ./internal/svc/
+
 # End-to-end smoke of the networked cluster binary: boot a loopback
 # NameNode + DataNodes, write a file, partition a replica holder, read
 # through failover, heal, and adapt-rebalance from heartbeats.
 svc-smoke:
 	$(GO) run ./cmd/adapt-fs local-demo -nodes 4 -blocks 8
+
+# Shell-level durability smoke: real daemons on loopback, kill -9 the
+# durable NameNode mid-run, restart from the WAL directory, verify the
+# acknowledged file byte-for-byte and fsck health.
+crash-smoke:
+	bash scripts/crash-smoke.sh
 
 # Just the churn-soak invariants (10k chaos events, 32-node DFS).
 soak:

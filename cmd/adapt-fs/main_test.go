@@ -1,7 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"testing"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/stats"
+	"github.com/adaptsim/adapt/internal/svc"
 )
 
 func TestRunDefaultDemo(t *testing.T) {
@@ -35,6 +44,89 @@ func TestRunBadFlag(t *testing.T) {
 func TestLocalDemoSubcommand(t *testing.T) {
 	if err := runService("local-demo", []string{"-nodes", "4", "-blocks", "6"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFsckVerb proves the fsck exit-code contract against a live
+// loopback cluster: 0 while fully replicated, 1 once a replica
+// holder is believed dead, back to 0 after repair — and the stdout
+// payload is a decodable dfs.HealthReport at every step.
+func TestFsckVerb(t *testing.T) {
+	c, err := cluster.New(make([]cluster.Node, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := svc.StartLocalCluster(c, stats.NewRNG(7), nil, svc.NameNodeConfig{
+		BlockSize:   512,
+		Replication: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	t.Cleanup(func() { _ = lc.Close(ctx) })
+
+	cl := lc.Client("shell")
+	defer cl.Close()
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if _, _, err := cl.CopyFromLocal(ctx, "f", data, false); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := lc.NN.Addr()
+	check := func(wantCode int) dfs.HealthReport {
+		t.Helper()
+		var out bytes.Buffer
+		code, err := runFsck([]string{"-namenode", addr}, &out)
+		if err != nil {
+			t.Fatalf("fsck: %v", err)
+		}
+		if code != wantCode {
+			t.Fatalf("fsck exit code = %d, want %d (output: %s)", code, wantCode, out.String())
+		}
+		var rep dfs.HealthReport
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("fsck output is not JSON: %v\n%s", err, out.String())
+		}
+		return rep
+	}
+
+	rep := check(0)
+	if rep.Files != 1 || !rep.Healthy() {
+		t.Fatalf("healthy report wrong: %+v", rep)
+	}
+
+	// A replica holder goes down (by the NameNode's belief): exit 1.
+	counts, err := cl.BlockDistribution(ctx, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for id, n := range counts {
+		if n > 0 {
+			victim = id
+			break
+		}
+	}
+	if err := lc.Engine().SetNodeUp(cluster.NodeID(victim), false); err != nil {
+		t.Fatal(err)
+	}
+	rep = check(1)
+	if rep.UnderReplicated == 0 || rep.Unavailable != 0 {
+		t.Fatalf("degraded report wrong: %+v", rep)
+	}
+
+	// One repair scan heals it: exit 0 again.
+	lc.NN.RepairScan(svc.RepairConfig{})
+	check(0)
+
+	// Bad flags surface as errors, not exit codes.
+	if _, err := runFsck([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad fsck flag accepted")
 	}
 }
 

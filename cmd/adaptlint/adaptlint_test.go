@@ -106,9 +106,9 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 // TestListFlagNamesAllAnalyzers keeps the suite definition honest:
-// exactly the five documented analyzers, each with doc text.
+// exactly the six documented analyzers, each with doc text.
 func TestListFlagNamesAllAnalyzers(t *testing.T) {
-	want := []string{"determinism", "errtaxonomy", "lockcheck", "floateq", "mapiter"}
+	want := []string{"determinism", "errtaxonomy", "lockcheck", "floateq", "mapiter", "closecheck"}
 	got := analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("analyzers() returned %d analyzers, want %d", len(got), len(want))

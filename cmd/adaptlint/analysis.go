@@ -30,6 +30,7 @@ func analyzers() []*Analyzer {
 		lockcheckAnalyzer(),
 		floateqAnalyzer(),
 		mapiterAnalyzer(),
+		closecheckAnalyzer(),
 	}
 }
 

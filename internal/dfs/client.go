@@ -326,6 +326,13 @@ func (c *Client) redistribute(ctx context.Context, name string, pol placement.Po
 		_, err := abort(fmt.Errorf("%w: %q (deleted during adapt)", ErrFileNotFound, name))
 		return 0, err
 	}
+	// Write-ahead: new locations are journaled before they replace
+	// the block map. On failure the file keeps its old (still fully
+	// valid) locations and the fresh copies are removed.
+	if err := c.nn.logBlocks(name, newBlocks); err != nil {
+		c.nn.mu.Unlock()
+		return abort(err)
+	}
 	live.Blocks = newBlocks
 	c.nn.mu.Unlock()
 

@@ -84,6 +84,12 @@ var (
 	// ErrNotLocal marks a request for the in-process *DataNode of a
 	// node whose BlockStore is a remote proxy; always a caller bug.
 	ErrNotLocal = errors.New("dfs: datanode is not local to this namenode")
+	// ErrJournal marks a namespace mutation refused because its
+	// write-ahead record could not be made durable. The in-memory
+	// state is unchanged — the mutation simply did not happen, so the
+	// client never receives an ack the log cannot back. Permanent: the
+	// journal handle breaks on the first durability failure.
+	ErrJournal = errors.New("dfs: namespace journal write failed")
 )
 
 // Op identifies a DataNode operation for fault injection.
@@ -278,6 +284,7 @@ type NameNode struct {
 	stores    []BlockStore
 	heartbeat *cluster.HeartbeatEstimator
 	counters  *metrics.ResilienceCounters
+	journal   Journal // write-ahead hook; nil = volatile namespace
 }
 
 // NewNameNode builds a NameNode and one in-process DataNode per
@@ -443,6 +450,10 @@ func (nn *NameNode) DeleteContext(ctx context.Context, name string) error {
 		nn.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrFileNotFound, name)
 	}
+	if err := nn.logDelete(name); err != nil {
+		nn.mu.Unlock()
+		return err
+	}
 	delete(nn.files, name)
 	nn.mu.Unlock()
 	for _, bm := range fm.Blocks {
@@ -590,6 +601,14 @@ func (nn *NameNode) createFile(ctx context.Context, name string, data []byte, bl
 		nn.mu.Unlock()
 		cleanup()
 		return nil, fmt.Errorf("%w: %q (raced)", ErrFileExists, name)
+	}
+	// Write-ahead: the create is journaled before it is published or
+	// acknowledged; a journal failure unwinds the replicas already
+	// written, leaving no trace of the file.
+	if err := nn.logCreate(fm); err != nil {
+		nn.mu.Unlock()
+		cleanup()
+		return nil, err
 	}
 	nn.files[name] = fm
 	out := copyFileMeta(fm)

@@ -1,0 +1,68 @@
+package dfs
+
+import "sort"
+
+// FileHealth is one file's replication health in a HealthReport.
+type FileHealth struct {
+	Name            string `json:"name"`
+	Blocks          int    `json:"blocks"`
+	UnderReplicated int    `json:"under_replicated"`
+	Unavailable     int    `json:"unavailable"`
+}
+
+// HealthReport is the fsck view of the namespace: for every block,
+// how many of its replicas sit on nodes the NameNode currently
+// believes are up. A block below its file's replication target is
+// under-replicated; a block with zero live replicas is unavailable
+// (also counted under-replicated). The liveness input is the
+// NameNode's belief — heartbeats and the failure detector feed it —
+// not ground truth about remote disks.
+type HealthReport struct {
+	Files           int          `json:"files"`
+	Blocks          int          `json:"blocks"`
+	UnderReplicated int          `json:"under_replicated"`
+	Unavailable     int          `json:"unavailable"`
+	Details         []FileHealth `json:"details,omitempty"`
+}
+
+// Healthy reports full replication across the namespace.
+func (r HealthReport) Healthy() bool {
+	return r.UnderReplicated == 0 && r.Unavailable == 0
+}
+
+// Health surveys every file's block map against current node
+// liveness. Details are sorted by file name so the output is
+// deterministic.
+func (nn *NameNode) Health() HealthReport {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	names := make([]string, 0, len(nn.files))
+	for n := range nn.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	report := HealthReport{Files: len(names)}
+	for _, name := range names {
+		fm := nn.files[name]
+		fh := FileHealth{Name: name, Blocks: len(fm.Blocks)}
+		for _, bm := range fm.Blocks {
+			live := 0
+			for _, r := range bm.Replicas {
+				if int(r) >= 0 && int(r) < len(nn.stores) && nn.stores[r].Up() {
+					live++
+				}
+			}
+			if live < fm.Replication {
+				fh.UnderReplicated++
+			}
+			if live == 0 {
+				fh.Unavailable++
+			}
+		}
+		report.Blocks += fh.Blocks
+		report.UnderReplicated += fh.UnderReplicated
+		report.Unavailable += fh.Unavailable
+		report.Details = append(report.Details, fh)
+	}
+	return report
+}

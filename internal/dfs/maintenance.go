@@ -118,6 +118,12 @@ func (c *Client) MaintainReplicationContext(ctx context.Context, name string, us
 	if !ok {
 		return report, fmt.Errorf("%w: %q (deleted during repair)", ErrFileNotFound, name)
 	}
+	// Write-ahead: repaired locations are journaled before they are
+	// published. On failure the extra copies leak as surplus replicas
+	// (harmless, like a crash mid-prune), never as lost metadata.
+	if err := c.nn.logBlocks(name, newBlocks); err != nil {
+		return report, err
+	}
 	liveMeta.Blocks = newBlocks
 	return report, nil
 }

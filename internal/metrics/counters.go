@@ -47,6 +47,12 @@ type ResilienceCounters struct {
 	InjectedCorruptions atomic.Int64
 	// InjectedLatencyNanos accumulates chaos-injected latency.
 	InjectedLatencyNanos atomic.Int64
+	// RepairScans counts background re-replication scans started by
+	// the auto-repair scheduler.
+	RepairScans atomic.Int64
+	// NodesDeclaredDead counts failure-detector promotions to dead
+	// (each one marks the node's store down and triggers repair).
+	NodesDeclaredDead atomic.Int64
 }
 
 // ResilienceSnapshot is a plain-value copy of the counters, safe to
@@ -65,6 +71,8 @@ type ResilienceSnapshot struct {
 	InjectedFaults        int64
 	InjectedCorruptions   int64
 	InjectedLatency       time.Duration
+	RepairScans           int64
+	NodesDeclaredDead     int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy (each field
@@ -85,6 +93,8 @@ func (c *ResilienceCounters) Snapshot() ResilienceSnapshot {
 		InjectedFaults:        c.InjectedFaults.Load(),
 		InjectedCorruptions:   c.InjectedCorruptions.Load(),
 		InjectedLatency:       time.Duration(c.InjectedLatencyNanos.Load()),
+		RepairScans:           c.RepairScans.Load(),
+		NodesDeclaredDead:     c.NodesDeclaredDead.Load(),
 	}
 }
 
@@ -103,14 +113,16 @@ func (c *ResilienceCounters) Reset() {
 	c.InjectedFaults.Store(0)
 	c.InjectedCorruptions.Store(0)
 	c.InjectedLatencyNanos.Store(0)
+	c.RepairScans.Store(0)
+	c.NodesDeclaredDead.Store(0)
 }
 
 func (s ResilienceSnapshot) String() string {
 	return fmt.Sprintf(
 		"reads: retries=%d failovers=%d checksum=%d | writes: failovers=%d retries=%d degraded=%d | "+
-			"repair: replicas=%d unrepairable=%d moved=%d | down-errors=%d | injected: faults=%d corruptions=%d latency=%s",
+			"repair: replicas=%d unrepairable=%d moved=%d scans=%d | down-errors=%d dead=%d | injected: faults=%d corruptions=%d latency=%s",
 		s.ReadRetries, s.ReadFailovers, s.ChecksumFailures,
 		s.WriteFailovers, s.WriteRetries, s.DegradedWrites,
-		s.RepairedReplicas, s.UnrepairableBlocks, s.RedistributedReplicas,
-		s.NodeDownErrors, s.InjectedFaults, s.InjectedCorruptions, s.InjectedLatency)
+		s.RepairedReplicas, s.UnrepairableBlocks, s.RedistributedReplicas, s.RepairScans,
+		s.NodeDownErrors, s.NodesDeclaredDead, s.InjectedFaults, s.InjectedCorruptions, s.InjectedLatency)
 }

@@ -10,6 +10,7 @@ package stats
 
 import (
 	"math/rand/v2"
+	"sync/atomic"
 )
 
 // RNG is a seeded pseudo-random number generator. It wraps a PCG source
@@ -17,14 +18,17 @@ import (
 // components (placement, interruption injection, workload generation)
 // can each consume their own reproducible stream.
 //
-// RNG is not safe for concurrent use; derive per-goroutine streams with
-// Split instead of sharing one RNG.
+// The sampling methods are not safe for concurrent use. Split is:
+// concurrent workers (e.g. the NameNode's parallel repair scan) may
+// share one parent and derive private child streams from it, though
+// which child a given worker receives then depends on scheduling
+// order — single-threaded callers keep full sequential determinism.
 type RNG struct {
 	r *rand.Rand
 	// seed words retained so Split can derive child streams
 	// deterministically from the parent's state.
 	hi, lo uint64
-	splits uint64
+	splits atomic.Uint64
 }
 
 // NewRNG returns a generator seeded with seed. Two RNGs built from the
@@ -41,12 +45,12 @@ func newRNG(hi, lo uint64) *RNG {
 // determined by) the parent's seed and the number of prior splits.
 // Splitting does not perturb the parent's own stream.
 func (g *RNG) Split() *RNG {
-	g.splits++
+	n := g.splits.Add(1)
 	// Mix the split counter into the seed words with odd constants so
 	// consecutive children land far apart in the PCG state space.
 	return newRNG(
-		g.hi^(g.splits*0xbf58476d1ce4e5b9),
-		g.lo+g.splits*0x94d049bb133111eb,
+		g.hi^(n*0xbf58476d1ce4e5b9),
+		g.lo+n*0x94d049bb133111eb,
 	)
 }
 

@@ -134,3 +134,12 @@ func (c *Client) Estimates(ctx context.Context) (map[cluster.NodeID]model.Availa
 func (c *Client) CheckConsistency(ctx context.Context) error {
 	return c.peer.call(ctx, "nn.consistency", nil, nil)
 }
+
+// Fsck returns the NameNode's replication-health survey: per-block
+// live-replica counts against each file's target, by the NameNode's
+// current liveness belief.
+func (c *Client) Fsck(ctx context.Context) (dfs.HealthReport, error) {
+	var rep dfs.HealthReport
+	err := c.peer.call(ctx, "nn.fsck", nil, &rep)
+	return rep, err
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/adaptsim/adapt/internal/cluster"
@@ -18,10 +19,22 @@ import (
 // rewind the estimator.
 type heartbeatParams struct {
 	Node          cluster.NodeID `json:"node"`
+	Epoch         uint64         `json:"epoch"`         // DataNode incarnation marker
 	Seq           uint64         `json:"seq"`
 	Uptime        float64        `json:"uptime"`        // cumulative observed uptime, seconds
 	Interruptions int64          `json:"interruptions"` // cumulative interruption count
 	Downtime      float64        `json:"downtime"`      // cumulative downtime, seconds
+}
+
+// epochCounter disambiguates DataNode incarnations created within the
+// same wall-clock instant (in-process restarts in tests).
+var epochCounter atomic.Uint64
+
+// newEpoch mints an incarnation marker: wall-clock based so a
+// restarted process (fresh counter) still differs from its previous
+// life, plus a counter so same-process restarts differ too.
+func newEpoch() uint64 {
+	return uint64(time.Now().UnixNano())<<8 | (epochCounter.Add(1) & 0xff)
 }
 
 // endpointName returns the transport endpoint name for a DataNode,
@@ -43,6 +56,8 @@ type DataNodeServer struct {
 	faults TransportFaults
 	nn     *peerConn
 
+	epoch uint64 // this incarnation's marker, fixed at construction
+
 	mu            sync.Mutex
 	seq           uint64
 	uptime        float64
@@ -61,15 +76,34 @@ func NewDataNodeServer(id cluster.NodeID, faults TransportFaults) *DataNodeServe
 		id:     id,
 		dn:     dfs.NewDataNode(id),
 		faults: faults,
+		epoch:  newEpoch(),
 	}
 	d.srv = NewServer(endpointName(id), faults, d.handle)
 	return d
 }
 
 // ConnectNameNode points the heartbeat channel at the NameNode. The
-// connection itself is established lazily on the first beat.
+// connection itself is established lazily on the first beat. Calling
+// it again (a restarted NameNode at a new address) closes the old
+// channel and redials the new one; an in-flight heartbeat on the old
+// channel just fails transiently, which loses nothing.
 func (d *DataNodeServer) ConnectNameNode(nnAddr string) {
-	d.nn = newPeerConn(nnAddr, endpointName(d.id), "namenode", d.faults)
+	next := newPeerConn(nnAddr, endpointName(d.id), "namenode", d.faults)
+	d.mu.Lock()
+	old := d.nn
+	d.nn = next
+	d.mu.Unlock()
+	if old != nil {
+		old.close()
+	}
+}
+
+// peer returns the current NameNode channel (nil before the first
+// ConnectNameNode).
+func (d *DataNodeServer) peer() *peerConn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nn
 }
 
 // Listen binds the block service (use "127.0.0.1:0" for tests).
@@ -159,20 +193,23 @@ func (d *DataNodeServer) ObserveInterruption(downtimeSec float64) error {
 // FlushHeartbeat sends one heartbeat carrying the cumulative
 // observation totals to the NameNode.
 func (d *DataNodeServer) FlushHeartbeat(ctx context.Context) error {
-	if d.nn == nil {
+	d.mu.Lock()
+	nn := d.nn
+	if nn == nil {
+		d.mu.Unlock()
 		return fmt.Errorf("svc: heartbeat from %s: namenode not connected: %w", endpointName(d.id), ErrConnClosed)
 	}
-	d.mu.Lock()
 	d.seq++
 	hb := heartbeatParams{
 		Node:          d.id,
+		Epoch:         d.epoch,
 		Seq:           d.seq,
 		Uptime:        d.uptime,
 		Interruptions: d.interruptions,
 		Downtime:      d.downtime,
 	}
 	d.mu.Unlock()
-	if err := d.nn.call(ctx, "nn.heartbeat", hb, nil); err != nil {
+	if err := nn.call(ctx, "nn.heartbeat", hb, nil); err != nil {
 		return fmt.Errorf("svc: heartbeat from %s: %w", endpointName(d.id), err)
 	}
 	return nil
@@ -217,12 +254,12 @@ func (d *DataNodeServer) Stop(ctx context.Context) error {
 		d.loopStop = nil
 	}
 	var flushErr error
-	if d.nn != nil {
+	if d.peer() != nil {
 		flushErr = d.FlushHeartbeat(ctx)
 	}
 	err := d.srv.Shutdown(ctx)
-	if d.nn != nil {
-		d.nn.close()
+	if nn := d.peer(); nn != nil {
+		nn.close()
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,237 @@
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/wal"
+)
+
+// The durable NameNode: every namespace mutation the dfs engine
+// publishes is first appended (and fsync'd) to a wal.Log as a
+// walRecord, and the namespace is periodically checkpointed into the
+// log's snapshot. A restart with the same -wal-dir replays snapshot +
+// suffix and reconstructs the exact file table and placement map —
+// the HDFS edits-log/fsimage pair, scaled to this reproduction.
+//
+// Records carry the *complete* per-file state after the mutation
+// (full metadata on create, the full block map on relocate), not
+// deltas. Replay is therefore an upsert and is idempotent, which lets
+// the snapshot cadence capture the namespace image without stopping
+// writers: the image is taken *after* reading the log sequence, so
+// any record that races into both the image and the replay suffix
+// converges to the same state.
+
+// walRecord is the journal's record encoding, one JSON object per WAL
+// entry.
+type walRecord struct {
+	Kind   string          `json:"kind"` // "create" | "delete" | "blocks"
+	Name   string          `json:"name"`
+	File   *dfs.FileMeta   `json:"file,omitempty"`
+	Blocks []dfs.BlockMeta `json:"blocks,omitempty"`
+}
+
+// walSnapshot is the checkpoint encoding: the full namespace image,
+// files sorted by name.
+type walSnapshot struct {
+	Files []*dfs.FileMeta `json:"files"`
+}
+
+// walJournal adapts a wal.Log to the dfs.Journal write-ahead hook.
+// Its methods run under the NameNode's metadata lock and must stay
+// callback-free.
+type walJournal struct {
+	log *wal.Log
+}
+
+func (j *walJournal) LogCreate(fm *dfs.FileMeta) error {
+	return j.append(walRecord{Kind: "create", Name: fm.Name, File: fm})
+}
+
+func (j *walJournal) LogDelete(name string) error {
+	return j.append(walRecord{Kind: "delete", Name: name})
+}
+
+func (j *walJournal) LogBlocks(name string, blocks []dfs.BlockMeta) error {
+	return j.append(walRecord{Kind: "blocks", Name: name, Blocks: blocks})
+}
+
+func (j *walJournal) append(r walRecord) error {
+	buf, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("svc: encode wal record: %w", err)
+	}
+	if _, err := j.log.Append(buf); err != nil {
+		return fmt.Errorf("svc: append wal record: %w", err)
+	}
+	return nil
+}
+
+// openJournal opens (or creates) the WAL directory and rebuilds the
+// namespace image it describes: newest snapshot first, then the
+// record suffix upserted on top.
+func openJournal(dir string) (*walJournal, []*dfs.FileMeta, error) {
+	log, err := wal.Open(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("svc: open wal %s: %w", dir, err)
+	}
+	files, err := replayNamespace(log)
+	if err != nil {
+		_ = log.Close()
+		return nil, nil, err
+	}
+	return &walJournal{log: log}, files, nil
+}
+
+// RecoverNamespace rebuilds the namespace image a WAL directory
+// describes without taking ownership of the log — the read-only
+// recovery used by fsck-style tooling and the bit-determinism tests.
+func RecoverNamespace(dir string) ([]*dfs.FileMeta, error) {
+	j, files, err := openJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.log.Close(); err != nil {
+		return nil, fmt.Errorf("svc: close wal %s: %w", dir, err)
+	}
+	return files, nil
+}
+
+// replayNamespace folds snapshot + records into a sorted file list.
+func replayNamespace(log *wal.Log) ([]*dfs.FileMeta, error) {
+	table := make(map[string]*dfs.FileMeta)
+	if snap, seq := log.Snapshot(); snap != nil {
+		var s walSnapshot
+		if err := json.Unmarshal(snap, &s); err != nil {
+			return nil, fmt.Errorf("svc: decode wal snapshot at seq %d: %w", seq, err)
+		}
+		for _, fm := range s.Files {
+			table[fm.Name] = fm
+		}
+	}
+	err := log.Replay(func(seq uint64, rec []byte) error {
+		var r walRecord
+		if err := json.Unmarshal(rec, &r); err != nil {
+			return fmt.Errorf("svc: decode wal record %d: %w", seq, err)
+		}
+		switch r.Kind {
+		case "create":
+			if r.File == nil {
+				return fmt.Errorf("svc: wal record %d: create without file: %w", seq, wal.ErrCorrupt)
+			}
+			table[r.Name] = r.File
+		case "delete":
+			delete(table, r.Name)
+		case "blocks":
+			// A blocks record for an absent file is legal: it can sit
+			// in the snapshot/suffix overlap window after the file's
+			// delete was already folded into the snapshot. Upsert
+			// semantics make it a no-op.
+			if fm, ok := table[r.Name]; ok {
+				fm.Blocks = r.Blocks
+			}
+		default:
+			return fmt.Errorf("svc: wal record %d has unknown kind %q: %w", seq, r.Kind, wal.ErrCorrupt)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*dfs.FileMeta, 0, len(table))
+	for _, name := range sortedKeys(table) {
+		files = append(files, table[name])
+	}
+	return files, nil
+}
+
+func sortedKeys(m map[string]*dfs.FileMeta) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// durableState is the NameNodeServer's durability bookkeeping.
+type durableState struct {
+	journal       *walJournal
+	snapshotEvery uint64
+	snapMu        sync.Mutex // one checkpoint at a time
+}
+
+// maybeSnapshot checkpoints the namespace when the replay suffix has
+// grown past the configured cadence. Safe (and cheap) to call after
+// any mutation; concurrent callers skip rather than queue.
+func (s *NameNodeServer) maybeSnapshot() {
+	d := &s.durable
+	if d.journal == nil {
+		return
+	}
+	if d.journal.log.RecordsSinceSnapshot() < d.snapshotEvery {
+		return
+	}
+	if !d.snapMu.TryLock() {
+		return // a checkpoint is already running
+	}
+	defer d.snapMu.Unlock()
+	_ = s.snapshotLocked()
+}
+
+// Checkpoint forces a namespace snapshot into the WAL now (testing
+// and operational tooling; the cadence path calls snapshotLocked).
+func (s *NameNodeServer) Checkpoint() error {
+	d := &s.durable
+	if d.journal == nil {
+		return nil
+	}
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked captures and saves one checkpoint. The sequence is
+// read *before* the image: records committed during the capture are
+// both inside the image and replayed on top, which upsert replay
+// makes harmless.
+func (s *NameNodeServer) snapshotLocked() error {
+	d := &s.durable
+	upTo := d.journal.log.Seq()
+	img := s.nn.FilesImage()
+	state, err := json.Marshal(walSnapshot{Files: img})
+	if err != nil {
+		return fmt.Errorf("svc: encode wal snapshot: %w", err)
+	}
+	if err := d.journal.log.SaveSnapshot(state, upTo); err != nil {
+		return fmt.Errorf("svc: save wal snapshot: %w", err)
+	}
+	return nil
+}
+
+// WALSeq reports the journal's committed record sequence (0 when the
+// NameNode runs without a WAL).
+func (s *NameNodeServer) WALSeq() uint64 {
+	if s.durable.journal == nil {
+		return 0
+	}
+	return s.durable.journal.log.Seq()
+}
+
+// WALSnapshotSeq reports the sequence the newest checkpoint covers.
+func (s *NameNodeServer) WALSnapshotSeq() uint64 {
+	if s.durable.journal == nil {
+		return 0
+	}
+	return s.durable.journal.log.SnapshotSeq()
+}
+
+// Durable reports whether this NameNode journals its namespace.
+func (s *NameNodeServer) Durable() bool { return s.durable.journal != nil }
+
+// NamespaceFingerprint hashes the live namespace (see
+// dfs.FingerprintFiles) — the recovery tests' bit-determinism probe.
+func (s *NameNodeServer) NamespaceFingerprint() string { return s.nn.Fingerprint() }

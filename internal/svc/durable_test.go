@@ -1,0 +1,279 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/chaos"
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// bootDurable starts a loopback cluster whose NameNode journals into
+// dir, with a cleanup that tears the whole thing down.
+func bootDurable(t *testing.T, n int, seed uint64, cfg NameNodeConfig) *LocalCluster {
+	t.Helper()
+	c, err := cluster.New(make([]cluster.Node, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := StartLocalCluster(c, stats.NewRNG(seed), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = lc.Close(ctx)
+	})
+	return lc
+}
+
+// durablePayload builds a deterministic, compressible-hostile payload
+// distinct per index.
+func durablePayload(i, size int) []byte {
+	data := make([]byte, size)
+	for j := range data {
+		data[j] = byte((i*131 + j*7) % 251)
+	}
+	return data
+}
+
+// restartCluster rebuilds the cluster value RestartNameNode needs (same
+// shape, availability-stripped — the estimator refills from
+// heartbeats).
+func restartCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(make([]cluster.Node, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDurableRestartRecoversNamespace: a graceful stop and a fresh
+// NameNode over the same WAL directory must reproduce the namespace
+// exactly — same fingerprint, same bytes on read, deletes stay
+// deleted — and RecoverNamespace must be bit-deterministic.
+func TestDurableRestartRecoversNamespace(t *testing.T) {
+	dir := t.TempDir()
+	cfg := NameNodeConfig{BlockSize: 256, Replication: 2, WALDir: dir}
+	lc := bootDurable(t, 4, 51, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cl := lc.Client("shell")
+	defer cl.Close()
+	want := map[string][]byte{}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("f%d", i)
+		data := durablePayload(i, 700+i*301)
+		if _, _, err := cl.CopyFromLocal(ctx, name, data, false); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = data
+	}
+	if _, err := cl.Cp(ctx, "f0", "f0-copy", true); err != nil {
+		t.Fatal(err)
+	}
+	want["f0-copy"] = want["f0"]
+	if err := cl.Delete(ctx, "f1"); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, "f1")
+	if _, err := cl.Rebalance(ctx, "f2"); err != nil {
+		t.Fatal(err)
+	}
+
+	preFP := lc.NN.NamespaceFingerprint()
+	if err := lc.NN.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.RestartNameNode(restartCluster(t, 4), stats.NewRNG(52), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.NN.NamespaceFingerprint(); got != preFP {
+		t.Fatalf("fingerprint changed across restart:\n pre %s\npost %s", preFP, got)
+	}
+
+	cl2 := lc.Client("shell2")
+	defer cl2.Close()
+	for name, data := range want {
+		got, err := cl2.ReadFile(ctx, name)
+		if err != nil {
+			t.Fatalf("read %q after restart: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%q: recovered bytes differ (%d vs %d)", name, len(got), len(data))
+		}
+	}
+	if _, err := cl2.Stat(ctx, "f1"); !errors.Is(err, dfs.ErrFileNotFound) {
+		t.Fatalf("deleted file resurrected: %v", err)
+	}
+
+	// Bit-determinism: two independent replays of the same directory
+	// produce byte-identical namespace fingerprints.
+	files1, err := RecoverNamespace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files2, err := RecoverNamespace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, fp2 := dfs.FingerprintFiles(files1), dfs.FingerprintFiles(files2)
+	if fp1 != fp2 {
+		t.Fatalf("replay not deterministic:\n%s\n%s", fp1, fp2)
+	}
+	if fp1 != preFP {
+		t.Fatalf("recovered fingerprint %s != live %s", fp1, preFP)
+	}
+}
+
+// TestCrashRecoveryKeepsAckedWrites: a SIGKILL-style crash (no final
+// sync, no drain) must lose nothing that was acknowledged.
+func TestCrashRecoveryKeepsAckedWrites(t *testing.T) {
+	dir := t.TempDir()
+	cfg := NameNodeConfig{BlockSize: 512, Replication: 2, WALDir: dir}
+	lc := bootDurable(t, 3, 53, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cl := lc.Client("shell")
+	dataA := durablePayload(1, 1500)
+	dataB := durablePayload(2, 900)
+	if _, _, err := cl.CopyFromLocal(ctx, "a", dataA, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.CopyFromLocal(ctx, "b", dataB, true); err != nil {
+		t.Fatal(err)
+	}
+	preFP := lc.NN.NamespaceFingerprint()
+
+	lc.CrashNameNode()
+	cl.Close()
+	if err := lc.RestartNameNode(restartCluster(t, 3), stats.NewRNG(54), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.NN.NamespaceFingerprint(); got != preFP {
+		t.Fatalf("crash recovery diverged:\n pre %s\npost %s", preFP, got)
+	}
+	cl2 := lc.Client("shell2")
+	defer cl2.Close()
+	for name, data := range map[string][]byte{"a": dataA, "b": dataB} {
+		got, err := cl2.ReadFile(ctx, name)
+		if err != nil {
+			t.Fatalf("read %q after crash: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%q: bytes differ after crash recovery", name)
+		}
+	}
+}
+
+// TestJournalFailureVetoesMutation: when the WAL cannot commit, the
+// mutation must not be acknowledged or applied — and a restart from
+// the directory shows exactly the pre-failure namespace.
+func TestJournalFailureVetoesMutation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := NameNodeConfig{BlockSize: 256, Replication: 2, WALDir: dir}
+	lc := bootDurable(t, 3, 55, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cl := lc.Client("shell")
+	defer cl.Close()
+	kept := durablePayload(3, 800)
+	if _, _, err := cl.CopyFromLocal(ctx, "keep", kept, false); err != nil {
+		t.Fatal(err)
+	}
+	preFP := lc.NN.NamespaceFingerprint()
+
+	// The journal device "fails": the next append tears and the log
+	// breaks, exactly as chaos would do it mid-write.
+	lc.NN.durable.journal.log.SetFaults(chaos.CrashAfter(0, 0))
+
+	_, _, err := cl.CopyFromLocal(ctx, "lost", durablePayload(4, 800), false)
+	if !errors.Is(err, dfs.ErrJournal) {
+		t.Fatalf("unjournaled create acknowledged: %v", err)
+	}
+	if err := cl.Delete(ctx, "keep"); !errors.Is(err, dfs.ErrJournal) {
+		t.Fatalf("unjournaled delete acknowledged: %v", err)
+	}
+	// The veto leaves the in-memory namespace untouched too.
+	if got := lc.NN.NamespaceFingerprint(); got != preFP {
+		t.Fatalf("vetoed mutations leaked into namespace:\n pre %s\npost %s", preFP, got)
+	}
+	if got, err := cl.ReadFile(ctx, "keep"); err != nil || !bytes.Equal(got, kept) {
+		t.Fatalf("read of surviving file failed: %v", err)
+	}
+
+	lc.CrashNameNode()
+	if err := lc.RestartNameNode(restartCluster(t, 3), stats.NewRNG(56), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.NN.NamespaceFingerprint(); got != preFP {
+		t.Fatalf("restart after journal failure diverged:\n pre %s\npost %s", preFP, got)
+	}
+	cl2 := lc.Client("shell2")
+	defer cl2.Close()
+	if _, err := cl2.Stat(ctx, "lost"); !errors.Is(err, dfs.ErrFileNotFound) {
+		t.Fatalf("vetoed file recovered anyway: %v", err)
+	}
+}
+
+// TestSnapshotCadenceTruncatesLog: once the replay suffix passes
+// SnapshotEvery, the next acknowledged mutation checkpoints the
+// namespace and truncates the log — and recovery through a
+// snapshot+suffix (and through a pure snapshot) stays exact.
+func TestSnapshotCadenceTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	cfg := NameNodeConfig{BlockSize: 256, Replication: 2, WALDir: dir, SnapshotEvery: 4}
+	lc := bootDurable(t, 3, 57, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cl := lc.Client("shell")
+	defer cl.Close()
+	for i := 0; i < 6; i++ {
+		if _, _, err := cl.CopyFromLocal(ctx, fmt.Sprintf("s%d", i), durablePayload(i, 300), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lc.NN.WALSeq(); got != 6 {
+		t.Fatalf("wal seq = %d, want 6 (one create record per write)", got)
+	}
+	if got := lc.NN.WALSnapshotSeq(); got != 4 {
+		t.Fatalf("snapshot seq = %d, want 4 (cadence fired at the 4th record)", got)
+	}
+	preFP := lc.NN.NamespaceFingerprint()
+
+	// Snapshot + two-record suffix.
+	lc.CrashNameNode()
+	if err := lc.RestartNameNode(restartCluster(t, 3), stats.NewRNG(58), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.NN.NamespaceFingerprint(); got != preFP {
+		t.Fatalf("snapshot+suffix recovery diverged")
+	}
+
+	// Forced checkpoint, then a pure-snapshot (empty suffix) recovery.
+	if err := lc.NN.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.NN.WALSnapshotSeq(); got != lc.NN.WALSeq() {
+		t.Fatalf("forced checkpoint left suffix: snap %d seq %d", got, lc.NN.WALSeq())
+	}
+	lc.CrashNameNode()
+	if err := lc.RestartNameNode(restartCluster(t, 3), stats.NewRNG(59), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.NN.NamespaceFingerprint(); got != preFP {
+		t.Fatalf("pure-snapshot recovery diverged")
+	}
+}

@@ -28,6 +28,15 @@ type MetricsSnapshot struct {
 	HeartbeatAge map[int]float64
 	Lambda       map[int]float64
 	Mu           map[int]float64
+
+	// NodeState is the failure detector's belief per node (0 alive,
+	// 1 suspect, 2 dead), for nodes that have heartbeated.
+	NodeState map[int]float64
+
+	// WAL durability gauges; meaningful only when Durable.
+	Durable        bool
+	WALSeq         float64
+	WALSnapshotSeq float64
 }
 
 // snapshotMetrics gathers the NameNode's current state for export.
@@ -51,10 +60,16 @@ func (s *NameNodeServer) snapshotMetrics(now time.Time) MetricsSnapshot {
 			"redistributed_replicas": rs.RedistributedReplicas,
 			"injected_faults":        rs.InjectedFaults,
 			"injected_corruptions":   rs.InjectedCorruptions,
+			"repair_scans":           rs.RepairScans,
+			"nodes_declared_dead":    rs.NodesDeclaredDead,
 		},
-		HeartbeatAge: make(map[int]float64),
-		Lambda:       make(map[int]float64),
-		Mu:           make(map[int]float64),
+		HeartbeatAge:   make(map[int]float64),
+		Lambda:         make(map[int]float64),
+		Mu:             make(map[int]float64),
+		NodeState:      make(map[int]float64),
+		Durable:        s.Durable(),
+		WALSeq:         float64(s.WALSeq()),
+		WALSnapshotSeq: float64(s.WALSnapshotSeq()),
 	}
 	for _, st := range s.stores {
 		if st.Up() {
@@ -67,6 +82,9 @@ func (s *NameNodeServer) snapshotMetrics(now time.Time) MetricsSnapshot {
 	for id, av := range s.Estimates() {
 		m.Lambda[int(id)] = av.Lambda
 		m.Mu[int(id)] = av.Mu
+	}
+	for id, st := range s.DetectorStates() {
+		m.NodeState[int(id)] = float64(st)
 	}
 	return m
 }
@@ -113,6 +131,11 @@ func RenderMetrics(m MetricsSnapshot) string {
 	series("adapt_namenode_heartbeat_age_seconds", "Age of the freshest heartbeat per DataNode.", m.HeartbeatAge)
 	series("adapt_namenode_lambda", "Estimated interruption rate lambda per DataNode (1/s).", m.Lambda)
 	series("adapt_namenode_mu", "Estimated mean downtime mu per DataNode (s).", m.Mu)
+	series("adapt_namenode_datanode_state", "Failure-detector belief per DataNode (0 alive, 1 suspect, 2 dead).", m.NodeState)
+	if m.Durable {
+		gauge("adapt_namenode_wal_seq", "Last committed WAL record sequence.", m.WALSeq)
+		gauge("adapt_namenode_wal_snapshot_seq", "WAL sequence covered by the newest namespace snapshot.", m.WALSnapshotSeq)
+	}
 	return b.String()
 }
 

@@ -130,6 +130,44 @@ func (lc *LocalCluster) FlushHeartbeats(ctx context.Context) error {
 	return nil
 }
 
+// CrashNameNode kills the master the way SIGKILL would: no drain, no
+// final WAL sync, connections dropped mid-frame. The DataNodes keep
+// running (and heartbeating into the void) until RestartNameNode
+// gives them a new master.
+func (lc *LocalCluster) CrashNameNode() {
+	if lc.NN != nil {
+		lc.NN.Crash()
+	}
+}
+
+// RestartNameNode boots a fresh NameNode incarnation — recovering the
+// namespace from cfg.WALDir when set — on a new loopback port and
+// repoints every DataNode's heartbeat channel at it. The caller
+// supplies the same cluster shape and an RNG; heartbeat state needs
+// no persistence because DataNodes resend cumulative totals, which
+// the fresh estimator folds in full on their first beat.
+func (lc *LocalCluster) RestartNameNode(c *cluster.Cluster, g *stats.RNG, cfg NameNodeConfig) error {
+	dnAddrs := make([]string, len(lc.DNs))
+	for i, dn := range lc.DNs {
+		dnAddrs[i] = dn.Addr()
+	}
+	nn, err := NewNameNodeServer(c, dnAddrs, g, lc.faults, cfg)
+	if err != nil {
+		return err
+	}
+	if err := nn.Listen("127.0.0.1:0"); err != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = nn.Shutdown(ctx)
+		return err
+	}
+	lc.NN = nn
+	for _, dn := range lc.DNs {
+		dn.ConnectNameNode(nn.Addr())
+	}
+	return nil
+}
+
 // Close shuts the whole cluster down gracefully, DataNodes first so
 // their final heartbeats land on a live NameNode, then the NameNode.
 func (lc *LocalCluster) Close(ctx context.Context) error {

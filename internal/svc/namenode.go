@@ -61,13 +61,18 @@ type estimatesResult struct {
 
 // hbState is the NameNode's per-DataNode heartbeat bookkeeping: the
 // last sequence folded and the cumulative totals it carried, so the
-// next beat folds only the delta.
+// next beat folds only the delta. epoch identifies the DataNode
+// incarnation the totals belong to: a restarted DataNode announces a
+// new epoch and the fold re-baselines instead of rejecting its reset
+// sequence numbers forever. state is the failure detector's belief.
 type hbState struct {
+	epoch         uint64
 	seq           uint64
 	uptime        float64
 	interruptions int64
 	downtime      float64
 	lastBeat      time.Time
+	state         NodeState
 }
 
 // NameNodeServer is the networked ADAPT master: file metadata, the
@@ -95,14 +100,29 @@ type NameNodeServer struct {
 
 	hbMu sync.Mutex
 	hb   map[cluster.NodeID]*hbState
+
+	durable    durableState  // WAL journal + snapshot cadence
+	stopCh     chan struct{} // closed once by stopLoops
+	stopOnce   sync.Once
+	loops      sync.WaitGroup // detector + repair goroutines
+	repairKick chan struct{}  // coalesced "scan now" signal
 }
 
-// NameNodeConfig tunes the service's client engine. Zero values keep
-// the dfs defaults.
+// NameNodeConfig tunes the service's client engine and its
+// durability. Zero values keep the dfs defaults and, with an empty
+// WALDir, a volatile (PR 4-style) namespace.
 type NameNodeConfig struct {
 	BlockSize   int64
 	Replication int
 	Gamma       float64
+	// WALDir enables the durable namespace: every mutation is
+	// journaled there before it is acknowledged, and construction
+	// recovers whatever namespace the directory already holds.
+	WALDir string
+	// SnapshotEvery is the checkpoint cadence in WAL records
+	// (default 256): once the replay suffix exceeds it, the next
+	// mutation or repair scan triggers a snapshot + log truncation.
+	SnapshotEvery int
 }
 
 // NewNameNodeServer creates the master for cluster c whose DataNodes
@@ -137,11 +157,31 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 		cl.Gamma = cfg.Gamma
 	}
 	s := &NameNodeServer{
-		nn:     nn,
-		cl:     cl,
-		stores: stores,
-		start:  time.Now(),
-		hb:     make(map[cluster.NodeID]*hbState),
+		nn:         nn,
+		cl:         cl,
+		stores:     stores,
+		start:      time.Now(),
+		hb:         make(map[cluster.NodeID]*hbState),
+		stopCh:     make(chan struct{}),
+		repairKick: make(chan struct{}, 1),
+	}
+	if cfg.WALDir != "" {
+		j, files, err := openJournal(cfg.WALDir)
+		if err != nil {
+			return nil, err
+		}
+		// Recovery first, then the journal: replayed mutations must
+		// not be re-journaled.
+		if err := nn.Restore(files); err != nil {
+			_ = j.log.Close()
+			return nil, err
+		}
+		nn.SetJournal(j)
+		s.durable.journal = j
+		s.durable.snapshotEvery = 256
+		if cfg.SnapshotEvery > 0 {
+			s.durable.snapshotEvery = uint64(cfg.SnapshotEvery)
+		}
 	}
 	s.srv = NewServer("namenode", faults, s.handle)
 	return s, nil
@@ -157,17 +197,61 @@ func (s *NameNodeServer) Addr() string { return s.srv.Addr() }
 // checks in tests).
 func (s *NameNodeServer) Engine() *dfs.NameNode { return s.nn }
 
-// Shutdown drains in-flight RPCs (bounded by ctx) and closes the
-// DataNode proxy connections.
+// stopLoops halts the failure-detector and auto-repair goroutines
+// (idempotent) and waits for them to exit.
+func (s *NameNodeServer) stopLoops() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.loops.Wait()
+}
+
+// Shutdown stops the background loops, drains in-flight RPCs (bounded
+// by ctx), closes the DataNode proxy connections, and cleanly closes
+// the WAL.
 func (s *NameNodeServer) Shutdown(ctx context.Context) error {
+	s.stopLoops()
 	err := s.srv.Shutdown(ctx)
 	for _, st := range s.stores {
 		st.close()
 	}
+	if s.durable.journal != nil {
+		if jerr := s.durable.journal.log.Close(); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
 	return err
 }
 
+// Crash kills the NameNode the way SIGKILL would: background loops
+// stop, the WAL handle is abandoned without a final sync (so a stray
+// in-flight handler can never append behind a restarted incarnation's
+// back), and the listener and every connection drop without drain.
+// Acknowledged mutations are already fsync'd; everything else is
+// deliberately lost — that is the failure the recovery tests inject.
+func (s *NameNodeServer) Crash() {
+	s.stopLoops()
+	if s.durable.journal != nil {
+		s.durable.journal.log.Crash()
+	}
+	s.srv.Crash()
+	for _, st := range s.stores {
+		st.close()
+	}
+}
+
+// handle dispatches one RPC, then lets the snapshot cadence piggyback
+// on successful namespace mutations.
 func (s *NameNodeServer) handle(ctx context.Context, from, method string, params []byte) (any, error) {
+	res, err := s.dispatch(ctx, from, method, params)
+	if err == nil {
+		switch method {
+		case "nn.copyFromLocal", "nn.cp", "nn.delete", "nn.adapt", "nn.rebalance", "nn.maintain":
+			s.maybeSnapshot()
+		}
+	}
+	return res, err
+}
+
+func (s *NameNodeServer) dispatch(ctx context.Context, from, method string, params []byte) (any, error) {
 	switch method {
 	case "nn.heartbeat":
 		var p heartbeatParams
@@ -280,6 +364,10 @@ func (s *NameNodeServer) handle(ctx context.Context, from, method string, params
 			return nil, err
 		}
 		return struct{}{}, nil
+	case "nn.fsck":
+		s.availMu.RLock()
+		defer s.availMu.RUnlock()
+		return s.nn.Health(), nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}
@@ -299,8 +387,17 @@ func (s *NameNodeServer) foldHeartbeat(p heartbeatParams) error {
 	s.hbMu.Lock()
 	st, ok := s.hb[p.Node]
 	if !ok {
-		st = &hbState{}
+		st = &hbState{epoch: p.Epoch}
 		s.hb[p.Node] = st
+	}
+	if p.Epoch != st.epoch {
+		// A restarted DataNode: fresh incarnation, fresh counters.
+		// Re-baseline at zero so its reset totals fold as a full
+		// delta instead of being rejected as stale/backwards forever.
+		// Observations the old incarnation already shipped were
+		// folded then; whatever it accumulated after its last beat
+		// died with it, which cumulative totals cannot recover.
+		*st = hbState{epoch: p.Epoch}
 	}
 	if p.Seq <= st.seq {
 		s.hbMu.Unlock()
@@ -318,7 +415,15 @@ func (s *NameNodeServer) foldHeartbeat(p heartbeatParams) error {
 	st.interruptions = p.Interruptions
 	st.downtime = p.Downtime
 	st.lastBeat = time.Now()
+	wasDead := st.state == NodeDead
+	st.state = NodeAlive
 	s.hbMu.Unlock()
+	if wasDead {
+		// A revived node restores capacity: blocks that were
+		// unrepairable while it was the only spare target may be
+		// repairable now.
+		s.kickRepair()
+	}
 
 	s.availMu.Lock()
 	defer s.availMu.Unlock()

@@ -1,0 +1,159 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/dfs"
+)
+
+// RepairConfig tunes the autonomous re-replication scheduler. Zero
+// values take the defaults noted per field.
+type RepairConfig struct {
+	// Interval is the periodic full-scan cadence (default 2s). The
+	// failure detector also kicks an immediate scan when it declares
+	// a node dead, so the interval only bounds how long a quietly
+	// degraded file (e.g. a degraded write) waits for repair.
+	Interval time.Duration
+	// Concurrency bounds how many files repair in parallel (default 2).
+	Concurrency int
+	// MaxAttempts bounds per-file attempts within one scan (default 3).
+	MaxAttempts int
+	// Backoff is the base delay between attempts, doubled each retry
+	// (default 50ms).
+	Backoff time.Duration
+	// ScanTimeout bounds one whole scan (default 30s).
+	ScanTimeout time.Duration
+}
+
+func (cfg *RepairConfig) defaults() {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.ScanTimeout <= 0 {
+		cfg.ScanTimeout = 30 * time.Second
+	}
+}
+
+// StartAutoRepair begins the background re-replication scheduler:
+// every Interval — or immediately when the failure detector declares
+// a node dead — it sweeps the namespace and re-replicates every
+// under-replicated block through the engine's availability-aware
+// repair path (dfs.Client.MaintainReplicationContext with ADAPT
+// weights, the same 1/E[T] scoring initial placement uses), with
+// bounded concurrency and per-file retry/backoff. Call at most once;
+// Shutdown/Crash stops the loop.
+func (s *NameNodeServer) StartAutoRepair(cfg RepairConfig) {
+	cfg.defaults()
+	s.loops.Add(1)
+	go func() {
+		defer s.loops.Done()
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			case <-t.C:
+				s.RepairScan(cfg)
+			case <-s.repairKick:
+				s.RepairScan(cfg)
+			}
+		}
+	}()
+}
+
+// kickRepair requests an immediate scan (coalesced: a pending kick is
+// enough).
+func (s *NameNodeServer) kickRepair() {
+	select {
+	case s.repairKick <- struct{}{}:
+	default:
+	}
+}
+
+// RepairScan sweeps every file once, repairing under-replicated
+// blocks — exported so tests (and the headline soak) can force a scan
+// instead of waiting on the ticker. It returns the number of replicas
+// re-created.
+func (s *NameNodeServer) RepairScan(cfg RepairConfig) int {
+	cfg.defaults()
+	s.nn.Resilience().RepairScans.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.ScanTimeout)
+	defer cancel()
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	repaired := 0
+	for _, name := range s.nn.List() {
+		select {
+		case <-s.stopCh:
+			wg.Wait()
+			return repaired
+		default:
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			n, _ := s.repairFile(ctx, name, cfg)
+			mu.Lock()
+			repaired += n
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	s.maybeSnapshot()
+	return repaired
+}
+
+// repairFile runs the availability-aware repair pass on one file with
+// retry/backoff: transient failures (nodes racing down, chaos faults)
+// and still-unrepairable blocks retry up to MaxAttempts; a deleted
+// file or a permanent error ends the attempt quietly — the next scan
+// revisits anything still degraded.
+func (s *NameNodeServer) repairFile(ctx context.Context, name string, cfg RepairConfig) (int, error) {
+	repaired := 0
+	backoff := cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		s.availMu.RLock()
+		report, err := s.cl.MaintainReplicationContext(ctx, name, true)
+		s.availMu.RUnlock()
+		repaired += report.Repaired
+		switch {
+		case err == nil && report.Unrepairable == 0:
+			return repaired, nil
+		case errors.Is(err, dfs.ErrFileNotFound):
+			return repaired, nil // deleted while scanning
+		case err != nil && !dfs.IsTransient(err):
+			return repaired, fmt.Errorf("svc: repair %q: %w", name, err)
+		}
+		if attempt >= cfg.MaxAttempts {
+			if err == nil {
+				return repaired, nil // blocks left for the next scan
+			}
+			return repaired, fmt.Errorf("svc: repair %q gave up after %d attempts: %w", name, attempt, err)
+		}
+		select {
+		case <-ctx.Done():
+			return repaired, fmt.Errorf("svc: repair %q: %w", name, ctx.Err())
+		case <-s.stopCh:
+			return repaired, fmt.Errorf("svc: repair %q: %w", name, ErrShuttingDown)
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}

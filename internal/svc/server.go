@@ -155,6 +155,22 @@ func (s *Server) reply(nc net.Conn, wmu *sync.Mutex, id uint64, result any, err 
 	}
 }
 
+// Crash force-closes the server without drain: the listener and every
+// connection drop immediately and in-flight handlers lose their reply
+// path — the transport shape of SIGKILL, for crash-recovery tests.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	s.down = true
+	ln := s.ln
+	for nc := range s.conns {
+		_ = nc.Close() // reader goroutines see the error and unregister
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+}
+
 // Shutdown stops accepting, rejects new requests, waits for in-flight
 // handlers to drain (bounded by ctx), then closes all connections.
 func (s *Server) Shutdown(ctx context.Context) error {

@@ -158,6 +158,7 @@ func init() {
 	registerCode("unknown_node", dfs.ErrUnknownNode)
 	registerCode("inconsistent", dfs.ErrInconsistent)
 	registerCode("not_local", dfs.ErrNotLocal)
+	registerCode("journal", dfs.ErrJournal)
 	registerCode("deadline", context.DeadlineExceeded)
 	registerCode("canceled", context.Canceled)
 }

@@ -1,0 +1,540 @@
+// Package wal is the write-ahead log backing the durable NameNode:
+// an append-only, CRC32-framed, fsync-on-commit record log with
+// periodic snapshots and log truncation.
+//
+// Layout. A log directory holds segment files `seg-<NNN>.log` and
+// snapshot files `snap-<NNN>.snap`, where NNN is a zero-padded
+// sequence number. A segment named seg-N holds records N+1, N+2, …
+// in order; a snapshot named snap-N captures the application state
+// after applying records 1..N. Records and snapshots share one frame
+// format: a 4-byte big-endian payload length, a 4-byte big-endian
+// CRC32 (IEEE) of the payload, then the payload.
+//
+// Durability contract. Append writes the frame and fsyncs before
+// returning, so a record whose Append returned nil survives any
+// crash. SaveSnapshot writes the snapshot to a temp file, fsyncs it,
+// renames it into place, and fsyncs the directory, then rotates to a
+// fresh segment and prunes files the snapshot covers — a crash at any
+// point leaves either the old or the new snapshot durable, never a
+// torn one.
+//
+// Torn tails. A crash mid-Append can leave a partial frame at the end
+// of the newest segment. Because appends are sequential and fsync'd,
+// a torn frame can only be the last thing written; Open truncates the
+// tail at the first invalid frame of the final segment and replays
+// everything before it. The dropped record was never acknowledged. An
+// invalid frame in any non-final segment is real corruption and Open
+// fails with ErrCorrupt rather than silently dropping acknowledged
+// records.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Sentinel errors. Callers match with errors.Is.
+var (
+	// ErrClosed marks appends or snapshots on a log that was closed or
+	// abandoned (Crash), or that failed a durability write (a log that
+	// cannot promise durability refuses further work).
+	ErrClosed = errors.New("wal: log closed")
+	// ErrCorrupt marks a log directory whose non-tail contents fail
+	// validation: a bad frame before the final segment's tail, a
+	// missing segment in the chain, or a gap between the newest
+	// snapshot and the oldest remaining segment.
+	ErrCorrupt = errors.New("wal: log corrupt")
+)
+
+// MaxRecordSize bounds a single record or snapshot payload. Frames
+// declaring more are treated as torn (tail) or corrupt (interior).
+const MaxRecordSize = 64 << 20
+
+const frameHeader = 8 // 4-byte length + 4-byte CRC32
+
+// AppendFaults lets a fault injector (chaos.CrashFaults) interpose on
+// the physical append. BeforeAppend sees the encoded frame and
+// returns how many bytes of it to actually write; a non-nil error
+// fails the append after writing that prefix and permanently breaks
+// the log handle, simulating a crash mid-write with a torn record on
+// disk.
+type AppendFaults interface {
+	BeforeAppend(frame []byte) (int, error)
+}
+
+type entry struct {
+	seq uint64
+	rec []byte
+}
+
+// Log is a single-writer write-ahead log rooted at a directory. All
+// methods are safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	f        *os.File // active segment, positioned at its end
+	seq      uint64   // sequence of the last appended record
+	snapSeq  uint64   // sequence covered by the newest snapshot (0 = none)
+	snapshot []byte   // payload of the newest snapshot (nil = none)
+	entries  []entry  // records with seq > snapSeq, oldest first
+	faults   AppendFaults
+	broken   bool // a durability write failed or Crash was called
+	closed   bool
+}
+
+// Open opens (creating if needed) the log directory, validates its
+// contents, truncates a torn tail if the last writer crashed
+// mid-append, and leaves the log ready to append record seq+1.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	snaps, segs, err := listDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir}
+	if err := l.loadSnapshot(snaps); err != nil {
+		return nil, err
+	}
+	if err := l.loadSegments(segs); err != nil {
+		return nil, err
+	}
+	if l.f == nil {
+		// No usable segment: start a fresh one at the current seq.
+		f, err := createSegment(dir, l.seq)
+		if err != nil {
+			return nil, err
+		}
+		l.f = f
+	}
+	return l, nil
+}
+
+type seqFile struct {
+	seq  uint64
+	name string
+}
+
+func listDir(dir string) (snaps, segs []seqFile, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: read dir %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if n, ok := parseSeqName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, seqFile{seq: n, name: name})
+		} else if n, ok := parseSeqName(name, "seg-", ".log"); ok {
+			segs = append(segs, seqFile{seq: n, name: name})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return snaps, segs, nil
+}
+
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func segName(seq uint64) string  { return fmt.Sprintf("seg-%020d.log", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%020d.snap", seq) }
+
+// loadSnapshot installs the newest decodable snapshot. A snapshot
+// torn by a crash mid-write never got renamed into place, so a .snap
+// file failing to decode is unexpected — but we fall back to an older
+// one rather than refuse to start.
+func (l *Log) loadSnapshot(snaps []seqFile) error {
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(l.dir, snaps[i].name))
+		if err != nil {
+			continue
+		}
+		payload, n, ok := decodeFrame(data)
+		if !ok || n != len(data) {
+			continue
+		}
+		l.snapSeq = snaps[i].seq
+		l.seq = snaps[i].seq
+		l.snapshot = payload
+		return nil
+	}
+	return nil
+}
+
+// loadSegments replays every record newer than the snapshot into
+// memory, validates segment-chain contiguity, and opens the final
+// segment for appending (truncating a torn tail first).
+func (l *Log) loadSegments(segs []seqFile) error {
+	scanning := false
+	for i, sg := range segs {
+		last := i == len(segs)-1
+		if !scanning {
+			// Skip segments the snapshot fully covers (prune leftovers
+			// from a crash between snapshot rename and file removal).
+			if !last && segs[i+1].seq <= l.snapSeq {
+				continue
+			}
+			if sg.seq > l.snapSeq {
+				return fmt.Errorf("%w: segment %s starts after snapshot seq %d", ErrCorrupt, sg.name, l.snapSeq)
+			}
+			scanning = true
+			l.seq = sg.seq
+		} else if sg.seq != l.seq {
+			return fmt.Errorf("%w: segment %s does not continue from seq %d", ErrCorrupt, sg.name, l.seq)
+		}
+		path := filepath.Join(l.dir, sg.name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: read %s: %w", sg.name, err)
+		}
+		recs, validLen := scanRecords(data)
+		if validLen < len(data) && !last {
+			return fmt.Errorf("%w: invalid frame at %s offset %d", ErrCorrupt, sg.name, validLen)
+		}
+		for _, rec := range recs {
+			l.seq++
+			if l.seq > l.snapSeq {
+				l.entries = append(l.entries, entry{seq: l.seq, rec: rec})
+			}
+		}
+		if last {
+			f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+			if err != nil {
+				return fmt.Errorf("wal: open %s: %w", sg.name, err)
+			}
+			if validLen < len(data) {
+				// Torn tail: drop the partial frame so the next append
+				// starts a clean record boundary.
+				if err := f.Truncate(int64(validLen)); err != nil {
+					_ = f.Close()
+					return fmt.Errorf("wal: truncate torn tail of %s: %w", sg.name, err)
+				}
+				if err := f.Sync(); err != nil {
+					_ = f.Close()
+					return fmt.Errorf("wal: sync %s: %w", sg.name, err)
+				}
+			}
+			if _, err := f.Seek(int64(validLen), 0); err != nil {
+				_ = f.Close()
+				return fmt.Errorf("wal: seek %s: %w", sg.name, err)
+			}
+			l.f = f
+		}
+	}
+	return nil
+}
+
+// appendFrame encodes one record frame onto dst.
+func appendFrame(dst, rec []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(rec))
+	dst = append(dst, hdr[:]...)
+	return append(dst, rec...)
+}
+
+// decodeFrame decodes one frame from the start of data, returning the
+// payload, the bytes consumed, and whether the frame was valid.
+func decodeFrame(data []byte) (payload []byte, n int, ok bool) {
+	if len(data) < frameHeader {
+		return nil, 0, false
+	}
+	size := binary.BigEndian.Uint32(data[0:4])
+	if size > MaxRecordSize || int(size) > len(data)-frameHeader {
+		return nil, 0, false
+	}
+	payload = data[frameHeader : frameHeader+int(size)]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(data[4:8]) {
+		return nil, 0, false
+	}
+	return append([]byte(nil), payload...), frameHeader + int(size), true
+}
+
+// scanRecords decodes consecutive frames from data, stopping at the
+// first invalid one. validLen is the offset of the first byte not
+// part of a valid frame (== len(data) when the whole file is clean).
+func scanRecords(data []byte) (recs [][]byte, validLen int) {
+	off := 0
+	for off < len(data) {
+		payload, n, ok := decodeFrame(data[off:])
+		if !ok {
+			break
+		}
+		recs = append(recs, payload)
+		off += n
+	}
+	return recs, off
+}
+
+// SetFaults installs an append-fault injector (nil disables).
+func (l *Log) SetFaults(f AppendFaults) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = f
+}
+
+// Append durably commits one record: the frame is written and fsync'd
+// before Append returns. On any write or sync failure the log breaks
+// permanently (ErrClosed thereafter) — a handle that cannot promise
+// durability must not keep acknowledging.
+func (l *Log) Append(rec []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.broken {
+		return 0, ErrClosed
+	}
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordSize", len(rec))
+	}
+	frame := appendFrame(nil, rec)
+	if l.faults != nil {
+		if n, err := l.faults.BeforeAppend(frame); err != nil {
+			if n > len(frame) {
+				n = len(frame)
+			}
+			if n > 0 {
+				_, _ = l.f.Write(frame[:n]) // the torn write the crash leaves behind
+			}
+			l.broken = true
+			_ = l.f.Close()
+			return 0, fmt.Errorf("wal: append fault: %w", err)
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.broken = true
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = true
+		return 0, fmt.Errorf("wal: append sync: %w", err)
+	}
+	l.seq++
+	l.entries = append(l.entries, entry{seq: l.seq, rec: append([]byte(nil), rec...)})
+	return l.seq, nil
+}
+
+// SaveSnapshot durably stores application state that reflects records
+// 1..upTo, rotates to a fresh segment, and prunes files the snapshot
+// covers. upTo is typically read from Seq() immediately *before*
+// capturing the state; records appended during capture simply replay
+// on top (the application's replay must be idempotent, which the
+// NameNode's full-state records guarantee).
+func (l *Log) SaveSnapshot(state []byte, upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.broken {
+		return ErrClosed
+	}
+	if upTo > l.seq {
+		return fmt.Errorf("wal: snapshot seq %d ahead of log seq %d", upTo, l.seq)
+	}
+	if upTo <= l.snapSeq {
+		return nil // an older snapshot already covers this
+	}
+	if err := l.writeSnapshotFile(state, upTo); err != nil {
+		return err
+	}
+	// Rotate: the next record (seq+1) opens a fresh segment, so the
+	// prune below can retire everything the snapshot covers.
+	if err := l.f.Sync(); err != nil {
+		l.broken = true
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		l.broken = true
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	f, err := createSegment(l.dir, l.seq)
+	if err != nil {
+		l.broken = true
+		return err
+	}
+	l.f = f
+	l.snapSeq = upTo
+	l.snapshot = append([]byte(nil), state...)
+	for len(l.entries) > 0 && l.entries[0].seq <= upTo {
+		l.entries = l.entries[1:]
+	}
+	l.prune()
+	return nil
+}
+
+// writeSnapshotFile is the atomic snapshot commit: temp file, fsync,
+// rename, directory fsync.
+func (l *Log) writeSnapshotFile(state []byte, upTo uint64) error {
+	final := filepath.Join(l.dir, snapName(upTo))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(appendFrame(nil, state)); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: commit snapshot: %w", err)
+	}
+	return syncDir(l.dir)
+}
+
+// prune removes snapshots older than the current one and segments
+// whose every record the current snapshot covers. Failures are
+// ignored: leftovers are skipped on the next Open and retried on the
+// next snapshot.
+func (l *Log) prune() {
+	snaps, segs, err := listDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, s := range snaps {
+		if s.seq < l.snapSeq {
+			_ = os.Remove(filepath.Join(l.dir, s.name))
+		}
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].seq <= l.snapSeq {
+			_ = os.Remove(filepath.Join(l.dir, segs[i].name))
+		}
+	}
+}
+
+func createSegment(dir string, seq uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(seq)), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("wal: close dir: %w", err)
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the newest snapshot payload and the
+// sequence it covers (nil, 0 when none exists).
+func (l *Log) Snapshot() ([]byte, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snapshot == nil {
+		return nil, l.snapSeq
+	}
+	return append([]byte(nil), l.snapshot...), l.snapSeq
+}
+
+// Replay invokes fn for every record newer than the snapshot, oldest
+// first. fn runs without the log lock held; records appended
+// concurrently with Replay may or may not be included.
+func (l *Log) Replay(fn func(seq uint64, rec []byte) error) error {
+	l.mu.Lock()
+	entries := l.entries
+	l.mu.Unlock()
+	for _, e := range entries {
+		if err := fn(e.seq, append([]byte(nil), e.rec...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seq returns the sequence number of the last committed record.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// SnapshotSeq returns the sequence the newest snapshot covers.
+func (l *Log) SnapshotSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapSeq
+}
+
+// RecordsSinceSnapshot reports how many committed records the newest
+// snapshot does not cover — the replay cost of a crash right now.
+func (l *Log) RecordsSinceSnapshot() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq - l.snapSeq
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close cleanly shuts the log: final fsync, file closed, further
+// appends rejected.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.broken {
+		return nil // the breaking path already closed the file
+	}
+	if err := l.f.Sync(); err != nil {
+		_ = l.f.Close()
+		return fmt.Errorf("wal: close sync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Crash abandons the log the way SIGKILL would: the file handle is
+// closed without a final sync and every later Append fails with
+// ErrClosed. Already-committed records are durable (Append fsyncs);
+// in-flight handlers racing a simulated restart cannot write into the
+// directory the new incarnation now owns.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.broken {
+		return
+	}
+	l.broken = true
+	_ = l.f.Close()
+}
