@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test test-short race race-engine race-svc race-wal svc-smoke crash-smoke soak bench bench-smoke
+.PHONY: ci vet lint build test test-short race race-engine race-svc race-wal race-sched sched-verify svc-smoke crash-smoke soak bench bench-smoke
 
 # Full CI gate: static checks, build, and the race-enabled test suite
 # (includes the churn-soak test).
@@ -47,6 +47,21 @@ race-svc:
 race-wal:
 	$(GO) test -race ./internal/wal/...
 	$(GO) test -race -run 'Durable|Crash|Journal|Snapshot|Detector|Repair|Epoch' ./internal/svc/
+
+# Focused race gate for the failure-aware scheduler and the dynamic
+# replication controller: speculation-policy properties, sibling-tie
+# determinism, the dynamic-RF churn soak, and the scheduling-grid
+# worker equivalence, all under the race detector.
+race-sched:
+	$(GO) test -race -run 'Speculat|Predictive|Redundant|Sibling|DynRF|DynamicRF|Scheduling' \
+		./internal/hadoopsim/ ./internal/dfs/ ./internal/experiments/
+
+# Determinism gate for the headline scheduling experiment: the full
+# policy x replication x Table-2 grid must fingerprint identically at
+# workers=1 and workers=4, and predictive/dynamic must beat the static
+# reactive baseline under the hottest interruption group.
+sched-verify:
+	$(GO) run ./cmd/adapt-bench -exp sched-verify
 
 # End-to-end smoke of the networked cluster binary: boot a loopback
 # NameNode + DataNodes, write a file, partition a replica holder, read

@@ -296,6 +296,31 @@ const (
 	SchedulerAvailabilityAware = hadoopsim.SchedulerAvailabilityAware
 )
 
+// SpeculationPolicy selects the simulated duplicate-execution strategy
+// (SimConfig.Speculation).
+type SpeculationPolicy = hadoopsim.SpeculationPolicy
+
+// Speculation policies: stock Hadoop's reactive stragglers-only
+// duplication, speculation disabled, availability-predictive backups
+// launched before the expected interruption, and redundant-K up-front
+// assignment with first-finisher-wins.
+const (
+	SpeculationReactive   = hadoopsim.SpeculationReactive
+	SpeculationNone       = hadoopsim.SpeculationNone
+	SpeculationPredictive = hadoopsim.SpeculationPredictive
+	SpeculationRedundant  = hadoopsim.SpeculationRedundant
+)
+
+// ParseSpeculationPolicy parses a policy name (reactive | none |
+// predictive | redundant) as the CLIs spell them.
+func ParseSpeculationPolicy(s string) (SpeculationPolicy, error) {
+	return hadoopsim.ParseSpeculationPolicy(s)
+}
+
+// AttemptAccounting summarizes per-attempt scheduling effort derived
+// from a SimJournal (SimJournal.Attempts).
+type AttemptAccounting = hadoopsim.AttemptAccounting
+
 // Multi-job workloads: a FIFO job queue sharing one non-dedicated
 // cluster, each job placing its blocks at submission.
 type (
@@ -448,6 +473,12 @@ const (
 // (HDFS-style under-replication repair).
 type ReplicationReport = dfs.ReplicationReport
 
+// DynamicRFConfig tunes the NameNode's availability- and
+// popularity-driven dynamic replication controller
+// (NameNode.EnableDynamicRF): per-file targets derived from read heat
+// and host E[T], applied through MaintainReplication with hysteresis.
+type DynamicRFConfig = dfs.DynamicRFConfig
+
 // NewMREngine builds a MapReduce engine over a NameNode.
 func NewMREngine(nn *NameNode, cfg MREngineConfig) (*MREngine, error) {
 	return mapreduce.NewEngine(nn, cfg)
@@ -489,6 +520,10 @@ type (
 	BenchConfig           = experiments.BenchConfig
 	BenchReport           = experiments.BenchReport
 	BenchRun              = experiments.BenchRun
+	SchedulingConfig      = experiments.SchedulingConfig
+	SchedulingResult      = experiments.SchedulingResult
+	SchedulingCell        = experiments.SchedulingCell
+	SchedMode             = experiments.SchedMode
 )
 
 // BenchSchema identifies the BENCH_sim.json document layout.
@@ -535,4 +570,7 @@ var (
 	AblationTable           = experiments.AblationTable
 	BenchSim                = experiments.BenchSim
 	BenchTable              = experiments.BenchTable
+	SchedulingHeadline      = experiments.SchedulingHeadline
+	SchedulingTable         = experiments.SchedulingTable
+	SchedulingModes         = experiments.SchedulingModes
 )

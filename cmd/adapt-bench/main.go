@@ -56,12 +56,16 @@ type options struct {
 	benchTrials  int
 	benchOut     string
 	benchVerify  string
+
+	speculation string
+	redundancy  int
+	dynamicRF   string
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("adapt-bench", flag.ContinueOnError)
 	opt := options{}
-	fs.StringVar(&opt.exp, "exp", "all", "experiment id (all, defaults, table1, model, headline, sensitivity, ablation, bench, fig3a..fig3c, fig4a..fig4c, fig5a..fig5c)")
+	fs.StringVar(&opt.exp, "exp", "all", "experiment id (all, defaults, table1, model, headline, sensitivity, ablation, bench, sched, sched-verify, fig3a..fig3c, fig4a..fig4c, fig5a..fig5c)")
 	fs.BoolVar(&opt.paper, "paper", false, "run at full paper scale (slow)")
 	fs.Float64Var(&opt.scale, "scale", 1, "scale factor in (0,1] applied to cluster sizes and trials")
 	fs.IntVar(&opt.trials, "trials", 0, "override trials per scenario (0 = config default)")
@@ -76,6 +80,9 @@ func run(args []string) error {
 	fs.IntVar(&opt.benchTrials, "bench-trials", 0, "bench mode: trials per cell (default 1)")
 	fs.StringVar(&opt.benchOut, "bench-out", "BENCH_sim.json", "bench mode: report output path (empty = stdout table only)")
 	fs.StringVar(&opt.benchVerify, "bench-verify", "", "verify an existing bench report (parse + schema check) and exit")
+	fs.StringVar(&opt.speculation, "speculation", "", "sched mode: restrict to one policy (reactive | predictive | redundant; empty = all)")
+	fs.IntVar(&opt.redundancy, "redundancy", 0, "sched mode: attempts per task for the redundant policy (0 = default 2)")
+	fs.StringVar(&opt.dynamicRF, "dynamic-rf", "both", "sched mode: replication arms to run (both | on | off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,7 +97,7 @@ func run(args []string) error {
 		ids = []string{
 			"defaults", "table1", "model", "headline",
 			"fig3a", "fig3b", "fig3c", "fig5a", "fig5b", "fig5c",
-			"sensitivity", "ablation",
+			"sensitivity", "ablation", "sched",
 		}
 	}
 	for _, id := range ids {
@@ -205,6 +212,95 @@ func verifyBench(path string) error {
 	return nil
 }
 
+// scheduling builds the sched-grid configuration from the CLI flags.
+func (o options) scheduling() (adapt.SchedulingConfig, error) {
+	cfg := adapt.SchedulingConfig{
+		Seed:        o.seed,
+		Workers:     o.workers,
+		RedundancyK: o.redundancy,
+	}
+	if o.paper {
+		cfg.Nodes = 32
+		cfg.BlocksPerNode = 10
+		cfg.Trials = 10
+	}
+	if o.trials > 0 {
+		cfg.Trials = o.trials
+	}
+	modes := adapt.SchedulingModes()
+	if o.speculation != "" {
+		pol, err := adapt.ParseSpeculationPolicy(o.speculation)
+		if err != nil {
+			return cfg, err
+		}
+		kept := modes[:0]
+		for _, m := range modes {
+			if m.Policy == pol {
+				kept = append(kept, m)
+			}
+		}
+		modes = kept
+	}
+	switch o.dynamicRF {
+	case "", "both":
+	case "on", "off":
+		want := o.dynamicRF == "on"
+		kept := modes[:0]
+		for _, m := range modes {
+			if m.DynamicRF == want {
+				kept = append(kept, m)
+			}
+		}
+		modes = kept
+	default:
+		return cfg, fmt.Errorf("bad -dynamic-rf %q (both | on | off)", o.dynamicRF)
+	}
+	if len(modes) == 0 {
+		return cfg, fmt.Errorf("flag combination selects no scheduling series")
+	}
+	cfg.Modes = modes
+	return cfg, nil
+}
+
+// verifySched re-runs the scheduling grid at two worker counts and
+// requires bit-identical fingerprints, then checks the headline claim:
+// under the highest-interruption Table 2 group, predictive speculation
+// with dynamic replication must beat the static reactive baseline.
+// This is the sched determinism gate CI runs.
+func verifySched(opt options) error {
+	cfg, err := opt.scheduling()
+	if err != nil {
+		return err
+	}
+	cfg.Workers = 1
+	r1, err := adapt.SchedulingHeadline(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.Workers = 4
+	r4, err := adapt.SchedulingHeadline(cfg)
+	if err != nil {
+		return err
+	}
+	if r1.Fingerprint() != r4.Fingerprint() {
+		return fmt.Errorf("sched grid not bit-identical across workers: %s vs %s",
+			r1.Fingerprint(), r4.Fingerprint())
+	}
+	const hot = "MTBI=10s svc=8s"
+	base, okBase := r1.Cell(hot, adapt.SchedMode{Policy: adapt.SpeculationReactive})
+	pred, okPred := r1.Cell(hot, adapt.SchedMode{Policy: adapt.SpeculationPredictive, DynamicRF: true})
+	if okBase && okPred && pred.Elapsed >= base.Elapsed {
+		return fmt.Errorf("headline violated: predictive/dynamic JCT %.1fs >= static reactive %.1fs under %s",
+			pred.Elapsed, base.Elapsed, hot)
+	}
+	fmt.Printf("sched: ok (fingerprint %s identical at workers=1 and 4", r1.Fingerprint()[:16])
+	if okBase && okPred {
+		fmt.Printf("; predictive/dynamic %.1fs < static reactive %.1fs under %s", pred.Elapsed, base.Elapsed, hot)
+	}
+	fmt.Println(")")
+	return nil
+}
+
 func (o options) simulation() adapt.SimulationConfig {
 	var cfg adapt.SimulationConfig
 	if o.paper {
@@ -272,6 +368,18 @@ func runExperiment(id string, opt options) ([]*adapt.ResultTable, error) {
 		return simulationTables(adapt.Figure5b, opt)
 	case "fig5c":
 		return simulationTables(adapt.Figure5c, opt)
+	case "sched":
+		cfg, err := opt.scheduling()
+		if err != nil {
+			return nil, err
+		}
+		res, err := adapt.SchedulingHeadline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*adapt.ResultTable{adapt.SchedulingTable(res)}, nil
+	case "sched-verify":
+		return nil, verifySched(opt)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)
 	}

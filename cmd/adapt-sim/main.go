@@ -45,7 +45,9 @@ func run(args []string) error {
 		workers       = fs.Int("workers", 0, "concurrent trial runners (0 = GOMAXPROCS); results are identical for any value")
 		seed          = fs.Uint64("seed", 1, "random seed")
 		meanMTBI      = fs.Float64("trace-mtbi", 3000, "trace mode: compressed pooled mean MTBI (s)")
-		noSpec        = fs.Bool("no-speculation", false, "disable speculative execution")
+		noSpec        = fs.Bool("no-speculation", false, "disable speculative execution (deprecated alias for -speculation none)")
+		speculation   = fs.String("speculation", "", "speculation policy: reactive | none | predictive | redundant (default reactive)")
+		redundancy    = fs.Int("redundancy", 0, "redundant policy: attempts per task (default 2)")
 		scheduler     = fs.String("scheduler", "locality-first", "scheduler: locality-first | availability-aware")
 		timeline      = fs.Bool("timeline", false, "print a bucketed event timeline of the first trial")
 	)
@@ -115,13 +117,23 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scheduler %q", *scheduler)
 	}
+	var specPolicy adapt.SpeculationPolicy
+	if *speculation != "" {
+		p, err := adapt.ParseSpeculationPolicy(*speculation)
+		if err != nil {
+			return err
+		}
+		specPolicy = p
+	}
 	sc := adapt.Scenario{
 		Config: adapt.SimConfig{
 			Cluster:            c,
 			BlockBytes:         *blockMB * 1024 * 1024,
 			Gamma:              *gamma,
 			Network:            adapt.NetworkFromMegabits(*bandwidth),
+			Speculation:        specPolicy,
 			DisableSpeculation: *noSpec,
+			RedundancyK:        *redundancy,
 			Scheduler:          sched,
 		},
 		Policy:   policy,

@@ -7,14 +7,17 @@ import (
 
 // determinismScope lists the packages whose behavior must be a pure
 // function of an explicit seed: the simulation kernel, the chaos
-// engine, placement, and the analytical model. All randomness there
-// must flow through internal/stats.RNG, and virtual time must never
-// read the wall clock.
+// engine, placement, the analytical model, and the Hadoop-analog
+// scheduler (whose speculation policies must seed-replay
+// bit-identically). All randomness there must flow through
+// internal/stats.RNG, and virtual time must never read the wall
+// clock.
 var determinismScope = []string{
 	"internal/sim",
 	"internal/chaos",
 	"internal/placement",
 	"internal/model",
+	"internal/hadoopsim",
 }
 
 // determinismAnalyzer flags ambient nondeterminism in the seeded

@@ -9,12 +9,14 @@ import (
 
 // floateqScope lists the numerical packages where exact float
 // equality is almost always a rounding bug: the closed-form E[T]
-// model, the statistics layer, and the experiment harness that
-// compares their outputs.
+// model, the statistics layer, the experiment harness that compares
+// their outputs, and the Hadoop-analog scheduler whose policies
+// compare expected task times.
 var floateqScope = []string{
 	"internal/model",
 	"internal/stats",
 	"internal/experiments",
+	"internal/hadoopsim",
 }
 
 // floateqAnalyzer flags == and != between floating-point operands in

@@ -20,6 +20,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/adaptsim/adapt/internal/cluster"
 	"github.com/adaptsim/adapt/internal/metrics"
@@ -90,6 +91,9 @@ var (
 	// client never receives an ack the log cannot back. Permanent: the
 	// journal handle breaks on the first durability failure.
 	ErrJournal = errors.New("dfs: namespace journal write failed")
+	// ErrBadConfig marks an invalid dynamic-replication configuration;
+	// always a caller bug.
+	ErrBadConfig = errors.New("dfs: bad dynamic replication config")
 )
 
 // Op identifies a DataNode operation for fault injection.
@@ -285,6 +289,10 @@ type NameNode struct {
 	heartbeat *cluster.HeartbeatEstimator
 	counters  *metrics.ResilienceCounters
 	journal   Journal // write-ahead hook; nil = volatile namespace
+
+	// dynamic, when non-nil, is the availability/popularity replication
+	// controller; loaded lock-free on the block read path.
+	dynamic atomic.Pointer[dynRF]
 }
 
 // NewNameNode builds a NameNode and one in-process DataNode per
@@ -456,6 +464,9 @@ func (nn *NameNode) DeleteContext(ctx context.Context, name string) error {
 	}
 	delete(nn.files, name)
 	nn.mu.Unlock()
+	if d := nn.dynamic.Load(); d != nil {
+		d.forget(name)
+	}
 	for _, bm := range fm.Blocks {
 		for _, r := range bm.Replicas {
 			_ = nn.stores[r].Delete(ctx, bm.ID)
@@ -685,6 +696,9 @@ func (nn *NameNode) ReadBlock(bm BlockMeta) ([]byte, error) {
 // ReadBlockContext is ReadBlock with a deadline for the replica
 // fetches.
 func (nn *NameNode) ReadBlockContext(ctx context.Context, bm BlockMeta) ([]byte, error) {
+	if d := nn.dynamic.Load(); d != nil {
+		d.observeRead(bm.File)
+	}
 	var lastErr error
 	attempted := 0
 	for _, r := range bm.Replicas {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/adaptsim/adapt/internal/cluster"
 )
@@ -17,6 +18,13 @@ type ReplicationReport struct {
 	// Unrepairable counts blocks with no live replica to copy from;
 	// they recover only when a holder rejoins.
 	Unrepairable int
+	// Pruned counts surplus replicas retired because the file's
+	// dynamic replication target dropped below its live replica count.
+	Pruned int
+	// Target is the replication degree this pass enforced: the file's
+	// static Replication, or the dynamic controller's current target
+	// when one is enabled.
+	Target int
 }
 
 // MaintainReplication restores each block of the file to its target
@@ -33,6 +41,16 @@ func (c *Client) MaintainReplication(name string, useAdapt bool) (ReplicationRep
 }
 
 // MaintainReplicationContext is MaintainReplication bounded by ctx.
+//
+// When a dynamic replication controller is enabled (EnableDynamicRF)
+// the pass enforces the controller's per-file target instead of the
+// static Replication field: under-replicated blocks are repaired up to
+// it, and blocks holding more live replicas than it are pruned down —
+// the lowest-efficiency live holders are retired, their metadata
+// entries removed (write-ahead journaled) before the bytes are
+// invalidated, so metadata never points at data that is gone. Down
+// holders are never pruned: their bytes may be the only surviving
+// copies and cost nothing while unreachable.
 func (c *Client) MaintainReplicationContext(ctx context.Context, name string, useAdapt bool) (ReplicationReport, error) {
 	var report ReplicationReport
 	unlock := c.nn.lockFile(name)
@@ -41,6 +59,12 @@ func (c *Client) MaintainReplicationContext(ctx context.Context, name string, us
 	if err != nil {
 		return report, err
 	}
+
+	target := fm.Replication
+	if d := c.nn.dynamic.Load(); d != nil {
+		target = d.step(name, fm.Replication, d.volatility(c.nn.Cluster()))
+	}
+	report.Target = target
 
 	// Candidate target nodes: live DataNodes, weighted by the policy.
 	weights, err := c.repairWeights(useAdapt)
@@ -51,6 +75,13 @@ func (c *Client) MaintainReplicationContext(ctx context.Context, name string, us
 	g := c.g.Split()
 	newBlocks := make([]BlockMeta, len(fm.Blocks))
 	copy(newBlocks, fm.Blocks)
+	// cuts collects replicas removed from the published metadata whose
+	// bytes are invalidated only after the new locations are live.
+	type cut struct {
+		node  cluster.NodeID
+		block BlockID
+	}
+	var cuts []cut
 	for i, bm := range fm.Blocks {
 		live := 0
 		holderSet := make(map[cluster.NodeID]bool, len(bm.Replicas))
@@ -64,7 +95,18 @@ func (c *Client) MaintainReplicationContext(ctx context.Context, name string, us
 				live++
 			}
 		}
-		if live >= fm.Replication {
+		if live > target {
+			keep, dropped := c.splitSurplus(bm.Replicas, live-target)
+			nb := bm
+			nb.Replicas = keep
+			newBlocks[i] = nb
+			for _, r := range dropped {
+				cuts = append(cuts, cut{node: r, block: bm.ID})
+			}
+			report.Pruned += len(dropped)
+			continue
+		}
+		if live >= target {
 			report.Healthy++
 			continue
 		}
@@ -80,7 +122,7 @@ func (c *Client) MaintainReplicationContext(ctx context.Context, name string, us
 			continue
 		}
 		holders := append([]cluster.NodeID(nil), bm.Replicas...)
-		for live < fm.Replication {
+		for live < target {
 			target, ok := pickWeighted(weights, holderSet, c.nn, g.Float64())
 			if !ok {
 				break // no live node left to host another replica
@@ -113,19 +155,76 @@ func (c *Client) MaintainReplicationContext(ctx context.Context, name string, us
 	}
 
 	c.nn.mu.Lock()
-	defer c.nn.mu.Unlock()
 	liveMeta, ok := c.nn.files[name]
 	if !ok {
+		c.nn.mu.Unlock()
 		return report, fmt.Errorf("%w: %q (deleted during repair)", ErrFileNotFound, name)
 	}
 	// Write-ahead: repaired locations are journaled before they are
 	// published. On failure the extra copies leak as surplus replicas
 	// (harmless, like a crash mid-prune), never as lost metadata.
 	if err := c.nn.logBlocks(name, newBlocks); err != nil {
+		c.nn.mu.Unlock()
 		return report, err
 	}
 	liveMeta.Blocks = newBlocks
+	c.nn.mu.Unlock()
+	// Invalidate pruned bytes only after the trimmed metadata is
+	// published, so metadata never points at data that is gone; the
+	// deletes are best-effort lazy invalidation (a failure leaks a
+	// surplus copy, never live metadata). The file's structural lock is
+	// still held, so no concurrent consistency check can observe the
+	// window between publish and delete anyway.
+	for _, ct := range cuts {
+		_ = c.nn.stores[ct.node].Delete(ctx, ct.block)
+		c.nn.counters.PrunedReplicas.Add(1)
+	}
 	return report, nil
+}
+
+// splitSurplus partitions a block's holders for pruning: drop the n
+// lowest-efficiency live holders (ties broken toward keeping the
+// lowest node id), keep everything else — including down holders,
+// whose bytes may be the only surviving copies. The keep slice
+// preserves the original replica order.
+func (c *Client) splitSurplus(replicas []cluster.NodeID, n int) (keep, dropped []cluster.NodeID) {
+	gamma := c.Gamma
+	if gamma <= 0 {
+		gamma = 12
+	}
+	effs := c.nn.Cluster().Efficiencies(gamma)
+	type cand struct {
+		id  cluster.NodeID
+		eff float64
+	}
+	var liveHolders []cand
+	for _, r := range replicas {
+		if s, err := c.nn.Store(r); err == nil && s.Up() {
+			liveHolders = append(liveHolders, cand{id: r, eff: effs[r]})
+		}
+	}
+	sort.Slice(liveHolders, func(i, j int) bool {
+		if liveHolders[i].eff != liveHolders[j].eff {
+			return liveHolders[i].eff < liveHolders[j].eff
+		}
+		return liveHolders[i].id > liveHolders[j].id
+	})
+	if n > len(liveHolders) {
+		n = len(liveHolders)
+	}
+	cutSet := make(map[cluster.NodeID]bool, n)
+	for _, lc := range liveHolders[:n] {
+		cutSet[lc.id] = true
+	}
+	keep = make([]cluster.NodeID, 0, len(replicas)-n)
+	for _, r := range replicas {
+		if cutSet[r] {
+			dropped = append(dropped, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	return keep, dropped
 }
 
 // repairWeights returns per-node placement weights for repair targets.

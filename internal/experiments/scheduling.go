@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/hadoopsim"
+	"github.com/adaptsim/adapt/internal/metrics"
+	"github.com/adaptsim/adapt/internal/netsim"
+	"github.com/adaptsim/adapt/internal/par"
+	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// The failure-aware scheduling experiment: job completion time and
+// wasted work for each speculation policy crossed with static vs
+// dynamic replication, under every Table 2 interruption group in
+// isolation. Unlike the placement sweeps, each cell builds a real dfs
+// NameNode, writes the input through it, ages the namespace with
+// read+maintenance rounds (which is where the dynamic controller earns
+// or sheds replicas), and then replays the resulting block placement in
+// the discrete-event simulator under the cell's scheduling policy — so
+// the comparison exercises the controller's actual repair path, not a
+// synthetic replica count.
+
+// SchedMode is one scheduling series: a speculation policy with either
+// the static replication baseline or the dynamic controller.
+type SchedMode struct {
+	Policy    hadoopsim.SpeculationPolicy
+	DynamicRF bool
+}
+
+// Label renders the series name used in tables and seed derivation.
+func (m SchedMode) Label() string {
+	rf := "static-rf"
+	if m.DynamicRF {
+		rf = "dynamic-rf"
+	}
+	return m.Policy.String() + "/" + rf
+}
+
+// SchedulingModes returns the default six series: the three speculation
+// policies crossed with static and dynamic replication.
+func SchedulingModes() []SchedMode {
+	out := make([]SchedMode, 0, 6)
+	for _, p := range []hadoopsim.SpeculationPolicy{
+		hadoopsim.SpeculationReactive,
+		hadoopsim.SpeculationPredictive,
+		hadoopsim.SpeculationRedundant,
+	} {
+		out = append(out, SchedMode{Policy: p, DynamicRF: false})
+		out = append(out, SchedMode{Policy: p, DynamicRF: true})
+	}
+	return out
+}
+
+// SchedulingConfig parameterizes the experiment. Zero fields take
+// demo-scale defaults sized so the full grid stays seconds-scale while
+// every Table 2 group still shows the policies apart.
+type SchedulingConfig struct {
+	Nodes            int     // default 16
+	BlocksPerNode    int     // default 5
+	InterruptedRatio float64 // default 0.5 (Table 3)
+	BandwidthMbps    float64 // default 8 (Table 3)
+	BlockMB          float64 // default 64 (Table 3)
+	Gamma            float64 // default 12 s per 64 MB block
+	Trials           int     // default 5
+	Seed             uint64  // default 1
+	// StaticReplicas is the baseline replication degree (default 3,
+	// the stock HDFS setting the paper compares against).
+	StaticReplicas int
+	// RedundancyK is the attempts-per-task of the redundant policy
+	// (0 = the simulator default of 2).
+	RedundancyK int
+	// AgingRounds is the number of read+maintenance rounds each cell
+	// runs before the simulated job; the dynamic controller needs
+	// Hysteresis-many agreeing passes per replication step (default 8).
+	AgingRounds int
+	// Groups are the interruption groups to evaluate, one cluster per
+	// group (default Table2Groups()).
+	Groups []cluster.Group
+	// Modes are the scheduling series (default SchedulingModes()).
+	Modes []SchedMode
+	// Workers bounds concurrent cells; 0 or negative means GOMAXPROCS.
+	// Results are bit-identical for every worker count.
+	Workers int
+}
+
+func (c SchedulingConfig) withDefaults() SchedulingConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 16
+	}
+	if c.BlocksPerNode == 0 {
+		c.BlocksPerNode = 5
+	}
+	if c.InterruptedRatio == 0 {
+		c.InterruptedRatio = 0.5
+	}
+	if c.BandwidthMbps == 0 {
+		c.BandwidthMbps = 8
+	}
+	if c.BlockMB == 0 {
+		c.BlockMB = 64
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 12
+	}
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.StaticReplicas == 0 {
+		c.StaticReplicas = 3
+	}
+	if c.AgingRounds == 0 {
+		c.AgingRounds = 8
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = cluster.Table2Groups()
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = SchedulingModes()
+	}
+	return c
+}
+
+// SchedulingCell is one (group, mode) aggregate.
+type SchedulingCell struct {
+	Group string
+	Mode  SchedMode
+	// Elapsed is the mean map-phase completion time (s).
+	Elapsed float64
+	// Wasted is the mean wasted work in node-seconds: rework lost to
+	// interruptions plus compute consumed by cancelled duplicate
+	// attempts.
+	Wasted float64
+	// Attempts and Cancelled are mean per-run attempt counts.
+	Attempts  float64
+	Cancelled float64
+	// Locality is the mean data locality.
+	Locality float64
+	// TargetRF is the replication degree the cell's namespace ended
+	// at (the static baseline, or where the controller converged).
+	TargetRF float64
+}
+
+// SchedulingResult is the full policy × replication × group grid.
+type SchedulingResult struct {
+	Name   string
+	Groups []string
+	Modes  []SchedMode
+	Cells  map[string]map[string]SchedulingCell // group label -> mode label -> cell
+}
+
+// Cell returns one measured aggregate.
+func (r *SchedulingResult) Cell(group string, m SchedMode) (SchedulingCell, bool) {
+	row, ok := r.Cells[group]
+	if !ok {
+		return SchedulingCell{}, false
+	}
+	c, ok := row[m.Label()]
+	return c, ok
+}
+
+// Fingerprint hashes every measured value at full precision, walking
+// groups and modes in order; equal fingerprints mean bit-identical
+// results (the determinism gate the bench smoke re-verifies).
+func (r *SchedulingResult) Fingerprint() string {
+	h := sha256.New()
+	for _, gl := range r.Groups {
+		fmt.Fprintf(h, "[%s]\n", gl)
+		for _, m := range r.Modes {
+			if c, ok := r.Cell(gl, m); ok {
+				fmt.Fprintf(h, "%s|%x|%x|%x|%x|%x|%x\n",
+					m.Label(), c.Elapsed, c.Wasted, c.Attempts, c.Cancelled, c.Locality, c.TargetRF)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func groupLabel(g cluster.Group) string {
+	return fmt.Sprintf("MTBI=%gs svc=%gs", g.MTBI, g.Service)
+}
+
+// schedInput synthesizes a deterministic input payload of exactly
+// blocks blocks at the given block size.
+func schedInput(blocks int, blockSize int64) []byte {
+	data := make([]byte, int64(blocks)*blockSize)
+	for i := range data {
+		data[i] = byte(i*131 + 17)
+	}
+	return data
+}
+
+// runSchedCell executes one (group-cluster, mode, trial) cell: build a
+// namespace, age it, replay its placement under the mode's policy.
+func runSchedCell(cfg SchedulingConfig, cl *cluster.Cluster, mode SchedMode, seed uint64) (metrics.RunResult, int, error) {
+	g := stats.NewRNG(seed)
+	taskGamma := cfg.Gamma * cfg.BlockMB / 64
+	blocks := cfg.Nodes * cfg.BlocksPerNode
+
+	nn, err := dfs.NewNameNode(cl)
+	if err != nil {
+		return metrics.RunResult{}, 0, err
+	}
+	client, err := dfs.NewClient(nn, g.Split())
+	if err != nil {
+		return metrics.RunResult{}, 0, err
+	}
+	const payload = 64 // bytes per dfs block; sim timing uses BlockMB
+	client.BlockSize = payload
+	client.Gamma = taskGamma
+	client.Replication = cfg.StaticReplicas
+	if mode.DynamicRF {
+		// The controller starts every file at its floor and earns
+		// replicas from heat and volatility.
+		rfCfg := dfs.DynamicRFConfig{Gamma: taskGamma}
+		if err := nn.EnableDynamicRF(rfCfg); err != nil {
+			return metrics.RunResult{}, 0, err
+		}
+		client.Replication = 2
+	}
+	const input = "sched/input"
+	if _, err := client.CopyFromLocal(input, schedInput(blocks, payload), true); err != nil {
+		return metrics.RunResult{}, 0, err
+	}
+
+	// Age the namespace: every round reads the whole input (feeding the
+	// popularity signal) and runs a maintenance pass (where the dynamic
+	// target converges through its hysteresis). With the controller off
+	// the rounds are no-ops — the file is healthy at its static target —
+	// so both arms run the same cell structure.
+	for r := 0; r < cfg.AgingRounds; r++ {
+		if _, err := client.ReadFile(input); err != nil {
+			return metrics.RunResult{}, 0, err
+		}
+		if _, err := client.MaintainReplication(input, true); err != nil {
+			return metrics.RunResult{}, 0, err
+		}
+	}
+
+	fm, err := nn.Stat(input)
+	if err != nil {
+		return metrics.RunResult{}, 0, err
+	}
+	asn := &placement.Assignment{Nodes: cl.Len()}
+	asn.Replicas = make([][]cluster.NodeID, len(fm.Blocks))
+	finalRF := 0
+	for i, bm := range fm.Blocks {
+		asn.Replicas[i] = bm.Replicas
+		if len(bm.Replicas) > finalRF {
+			finalRF = len(bm.Replicas)
+		}
+	}
+
+	simCfg := hadoopsim.Config{
+		Cluster:     cl,
+		Assignment:  asn,
+		BlockBytes:  cfg.BlockMB * 1024 * 1024,
+		Gamma:       cfg.Gamma,
+		Network:     netsim.FromMegabits(cfg.BandwidthMbps),
+		Speculation: mode.Policy,
+		RedundancyK: cfg.RedundancyK,
+	}
+	res, err := hadoopsim.Run(simCfg, g.Split())
+	if err != nil {
+		return metrics.RunResult{}, 0, err
+	}
+	return res, finalRF, nil
+}
+
+// SchedulingHeadline runs the full grid: for each Table 2 group a
+// dedicated single-group cluster, and on it every mode × trial cell.
+// Cells execute across Workers goroutines with coordinate-derived
+// seeds and index-order reduction, so the grid is bit-identical at any
+// worker count.
+func SchedulingHeadline(cfg SchedulingConfig) (*SchedulingResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SchedulingResult{
+		Name:  "Failure-aware scheduling: policy × replication under Table 2 groups",
+		Modes: cfg.Modes,
+		Cells: make(map[string]map[string]SchedulingCell),
+	}
+
+	// Phase 1: one emulated cluster per interruption group.
+	envs := make([]*cluster.Cluster, len(cfg.Groups))
+	for p, gr := range cfg.Groups {
+		res.Groups = append(res.Groups, groupLabel(gr))
+		seed := stats.DeriveSeed(cfg.Seed, envStream, uint64(p))
+		env, err := cluster.NewEmulation(cluster.EmulationConfig{
+			Nodes:            cfg.Nodes,
+			InterruptedRatio: cfg.InterruptedRatio,
+			Groups:           []cluster.Group{gr},
+			Shuffle:          true,
+		}, stats.NewRNG(seed))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheduling %s: %w", groupLabel(gr), err)
+		}
+		envs[p] = env
+	}
+
+	// Phase 2: cells into pre-indexed slots.
+	type cellKey struct{ point, mode, trial int }
+	type cellOut struct {
+		run metrics.RunResult
+		rf  int
+	}
+	var jobs []cellKey
+	slots := make([][][]cellOut, len(cfg.Groups))
+	for p := range cfg.Groups {
+		slots[p] = make([][]cellOut, len(cfg.Modes))
+		for m := range cfg.Modes {
+			slots[p][m] = make([]cellOut, cfg.Trials)
+			for t := 0; t < cfg.Trials; t++ {
+				jobs = append(jobs, cellKey{p, m, t})
+			}
+		}
+	}
+	if err := par.ForEach(cfg.Workers, len(jobs), func(j int) error {
+		k := jobs[j]
+		mode := cfg.Modes[k.mode]
+		pointSeed := stats.DeriveSeed(cfg.Seed, uint64(k.point)+1)
+		seed := stats.DeriveSeed(pointSeed, stats.HashLabel(mode.Label()), uint64(k.trial))
+		run, rf, err := runSchedCell(cfg, envs[k.point], mode, seed)
+		if err != nil {
+			return fmt.Errorf("experiments: scheduling %s %s trial %d: %w",
+				res.Groups[k.point], mode.Label(), k.trial, err)
+		}
+		slots[k.point][k.mode][k.trial] = cellOut{run: run, rf: rf}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Reduce in index order.
+	for p := range cfg.Groups {
+		row := make(map[string]SchedulingCell, len(cfg.Modes))
+		for m, mode := range cfg.Modes {
+			var elapsed, wasted, attempts, cancelled, locality, rf stats.Summary
+			for t := 0; t < cfg.Trials; t++ {
+				r := slots[p][m][t].run
+				elapsed.Add(r.Elapsed)
+				wasted.Add(r.Breakdown.Rework + r.WastedSeconds)
+				attempts.Add(float64(r.AttemptsLaunched))
+				cancelled.Add(float64(r.AttemptsCancelled))
+				locality.Add(r.Locality())
+				rf.Add(float64(slots[p][m][t].rf))
+			}
+			row[mode.Label()] = SchedulingCell{
+				Group:     res.Groups[p],
+				Mode:      mode,
+				Elapsed:   elapsed.Mean(),
+				Wasted:    wasted.Mean(),
+				Attempts:  attempts.Mean(),
+				Cancelled: cancelled.Mean(),
+				Locality:  locality.Mean(),
+				TargetRF:  rf.Mean(),
+			}
+		}
+		res.Cells[res.Groups[p]] = row
+	}
+	return res, nil
+}
+
+// SchedulingTable renders the grid: one row per (group, mode) with JCT,
+// wasted work, attempt accounting, and the converged replication.
+func SchedulingTable(r *SchedulingResult) *Table {
+	t := &Table{
+		Title: r.Name,
+		Note: "JCT = map-phase completion; wasted = rework + cancelled-duplicate compute (node-s); " +
+			"RF = replication the namespace converged to",
+		Header: []string{"group", "policy", "replication", "JCT (s)", "wasted (node-s)", "attempts", "cancelled", "locality", "RF"},
+	}
+	for _, gl := range r.Groups {
+		for _, m := range r.Modes {
+			c, ok := r.Cell(gl, m)
+			if !ok {
+				continue
+			}
+			rfName := "static"
+			if m.DynamicRF {
+				rfName = "dynamic"
+			}
+			t.AddRow(gl, m.Policy.String(), rfName,
+				fmtSeconds(c.Elapsed), fmtSeconds(c.Wasted),
+				fmt.Sprintf("%.1f", c.Attempts), fmt.Sprintf("%.1f", c.Cancelled),
+				fmtPercent(c.Locality), fmt.Sprintf("%.1f", c.TargetRF))
+		}
+	}
+	return t
+}

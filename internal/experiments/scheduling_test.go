@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/hadoopsim"
+)
+
+// smallSchedConfig keeps the scheduling grid test-sized: one group,
+// two trials, a 8-node cluster.
+func smallSchedConfig() SchedulingConfig {
+	return SchedulingConfig{
+		Nodes:         8,
+		BlocksPerNode: 3,
+		Trials:        2,
+		AgingRounds:   4,
+		Groups:        []cluster.Group{{MTBI: 10, Service: 8}},
+	}
+}
+
+func TestSchedulingHeadlineDeterministicAcrossWorkers(t *testing.T) {
+	// The tentpole's bit-identical guarantee: the full grid fingerprint
+	// must not depend on the worker count.
+	cfgs := []SchedulingConfig{smallSchedConfig(), smallSchedConfig(), smallSchedConfig()}
+	cfgs[0].Workers = 1
+	cfgs[1].Workers = 4
+	cfgs[2].Workers = 0 // GOMAXPROCS
+	prints := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := SchedulingHeadline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prints[i] = res.Fingerprint()
+	}
+	if prints[0] != prints[1] || prints[0] != prints[2] {
+		t.Fatalf("fingerprints differ across worker counts: %v", prints)
+	}
+}
+
+func TestSchedulingHeadlineGridComplete(t *testing.T) {
+	cfg := smallSchedConfig()
+	res, err := SchedulingHeadline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || len(res.Modes) != 6 {
+		t.Fatalf("grid shape: %d groups, %d modes", len(res.Groups), len(res.Modes))
+	}
+	for _, g := range res.Groups {
+		for _, m := range res.Modes {
+			cell, ok := res.Cell(g, m)
+			if !ok {
+				t.Fatalf("missing cell %s / %s", g, m.Label())
+			}
+			if cell.Elapsed <= 0 {
+				t.Fatalf("cell %s / %s has non-positive elapsed %g", g, m.Label(), cell.Elapsed)
+			}
+			if cell.TargetRF <= 0 {
+				t.Fatalf("cell %s / %s has no replication degree", g, m.Label())
+			}
+			if m.DynamicRF {
+				if cell.TargetRF < 2 {
+					t.Fatalf("dynamic cell %s / %s converged below the floor: RF %g",
+						g, m.Label(), cell.TargetRF)
+				}
+			} else if cell.TargetRF != 3 {
+				t.Fatalf("static cell %s / %s at RF %g, want the 3-replica baseline",
+					g, m.Label(), cell.TargetRF)
+			}
+		}
+	}
+	// The redundant arms must show first-finisher cancellations.
+	for _, m := range res.Modes {
+		if m.Policy != hadoopsim.SpeculationRedundant {
+			continue
+		}
+		cell, _ := res.Cell(res.Groups[0], m)
+		if cell.Cancelled == 0 {
+			t.Fatalf("redundant mode %s cancelled no attempts", m.Label())
+		}
+	}
+}
+
+func TestSchedulingTableRendersEveryCell(t *testing.T) {
+	res, err := SchedulingHeadline(smallSchedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SchedulingTable(res).String()
+	for _, m := range res.Modes {
+		if !strings.Contains(out, m.Policy.String()) {
+			t.Fatalf("table lacks policy %s:\n%s", m.Policy, out)
+		}
+	}
+	for _, want := range []string{"dynamic", "static", "MTBI"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table lacks %q:\n%s", want, out)
+		}
+	}
+	// Byte-stable re-render (no map-order leakage).
+	for i := 0; i < 5; i++ {
+		if got := SchedulingTable(res).String(); got != out {
+			t.Fatalf("render %d differs", i)
+		}
+	}
+}
+
+func TestSchedulingModeFilterEquivalence(t *testing.T) {
+	// A single-mode run must reproduce the same cell the full grid
+	// produced: per-cell seeds derive from the mode label, not from the
+	// grid position.
+	full, err := SchedulingHeadline(smallSchedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := smallSchedConfig()
+	one.Modes = []SchedMode{{Policy: hadoopsim.SpeculationPredictive, DynamicRF: true}}
+	solo, err := SchedulingHeadline(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := full.Groups[0]
+	want, ok := full.Cell(g, one.Modes[0])
+	if !ok {
+		t.Fatal("mode missing from full grid")
+	}
+	got, ok := solo.Cell(g, one.Modes[0])
+	if !ok {
+		t.Fatal("mode missing from filtered run")
+	}
+	if want != got {
+		t.Fatalf("filtered cell differs from full-grid cell:\n%+v\n%+v", got, want)
+	}
+}

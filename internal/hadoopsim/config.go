@@ -78,10 +78,40 @@ type Config struct {
 	// Service builds per-node recovery distributions for nodes
 	// without traces (default ExponentialService).
 	Service ServiceFactory
+	// Speculation selects the duplicate-execution policy (see
+	// SpeculationPolicy). Zero resolves from the deprecated
+	// DisableSpeculation flag: SpeculationNone when that is set,
+	// SpeculationReactive (stock Hadoop) otherwise, so legacy configs
+	// replay bit-identically.
+	Speculation SpeculationPolicy
 	// DisableSpeculation turns off speculative duplicates of the
-	// slowest running tasks (Hadoop's straggler mitigation, on by
-	// default as in stock Hadoop).
+	// slowest running tasks.
+	//
+	// Deprecated: set Speculation to SpeculationNone instead. The
+	// field is honored only while Speculation is zero.
 	DisableSpeculation bool
+	// RedundancyK is the per-task attempt budget under
+	// SpeculationRedundant (default DefaultRedundancyK). Ignored by
+	// the other policies. K=1 is exactly the no-speculation schedule.
+	RedundancyK int
+	// RedundancyOverlap staggers redundant launches: attempt j waits
+	// (j-1)·overlap·γ after the task's first attempt starts executing.
+	// Zero means DefaultRedundancyOverlap; negative launches all K
+	// attempts as soon as nodes are free.
+	RedundancyOverlap float64
+	// PredictiveHorizon is the interruption-probability threshold of
+	// SpeculationPredictive: duplicate once the executor's chance of
+	// being interrupted before the attempt completes reaches this
+	// value. Zero means DefaultPredictiveHorizon; must lie in (0, 1].
+	PredictiveHorizon float64
+	// SpeculationBackoff is the initial retry delay, in simulated
+	// seconds, after a predictive or redundant policy wanted a
+	// duplicate but could not place one (congested fetch paths, no
+	// healthy host); the delay doubles per consecutive failure up to
+	// eight times the base. Zero means one quarter of the task length;
+	// negative disables retry polling — the node then degrades
+	// gracefully to waiting for the next scheduling event.
+	SpeculationBackoff float64
 	// SourcePenalty is the multiplier on peer transfer time when a
 	// block must be re-ingested from the original source because no
 	// holder is up. Set negative to forbid source fetches entirely
@@ -152,6 +182,31 @@ func (c *Config) withDefaults() Config {
 	if out.Scheduler == 0 {
 		out.Scheduler = SchedulerLocalityFirst
 	}
+	if out.Speculation == 0 {
+		if out.DisableSpeculation {
+			out.Speculation = SpeculationNone
+		} else {
+			out.Speculation = SpeculationReactive
+		}
+	}
+	if out.RedundancyK == 0 {
+		out.RedundancyK = DefaultRedundancyK
+	}
+	switch {
+	case out.RedundancyOverlap == 0:
+		out.RedundancyOverlap = DefaultRedundancyOverlap
+	case out.RedundancyOverlap < 0:
+		out.RedundancyOverlap = 0
+	}
+	if out.PredictiveHorizon == 0 {
+		out.PredictiveHorizon = DefaultPredictiveHorizon
+	}
+	switch {
+	case out.SpeculationBackoff == 0:
+		out.SpeculationBackoff = out.TaskGamma() / 4
+	case out.SpeculationBackoff < 0:
+		out.SpeculationBackoff = 0
+	}
 	return out
 }
 
@@ -184,6 +239,22 @@ func (c *Config) validate() error {
 	}
 	if err := c.Network.Validate(); err != nil {
 		return err
+	}
+	// Policy knobs are validated post-withDefaults, where zero values
+	// have already been resolved.
+	switch c.Speculation {
+	case 0, SpeculationReactive, SpeculationNone, SpeculationPredictive, SpeculationRedundant:
+	default:
+		return fmt.Errorf("hadoopsim: unknown speculation policy %d", int(c.Speculation))
+	}
+	if c.RedundancyK < 0 {
+		return fmt.Errorf("hadoopsim: redundancy K must be positive, got %d", c.RedundancyK)
+	}
+	if math.IsNaN(c.RedundancyOverlap) || c.RedundancyOverlap < 0 {
+		return fmt.Errorf("hadoopsim: redundancy overlap must be non-negative, got %g", c.RedundancyOverlap)
+	}
+	if math.IsNaN(c.PredictiveHorizon) || c.PredictiveHorizon < 0 || c.PredictiveHorizon > 1 {
+		return fmt.Errorf("hadoopsim: predictive horizon must lie in (0, 1], got %g", c.PredictiveHorizon)
 	}
 	return nil
 }

@@ -20,6 +20,9 @@ const (
 	EventTaskComplete
 	EventMigration
 	EventSpeculate
+	// EventTaskCancel records a losing sibling attempt cancelled
+	// because another attempt of the same task finished first.
+	EventTaskCancel
 )
 
 func (k EventKind) String() string {
@@ -38,6 +41,8 @@ func (k EventKind) String() string {
 		return "migration"
 	case EventSpeculate:
 		return "speculate"
+	case EventTaskCancel:
+		return "task-cancel"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -87,6 +92,34 @@ func (j *Journal) AttemptsPerTask() map[int]int {
 		hist[n]++
 	}
 	return hist
+}
+
+// AttemptAccounting summarizes per-attempt scheduling effort from the
+// journal: how many attempts were launched, how many of those were
+// speculative duplicates, how many lost a first-finisher race and
+// were cancelled, and how many died with their node's interruption.
+type AttemptAccounting struct {
+	// Launched counts every attempt start (first tries, re-executions
+	// after aborts, and duplicates).
+	Launched int
+	// Speculative counts duplicate launches (reactive, predictive, or
+	// redundant policy extras).
+	Speculative int
+	// Cancelled counts losing sibling attempts cancelled when another
+	// attempt of the same task finished first.
+	Cancelled int
+	// Aborted counts attempts killed by their executor's interruption.
+	Aborted int
+}
+
+// Attempts tallies the journal's per-attempt accounting.
+func (j *Journal) Attempts() AttemptAccounting {
+	return AttemptAccounting{
+		Launched:    j.Count(EventTaskStart),
+		Speculative: j.Count(EventSpeculate),
+		Cancelled:   j.Count(EventTaskCancel),
+		Aborted:     j.Count(EventTaskAbort),
+	}
 }
 
 // NodeDowntime returns per-node total downtime observed in the

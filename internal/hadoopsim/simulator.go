@@ -29,6 +29,10 @@ type task struct {
 	state          taskState
 	activeAttempts int
 	hasDuplicate   bool
+	// firstExec is the execution start of the task's oldest attempt in
+	// its current running episode — the redundant policy's stagger
+	// reference. Reset each time the task re-enters the running state.
+	firstExec float64
 	// everAborted marks tasks that lost an attempt to an
 	// interruption; their subsequent fetches count as failure-induced
 	// migration (the paper's migration component), whereas transfers
@@ -77,6 +81,12 @@ type nodeSim struct {
 	running    *attempt
 	inIdle     bool
 	retry      *sim.Timer // pending congestion-retry wakeup
+	// specRetry re-offers speculation to this node after a predictive
+	// or redundant policy could not place a duplicate; specBackoff is
+	// the current retry delay (exponential, reset on any successful
+	// attempt start).
+	specRetry   *sim.Timer
+	specBackoff float64
 
 	// recovery accounting
 	incompleteLocal int
@@ -112,6 +122,13 @@ type simulator struct {
 	migrations int
 	interrupts int
 	speculated int
+	// per-attempt accounting: every attempt launched, losing sibling
+	// attempts cancelled by a first finisher, and the execution
+	// seconds those cancelled attempts had consumed (wasted work;
+	// stays inside the misc residual of the breakdown).
+	attemptsLaunched  int
+	attemptsCancelled int
+	wastedSeconds     float64
 
 	err error // first scheduling error, aborts the run
 }
@@ -300,9 +317,12 @@ func (s *simulator) drive() (metrics.RunResult, error) {
 			Migration: s.migration,
 			Misc:      misc,
 		},
-		MigratedBlocks:   s.migrations,
-		Interruptions:    s.interrupts,
-		SpeculativeTasks: s.speculated,
+		MigratedBlocks:    s.migrations,
+		Interruptions:     s.interrupts,
+		SpeculativeTasks:  s.speculated,
+		AttemptsLaunched:  s.attemptsLaunched,
+		AttemptsCancelled: s.attemptsCancelled,
+		WastedSeconds:     s.wastedSeconds,
 	}, nil
 }
 
@@ -446,10 +466,23 @@ func (s *simulator) chargeMigration(a *attempt, end float64) {
 func (s *simulator) onAttemptComplete(a *attempt) {
 	now := s.eng.Now()
 	t := a.task
-	ns := &s.nodes[a.node]
 	if t.state == taskDone {
 		return // stale timer; defensive, should be cancelled
 	}
+	// Deterministic first-finisher: when sibling attempts land at the
+	// exact same instant, the lowest node id wins regardless of which
+	// timer the event queue happened to fire first — the winner is a
+	// function of the seed, never of insertion order.
+	for _, a2 := range s.running {
+		//lint:ignore floateq exact tie detection between copied event times, not arithmetic results
+		if a2.task == t && a2 != a && a2.plannedEnd == now && a2.node < a.node {
+			a = a2
+		}
+	}
+	if a.timer != nil {
+		a.timer.Cancel()
+	}
+	ns := &s.nodes[a.node]
 	s.chargeMigration(a, now)
 	ns.running = nil
 	s.removeRunning(a)
@@ -477,11 +510,13 @@ func (s *simulator) onAttemptComplete(a *attempt) {
 		s.cfg.OnTaskComplete(t.id, cluster.NodeID(a.node))
 	}
 
-	// Cancel the losing duplicate, if any. Its spent execution time
-	// remains in the misc residual (duplicated straggler cost, §V-C).
-	// The scan is guarded on a live duplicate actually existing —
-	// unconditionally walking the running list made every completion
-	// O(running) and the whole phase quadratic at large cluster sizes.
+	// Cancel the losing sibling attempts, if any (first finisher
+	// wins). Their spent execution time remains in the misc residual
+	// (duplicated straggler cost, §V-C) and is reported separately as
+	// wasted work. The scan is guarded on a live sibling actually
+	// existing — unconditionally walking the running list made every
+	// completion O(running) and the whole phase quadratic at large
+	// cluster sizes.
 	for t.activeAttempts > 0 {
 		var other *attempt
 		for _, a2 := range s.running {
@@ -497,6 +532,13 @@ func (s *simulator) onAttemptComplete(a *attempt) {
 			other.timer.Cancel()
 		}
 		s.chargeMigration(other, now)
+		s.attemptsCancelled++
+		if now > other.execStart {
+			s.wastedSeconds += now - other.execStart
+		}
+		if s.cfg.Journal != nil {
+			s.cfg.Journal.record(now, EventTaskCancel, other.node, t.id)
+		}
 		on := &s.nodes[other.node]
 		if on.running == other {
 			on.running = nil
@@ -568,9 +610,35 @@ func (s *simulator) tryAssign(i int) {
 			s.tryAssign(i)
 		})
 	}
-	// 3. Speculative duplicate of the running task with the worst
-	// model-expected completion time.
-	if !s.cfg.DisableSpeculation {
+	// 3. Duplicate execution per the speculation policy.
+	switch s.cfg.Speculation {
+	case SpeculationNone:
+		// No duplicates, ever.
+	case SpeculationPredictive:
+		victim, wake := s.pickPredictive(i)
+		if victim != nil {
+			s.startAttempt(i, victim.task, contains(victim.task.holders, i), true)
+			if ns.running != nil {
+				return
+			}
+			// Placement failed (e.g. replica raced unreachable):
+			// degrade gracefully and retry after backoff.
+			wake = s.eng.Now() + s.specBackoffDelay(i)
+		}
+		s.armSpecRetry(i, wake)
+	case SpeculationRedundant:
+		victim, wake := s.pickRedundant(i)
+		if victim != nil {
+			s.startAttempt(i, victim.task, contains(victim.task.holders, i), true)
+			if ns.running != nil {
+				return
+			}
+			wake = s.eng.Now() + s.specBackoffDelay(i)
+		}
+		s.armSpecRetry(i, wake)
+	default:
+		// SpeculationReactive: duplicate the running task with the
+		// worst model-expected completion time (LATE-style).
 		if victim := s.pickSpeculative(i); victim != nil {
 			s.startAttempt(i, victim.task, contains(victim.task.holders, i), true)
 			if ns.running != nil {
@@ -806,8 +874,15 @@ func (s *simulator) startAttempt(i int, t *task, local, speculative bool) {
 			s.cfg.Journal.record(now, EventSpeculate, i, t.id)
 		}
 	}
+	if t.activeAttempts == 0 {
+		// First attempt of this running episode: anchor the redundant
+		// policy's stagger clock at the execution start.
+		t.firstExec = a.execStart
+	}
 	t.state = taskRunning
 	t.activeAttempts++
+	s.attemptsLaunched++
+	ns.specBackoff = 0
 	if speculative {
 		t.hasDuplicate = true
 		s.speculated++

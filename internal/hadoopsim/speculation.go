@@ -1,0 +1,239 @@
+package hadoopsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeculationPolicy selects the duplicate-execution strategy of the
+// simulated JobTracker: when (if ever) a second attempt of a running
+// task is launched on an idle node, and how many attempts a task may
+// hold at once. All policies share first-finisher-wins cancellation:
+// the moment one attempt completes, every sibling is cancelled and
+// its spent execution time is accounted as wasted work.
+type SpeculationPolicy int
+
+const (
+	// SpeculationReactive is stock Hadoop's LATE-style straggler
+	// mitigation (the legacy default): an idle node duplicates the
+	// running attempt with the worst model-expected remaining time,
+	// but only after that expectation exceeds the cost of redoing the
+	// task from scratch — it reacts once a task already straggles.
+	SpeculationReactive SpeculationPolicy = iota + 1
+	// SpeculationNone launches no duplicates (the deprecated
+	// Config.DisableSpeculation behavior).
+	SpeculationNone
+	// SpeculationPredictive launches a backup *before* the executor's
+	// expected interruption horizon: an idle, healthier node (lower
+	// E[T]) duplicates a running attempt whose executor is likely —
+	// probability at least PredictiveHorizon under the exponential
+	// interruption model — to be interrupted before the attempt
+	// finishes. This is the ATLAS-style failure-aware move: don't wait
+	// for the straggle, pre-empt it.
+	SpeculationPredictive
+	// SpeculationRedundant assigns every task up to RedundancyK
+	// attempts, staggered by RedundancyOverlap of one task length
+	// between consecutive launches (zero overlap launches all K as
+	// soon as nodes are free). First finisher wins; the rest are
+	// cancelled and counted as wasted work.
+	SpeculationRedundant
+)
+
+// Speculation policy defaults.
+const (
+	// DefaultRedundancyK is the redundant-policy attempt budget.
+	DefaultRedundancyK = 2
+	// DefaultRedundancyOverlap staggers redundant launches by a
+	// quarter task length, trading a little completion time for much
+	// less duplicated work.
+	DefaultRedundancyOverlap = 0.25
+	// DefaultPredictiveHorizon duplicates once interruption-before-
+	// completion is at least an even bet.
+	DefaultPredictiveHorizon = 0.5
+)
+
+func (p SpeculationPolicy) String() string {
+	switch p {
+	case SpeculationReactive:
+		return "reactive"
+	case SpeculationNone:
+		return "none"
+	case SpeculationPredictive:
+		return "predictive"
+	case SpeculationRedundant:
+		return "redundant"
+	default:
+		return fmt.Sprintf("SpeculationPolicy(%d)", int(p))
+	}
+}
+
+// ParseSpeculationPolicy maps the CLI spelling to a policy.
+func ParseSpeculationPolicy(s string) (SpeculationPolicy, error) {
+	switch s {
+	case "reactive":
+		return SpeculationReactive, nil
+	case "none", "off":
+		return SpeculationNone, nil
+	case "predictive":
+		return SpeculationPredictive, nil
+	case "redundant":
+		return SpeculationRedundant, nil
+	default:
+		return 0, fmt.Errorf("hadoopsim: unknown speculation policy %q (want reactive, none, predictive, or redundant)", s)
+	}
+}
+
+// pickPredictive returns the running attempt most worth backing up on
+// idle node i under the predictive policy: the executor's probability
+// of interruption before the attempt completes, 1-exp(-λ·remaining),
+// is at least the configured horizon, and node i is strictly
+// healthier (lower E[T]) than the executor. Among qualifying
+// candidates the highest interruption probability wins. The second
+// return is the earliest instant worth re-scanning (a congested fetch
+// path freeing up), +Inf when there is nothing to wait for.
+func (s *simulator) pickPredictive(i int) (*attempt, float64) {
+	now := s.eng.Now()
+	wake := math.Inf(1)
+	myEta := s.eta[i]
+	var best *attempt
+	bestP := 0.0
+	for _, a := range s.running {
+		t := a.task
+		if t.state != taskRunning || t.hasDuplicate || t.activeAttempts != 1 {
+			continue
+		}
+		lam := s.nodes[a.node].lambda
+		if lam <= 0 {
+			continue // dedicated or trace-driven executor: no parametric hazard
+		}
+		if s.eta[a.node] <= myEta {
+			continue // backup host must be healthier than the executor
+		}
+		rem := a.plannedEnd - now
+		if rem < 0 {
+			rem = 0
+		}
+		p := -math.Expm1(-lam * rem)
+		if p < s.cfg.PredictiveHorizon || p <= bestP {
+			continue
+		}
+		if ok, retryAt := s.duplicateReachable(a, i, now); !ok {
+			if retryAt < wake {
+				wake = retryAt
+			}
+			continue
+		}
+		best = a
+		bestP = p
+	}
+	return best, wake
+}
+
+// pickRedundant returns the running task to which idle node i should
+// add a redundant attempt: fewest active attempts first (then lowest
+// task id), subject to the attempt budget RedundancyK and the overlap
+// stagger — attempt j may launch only once (j-1)·overlap·γ has
+// elapsed since the task's first attempt began executing. The second
+// return is the earliest instant a currently-gated or congested
+// candidate becomes launchable, +Inf when none.
+func (s *simulator) pickRedundant(i int) (*attempt, float64) {
+	now := s.eng.Now()
+	wake := math.Inf(1)
+	stagger := s.cfg.RedundancyOverlap * s.taskGamma
+	var best *attempt
+	for _, a := range s.running {
+		t := a.task
+		if t.state != taskRunning || t.activeAttempts >= s.cfg.RedundancyK {
+			continue
+		}
+		gate := t.firstExec + float64(t.activeAttempts)*stagger
+		if now < gate {
+			if gate < wake {
+				wake = gate
+			}
+			continue
+		}
+		if ok, retryAt := s.duplicateReachable(a, i, now); !ok {
+			if retryAt < wake {
+				wake = retryAt
+			}
+			continue
+		}
+		if best == nil ||
+			t.activeAttempts < best.task.activeAttempts ||
+			(t.activeAttempts == best.task.activeAttempts && t.id < best.task.id) {
+			best = a
+		}
+	}
+	return best, wake
+}
+
+// duplicateReachable reports whether node i could fetch the block of
+// a's task right now: a live holder within the transfer-queue
+// allowance, a local replica, or a permitted source re-ingest. When
+// the only obstacle is NIC congestion, retryAt is the instant the
+// earliest fetch path frees; otherwise it is +Inf (recovery events
+// re-kick idle nodes, so there is no instant worth polling for).
+func (s *simulator) duplicateReachable(a *attempt, i int, now float64) (ok bool, retryAt float64) {
+	retryAt = math.Inf(1)
+	t := a.task
+	if contains(t.holders, i) {
+		return true, retryAt
+	}
+	src := s.upHolder(t)
+	if src < 0 {
+		return s.cfg.SourcePenalty >= 0, retryAt
+	}
+	if s.cfg.TransferQueueFactor < 0 {
+		return true, retryAt
+	}
+	est, err := s.net.EarliestStart(now, src, i)
+	if err != nil {
+		s.err = err
+		return false, retryAt
+	}
+	allowance := s.cfg.TransferQueueFactor * s.net.TransferTime(s.cfg.BlockBytes)
+	if est > now+allowance {
+		return false, est - allowance
+	}
+	return true, retryAt
+}
+
+// armSpecRetry schedules a speculation re-scan for node i at wake,
+// folding in the node's exponential backoff when the policy could not
+// place a duplicate this round. The pending timer is reused: the
+// earliest scheduled wakeup wins.
+func (s *simulator) armSpecRetry(i int, wake float64) {
+	if math.IsInf(wake, 1) || s.err != nil {
+		return
+	}
+	ns := &s.nodes[i]
+	if ns.specRetry != nil && ns.specRetry.Active() {
+		return
+	}
+	ns.specRetry = s.scheduleAt(wake, func() {
+		s.nodes[i].specRetry = nil
+		s.tryAssign(i)
+	})
+}
+
+// specBackoffDelay returns node i's current speculation retry delay
+// and doubles it for the next failure, capped at eight times the
+// configured base. A successful attempt start resets the backoff. A
+// non-positive configured backoff disables retry polling entirely
+// (the node then waits for the next scheduling event).
+func (s *simulator) specBackoffDelay(i int) float64 {
+	if s.cfg.SpeculationBackoff <= 0 {
+		return math.Inf(1)
+	}
+	ns := &s.nodes[i]
+	if ns.specBackoff <= 0 {
+		ns.specBackoff = s.cfg.SpeculationBackoff
+	} else {
+		ns.specBackoff *= 2
+		if hi := 8 * s.cfg.SpeculationBackoff; ns.specBackoff > hi {
+			ns.specBackoff = hi
+		}
+	}
+	return ns.specBackoff
+}

@@ -112,8 +112,22 @@ type EngineConfig struct {
 	Gamma float64
 	// BandwidthMbps is the symmetric link speed (default 8).
 	BandwidthMbps float64
+	// Speculation selects the map-phase duplicate-execution policy
+	// (reactive, none, predictive, or redundant); zero resolves from
+	// DisableSpeculation for old configs.
+	Speculation hadoopsim.SpeculationPolicy
 	// DisableSpeculation turns off speculative duplicates.
+	//
+	// Deprecated: set Speculation to SpeculationNone. Honored only
+	// while Speculation is zero.
 	DisableSpeculation bool
+	// RedundancyK, RedundancyOverlap, PredictiveHorizon, and
+	// SpeculationBackoff forward to hadoopsim.Config (policy tuning for
+	// the redundant and predictive policies).
+	RedundancyK        int
+	RedundancyOverlap  float64
+	PredictiveHorizon  float64
+	SpeculationBackoff float64
 	// SourcePenalty forwards to hadoopsim.Config.
 	SourcePenalty float64
 	// ReduceSecondsPerMB models reduce-side processing cost
@@ -255,7 +269,12 @@ func (e *Engine) Run(job Job, g *stats.RNG) (*Result, error) {
 		BlockBytes:         simBlockBytes,
 		Gamma:              e.cfg.Gamma,
 		Network:            netsim.FromMegabits(e.cfg.BandwidthMbps),
+		Speculation:        e.cfg.Speculation,
 		DisableSpeculation: e.cfg.DisableSpeculation,
+		RedundancyK:        e.cfg.RedundancyK,
+		RedundancyOverlap:  e.cfg.RedundancyOverlap,
+		PredictiveHorizon:  e.cfg.PredictiveHorizon,
+		SpeculationBackoff: e.cfg.SpeculationBackoff,
 		SourcePenalty:      e.cfg.SourcePenalty,
 		OnTaskComplete:     onComplete,
 	}
@@ -266,6 +285,13 @@ func (e *Engine) Run(job Job, g *stats.RNG) (*Result, error) {
 	if mapErr != nil {
 		return nil, mapErr
 	}
+
+	// Fold the run's speculation effort into the NameNode's shared
+	// resilience counters so the service layer exports it.
+	rc := e.nn.Resilience()
+	rc.SpeculativeAttempts.Add(int64(mapRes.SpeculativeTasks))
+	rc.CancelledAttempts.Add(int64(mapRes.AttemptsCancelled))
+	rc.WastedComputeNanos.Add(int64(mapRes.WastedSeconds * 1e9))
 
 	// Deterministic shuffle order regardless of completion order.
 	for _, p := range partitions {

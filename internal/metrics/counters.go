@@ -53,6 +53,23 @@ type ResilienceCounters struct {
 	// NodesDeclaredDead counts failure-detector promotions to dead
 	// (each one marks the node's store down and triggers repair).
 	NodesDeclaredDead atomic.Int64
+	// SpeculativeAttempts counts duplicate task executions launched by
+	// the MapReduce engine's speculation policy.
+	SpeculativeAttempts atomic.Int64
+	// CancelledAttempts counts losing duplicate attempts cancelled
+	// because a sibling finished first.
+	CancelledAttempts atomic.Int64
+	// WastedComputeNanos accumulates the (simulated) execution time
+	// consumed by cancelled losing attempts — observable speculation
+	// waste.
+	WastedComputeNanos atomic.Int64
+	// RFRaises and RFLowers count dynamic-replication target moves
+	// applied by the availability/popularity controller.
+	RFRaises atomic.Int64
+	RFLowers atomic.Int64
+	// PrunedReplicas counts surplus replicas retired when a file's
+	// dynamic replication target dropped below its live replica count.
+	PrunedReplicas atomic.Int64
 }
 
 // ResilienceSnapshot is a plain-value copy of the counters, safe to
@@ -73,6 +90,12 @@ type ResilienceSnapshot struct {
 	InjectedLatency       time.Duration
 	RepairScans           int64
 	NodesDeclaredDead     int64
+	SpeculativeAttempts   int64
+	CancelledAttempts     int64
+	WastedCompute         time.Duration
+	RFRaises              int64
+	RFLowers              int64
+	PrunedReplicas        int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy (each field
@@ -95,6 +118,12 @@ func (c *ResilienceCounters) Snapshot() ResilienceSnapshot {
 		InjectedLatency:       time.Duration(c.InjectedLatencyNanos.Load()),
 		RepairScans:           c.RepairScans.Load(),
 		NodesDeclaredDead:     c.NodesDeclaredDead.Load(),
+		SpeculativeAttempts:   c.SpeculativeAttempts.Load(),
+		CancelledAttempts:     c.CancelledAttempts.Load(),
+		WastedCompute:         time.Duration(c.WastedComputeNanos.Load()),
+		RFRaises:              c.RFRaises.Load(),
+		RFLowers:              c.RFLowers.Load(),
+		PrunedReplicas:        c.PrunedReplicas.Load(),
 	}
 }
 
@@ -115,14 +144,22 @@ func (c *ResilienceCounters) Reset() {
 	c.InjectedLatencyNanos.Store(0)
 	c.RepairScans.Store(0)
 	c.NodesDeclaredDead.Store(0)
+	c.SpeculativeAttempts.Store(0)
+	c.CancelledAttempts.Store(0)
+	c.WastedComputeNanos.Store(0)
+	c.RFRaises.Store(0)
+	c.RFLowers.Store(0)
+	c.PrunedReplicas.Store(0)
 }
 
 func (s ResilienceSnapshot) String() string {
 	return fmt.Sprintf(
 		"reads: retries=%d failovers=%d checksum=%d | writes: failovers=%d retries=%d degraded=%d | "+
-			"repair: replicas=%d unrepairable=%d moved=%d scans=%d | down-errors=%d dead=%d | injected: faults=%d corruptions=%d latency=%s",
+			"repair: replicas=%d unrepairable=%d moved=%d scans=%d | down-errors=%d dead=%d | injected: faults=%d corruptions=%d latency=%s | "+
+			"speculation: attempts=%d cancelled=%d wasted=%s | dynamic-rf: raises=%d lowers=%d pruned=%d",
 		s.ReadRetries, s.ReadFailovers, s.ChecksumFailures,
 		s.WriteFailovers, s.WriteRetries, s.DegradedWrites,
 		s.RepairedReplicas, s.UnrepairableBlocks, s.RedistributedReplicas, s.RepairScans,
-		s.NodeDownErrors, s.NodesDeclaredDead, s.InjectedFaults, s.InjectedCorruptions, s.InjectedLatency)
+		s.NodeDownErrors, s.NodesDeclaredDead, s.InjectedFaults, s.InjectedCorruptions, s.InjectedLatency,
+		s.SpeculativeAttempts, s.CancelledAttempts, s.WastedCompute, s.RFRaises, s.RFLowers, s.PrunedReplicas)
 }

@@ -98,6 +98,17 @@ type RunResult struct {
 	// SpeculativeTasks counts duplicate (speculative) executions
 	// launched.
 	SpeculativeTasks int
+	// AttemptsLaunched counts every execution attempt started: first
+	// tries, re-executions after interruption aborts, and duplicates.
+	AttemptsLaunched int
+	// AttemptsCancelled counts losing duplicate attempts cancelled
+	// because a sibling attempt finished first.
+	AttemptsCancelled int
+	// WastedSeconds is the execution time (node-seconds) consumed by
+	// those cancelled losing attempts — the price of speculation. It
+	// is a refinement of the Misc residual, not an addition to the
+	// breakdown.
+	WastedSeconds float64
 }
 
 // Locality returns the data locality in [0, 1]; NaN with no tasks.

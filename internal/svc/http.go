@@ -62,6 +62,12 @@ func (s *NameNodeServer) snapshotMetrics(now time.Time) MetricsSnapshot {
 			"injected_corruptions":   rs.InjectedCorruptions,
 			"repair_scans":           rs.RepairScans,
 			"nodes_declared_dead":    rs.NodesDeclaredDead,
+			"speculative_attempts":   rs.SpeculativeAttempts,
+			"cancelled_attempts":     rs.CancelledAttempts,
+			"wasted_compute_nanos":   rs.WastedCompute.Nanoseconds(),
+			"rf_raises":              rs.RFRaises,
+			"rf_lowers":              rs.RFLowers,
+			"pruned_replicas":        rs.PrunedReplicas,
 		},
 		HeartbeatAge:   make(map[int]float64),
 		Lambda:         make(map[int]float64),
