@@ -1,20 +1,31 @@
 GO ?= go
 
-.PHONY: ci vet lint build test test-short race race-engine race-svc race-wal race-sched sched-verify svc-smoke crash-smoke soak bench bench-smoke
+.PHONY: ci vet lint lint-github lint-json build test test-short race race-all race-engine race-svc race-wal race-sched sched-verify svc-smoke crash-smoke soak bench bench-smoke
 
 # Full CI gate: static checks, build, and the race-enabled test suite
 # (includes the churn-soak test).
-ci: vet lint build race
+ci: vet lint build race-all
 
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (determinism, error taxonomy, lock
-# discipline, float equality, map-iteration order). Exits non-zero on
-# any finding; suppress intentional ones with
-# //lint:ignore <analyzer> <reason>.
+# Project-specific whole-program static analysis: interprocedural
+# determinism taint, error taxonomy, lock discipline and lock-order
+# cycles, context propagation, sync/atomic consistency, float
+# equality, map-iteration order, Close handling, and the
+# stale-suppression ratchet. Exits non-zero on any finding; suppress
+# intentional ones with //lint:ignore <analyzer> <reason> (unused
+# directives are themselves findings).
 lint:
 	$(GO) run ./cmd/adaptlint
+
+# Same suite rendered as GitHub Actions annotations (inline PR
+# comments) and as machine-readable JSON.
+lint-github:
+	$(GO) run ./cmd/adaptlint -format=github
+
+lint-json:
+	$(GO) run ./cmd/adaptlint -format=json
 
 build:
 	$(GO) build ./...
@@ -27,8 +38,13 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-race:
+# The whole test suite under the race detector — the canonical
+# full-coverage race gate (the focused race-* targets below are the
+# fast loops).
+race-all:
 	$(GO) test -race ./...
+
+race: race-all
 
 # Focused race gate for the parallel experiment engine: the
 # parallel≡sequential equivalence suite and the seeded trial runner

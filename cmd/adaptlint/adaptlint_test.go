@@ -59,9 +59,10 @@ func TestAnalyzersGolden(t *testing.T) {
 }
 
 // TestSuppression proves the //lint:ignore mechanism end to end: the
-// fixtures contain a suppressed time.Now (internal/sim) and a
-// suppressed float equality (internal/model), and neither may
-// surface.
+// fixtures contain a suppressed time.Now (internal/sim), a suppressed
+// float equality (internal/model), and a suppressed time.Sleep source
+// (internal/util.BlessedDelay) whose taint must not reach its scoped
+// caller. None may surface.
 func TestSuppression(t *testing.T) {
 	for _, d := range loadFixtures(t) {
 		if d.Pos.Filename == "internal/sim/sim.go" && strings.Contains(d.Message, "time.Now") && d.Pos.Line > 15 {
@@ -69,6 +70,9 @@ func TestSuppression(t *testing.T) {
 		}
 		if d.Pos.Filename == "internal/model/model.go" && d.Pos.Line > 28 {
 			t.Errorf("suppressed floateq finding surfaced: %s", d.format())
+		}
+		if strings.Contains(d.Message, "BlessedDelay") {
+			t.Errorf("suppressed source tainted a caller: %s", d.format())
 		}
 	}
 }
@@ -106,9 +110,12 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 // TestListFlagNamesAllAnalyzers keeps the suite definition honest:
-// exactly the six documented analyzers, each with doc text.
+// exactly the ten documented analyzers, each with doc text.
 func TestListFlagNamesAllAnalyzers(t *testing.T) {
-	want := []string{"determinism", "errtaxonomy", "lockcheck", "floateq", "mapiter", "closecheck"}
+	want := []string{
+		"determinism", "errtaxonomy", "lockcheck", "lockorder", "ctxcheck",
+		"atomiccheck", "floateq", "mapiter", "closecheck", "unusedignore",
+	}
 	got := analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("analyzers() returned %d analyzers, want %d", len(got), len(want))

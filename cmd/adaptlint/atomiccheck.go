@@ -1,0 +1,161 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomiccheckAnalyzer enforces the sync/atomic contract across the
+// whole module: once any code passes &x to a sync/atomic function, x
+// is an atomic variable everywhere, and a plain read or write of it —
+// in any package — is a data race the race detector only catches if a
+// test happens to interleave it. The typed wrappers (atomic.Int64 and
+// friends) make this impossible by construction and are the preferred
+// fix; this analyzer polices the function-style API that doesn't.
+func atomiccheckAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "atomiccheck",
+		Doc:  "a variable accessed via sync/atomic must never be read or written plainly anywhere in the module",
+	}
+	a.RunProgram = func(p *Pass) {
+		collectAtomicVars(p.Prog)
+		reportPlainAtomicAccess(p)
+	}
+	return a
+}
+
+// collectAtomicVars finds every variable (package-level var or struct
+// field) whose address escapes into a sync/atomic call, recording the
+// first witness position per variable.
+func collectAtomicVars(prog *Program) {
+	if prog.atomicVars != nil {
+		return
+	}
+	prog.atomicVars = make(map[*types.Var]token.Position)
+	for _, p := range prog.Pkgs {
+		info := p.Info
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObj(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if v := addressedVar(info, un.X); v != nil {
+						if _, seen := prog.atomicVars[v]; !seen {
+							prog.atomicVars[v] = prog.Fset.Position(un.X.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// addressedVar resolves &expr's operand to the types.Var it names:
+// the field of a selector, or a package-level variable. Local
+// variables are skipped — a local whose address feeds sync/atomic is
+// visible to the race detector within its own function and produces
+// too many benign single-goroutine hits to police statically.
+func addressedVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		if v != nil && v.IsField() {
+			return v
+		}
+		return packageVar(v)
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return packageVar(v)
+	}
+	return nil
+}
+
+// packageVar returns v if it is a package-level variable, else nil.
+func packageVar(v *types.Var) *types.Var {
+	if v == nil || v.IsField() || v.Parent() == nil || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// reportPlainAtomicAccess walks every file and flags uses of atomic
+// variables outside sync/atomic call arguments. Composite-literal keys
+// (zero-value construction before the value is shared) are allowed.
+func reportPlainAtomicAccess(p *Pass) {
+	prog := p.Prog
+	if len(prog.atomicVars) == 0 {
+		return
+	}
+	type finding struct {
+		pos token.Pos
+		v   *types.Var
+	}
+	var findings []finding
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			allowed := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := funcObj(info, n)
+					if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+						for _, arg := range n.Args {
+							ast.Inspect(arg, func(m ast.Node) bool {
+								if id, ok := m.(*ast.Ident); ok {
+									allowed[id] = true
+								}
+								return true
+							})
+						}
+					}
+				case *ast.CompositeLit:
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								allowed[id] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || allowed[id] {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				if _, isAtomic := prog.atomicVars[v]; isAtomic {
+					findings = append(findings, finding{pos: id.Pos(), v: v})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		w := prog.atomicVars[f.v]
+		p.Reportf(f.pos, "plain access to %q, which is accessed via sync/atomic at %s:%d: use the atomic API (or an atomic.Int64-style typed wrapper) for every access",
+			f.v.Name(), relToRoot(prog.Root, w.Filename), w.Line)
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxScope lists the packages whose blocking RPC/IO paths must thread
+// context.Context end to end. The CLI layer (cmd/) is the process
+// root and legitimately mints contexts; below it, a fresh
+// context.Background() silently discards the caller's deadline and
+// cancellation, which is how shutdown hangs and crash tests time out.
+var ctxScope = []string{
+	"internal/svc",
+	"internal/dfs",
+}
+
+// ctxcheckAnalyzer flags context.Background() and context.TODO() in
+// the service and filesystem layers. Two idioms are allowed:
+//
+//   - lifecycle roots: context.WithCancel(context.Background()) at a
+//     component's construction, where the cancel func is the
+//     component's own stop handle. (WithTimeout(Background) is NOT
+//     exempt — a timeout without the caller's cancellation still
+//     outlives a shutdown.)
+//   - compat shims: a one-statement method Foo that only delegates to
+//     its context-threading sibling FooContext(context.Background(),
+//     ...). The shim exists precisely to own that Background call for
+//     legacy callers.
+//
+// Everywhere else the fix is to accept a ctx parameter or use the
+// owning component's lifecycle context.
+func ctxcheckAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxcheck",
+		Doc:  "svc/dfs must thread context.Context; no context.Background()/TODO() below the CLI layer",
+	}
+	a.Run = func(p *Pass) {
+		if !inScope(p.Pkg.Rel, ctxScope...) {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			checkCtxFile(p, f)
+		}
+	}
+	return a
+}
+
+func checkCtxFile(p *Pass, f *ast.File) {
+	info := p.Pkg.Info
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if isCompatShim(info, fd) {
+			continue
+		}
+		ctxParam := contextParamName(info, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Allow WithCancel(Background()) lifecycle roots by not
+			// descending into the argument of a WithCancel call.
+			if fn := funcObj(info, call); isPkgFunc(fn, "context", "WithCancel") {
+				if len(call.Args) == 1 && isBackgroundCall(info, call.Args[0]) != "" {
+					return false
+				}
+				return true
+			}
+			if name := isBackgroundCall(info, call); name != "" {
+				if ctxParam != "" {
+					p.Reportf(call.Pos(), "context.%s() drops the in-scope ctx parameter %q: thread it instead", name, ctxParam)
+				} else {
+					p.Reportf(call.Pos(), "context.%s() below the CLI layer discards caller cancellation: accept a ctx parameter or use the component's lifecycle context", name)
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isBackgroundCall reports "Background" or "TODO" if expr is a call to
+// that context constructor, else "".
+func isBackgroundCall(info *types.Info, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := funcObj(info, call)
+	if isPkgFunc(fn, "context", "Background") {
+		return "Background"
+	}
+	if isPkgFunc(fn, "context", "TODO") {
+		return "TODO"
+	}
+	return ""
+}
+
+// contextParamName returns the name of fd's first context.Context
+// parameter, or "" if it has none (or only a blank one).
+func contextParamName(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isCompatShim recognizes the sanctioned legacy-API shape: a method or
+// function whose entire body is one statement delegating to the
+// sibling named <Name>Context with context.Background() as the first
+// argument.
+func isCompatShim(info *types.Info, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch stmt := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(stmt.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(stmt.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+	default:
+		return false
+	}
+	if call == nil || len(call.Args) == 0 {
+		return false
+	}
+	callee := funcObj(info, call)
+	if callee == nil || callee.Name() != fd.Name.Name+"Context" {
+		return false
+	}
+	return isBackgroundCall(info, call.Args[0]) != ""
+}

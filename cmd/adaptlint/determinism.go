@@ -1,34 +1,54 @@
 package main
 
 import (
-	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
 	"strconv"
 )
 
 // determinismScope lists the packages whose behavior must be a pure
 // function of an explicit seed: the simulation kernel, the chaos
-// engine, placement, the analytical model, and the Hadoop-analog
-// scheduler (whose speculation policies must seed-replay
-// bit-identically). All randomness there must flow through
-// internal/stats.RNG, and virtual time must never read the wall
-// clock.
+// engine, placement, the analytical model, the Hadoop-analog
+// scheduler, the experiment harness that sweeps them, and the
+// statistics layer their outputs flow through. All randomness there
+// must come from internal/stats.RNG, and virtual time must never read
+// the wall clock.
 var determinismScope = []string{
 	"internal/sim",
 	"internal/chaos",
 	"internal/placement",
 	"internal/model",
 	"internal/hadoopsim",
+	"internal/experiments",
+	"internal/stats",
 }
 
-// determinismAnalyzer flags ambient nondeterminism in the seeded
-// packages: any import of math/rand or math/rand/v2 (which carry the
-// process-global generator and unseeded constructors), and any call
-// to time.Now. Both break seed-replay: the same seed must reproduce
-// the same schedule event-for-event.
+// determinismAnalyzer is the v2, interprocedural determinism check.
+// Three rules guard the seeded scopes:
+//
+//  1. no file may import math/rand or math/rand/v2 (the process-global
+//     generator and its unseeded constructors live there);
+//  2. no function may use an ambient-nondeterminism source directly:
+//     wall-clock reads (time.Now/Since/Until), wall-clock stalls
+//     (time.Sleep), the global rand functions, scheduler topology
+//     reads (runtime.NumCPU/GOMAXPROCS/NumGoroutine), or
+//     order-sensitive float accumulation over a map range;
+//  3. no function may call — directly or through any chain of
+//     module-local functions, method values, or interface
+//     implementations — an out-of-scope helper that reaches such a
+//     source. The call graph and per-package function summaries make
+//     this transitive: a helper in internal/par that reads GOMAXPROCS
+//     taints every scoped caller.
+//
+// A //lint:ignore determinism directive on a source line blesses the
+// source itself: it neither reports nor taints callers (the sanctioned
+// RNG constructor in internal/stats and the wall-clock benchmark
+// harness are the intended uses).
 func determinismAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "determinism",
-		Doc:  "seeded packages must draw randomness from internal/stats.RNG and never read the wall clock",
+		Doc:  "seeded packages must not reach wall-clock, global-rand, scheduler, or map-order nondeterminism, even transitively",
 	}
 	a.Run = func(p *Pass) {
 		if !inScope(p.Pkg.Rel, determinismScope...) {
@@ -44,17 +64,76 @@ func determinismAnalyzer() *Analyzer {
 					p.Reportf(imp.Pos(), "imports %q: all randomness in %s must flow through internal/stats.RNG", path, p.Pkg.Rel)
 				}
 			}
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if fn := funcObj(p.Pkg.Info, call); isPkgFunc(fn, "time", "Now") {
-					p.Reportf(call.Pos(), "calls time.Now(): seeded packages run in virtual time; wall-clock reads break seed replay")
-				}
-				return true
-			})
+		}
+		facts := p.Prog.Sums.factsFor(p.Pkg)
+		fns := make([]*types.Func, 0, len(facts))
+		for fn := range facts {
+			fns = append(fns, fn)
+		}
+		sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+		for _, fn := range fns {
+			for _, src := range facts[fn].sources {
+				p.Reportf(src.pos, "%s", directSourceMessage(src))
+			}
+			reportTaintedCalls(p, fn)
 		}
 	}
 	return a
+}
+
+// directSourceMessage renders the in-scope message for one directly
+// used source.
+func directSourceMessage(src sourceUse) string {
+	switch src.kind {
+	case srcWallClock:
+		return "uses " + src.desc + ": seeded packages run in virtual time; wall-clock reads break seed replay"
+	case srcSleep:
+		return "calls time.Sleep: seeded packages must wait virtually (injectable sleep) or cancellably, never stall the wall clock"
+	case srcRandGlobal:
+		return "uses " + src.desc + ": the process-global generator breaks seed replay; draw from internal/stats.RNG"
+	case srcRuntime:
+		return "uses " + src.desc + ": scheduler/CPU-topology reads are ambient nondeterminism in a seeded scope"
+	case srcMapOrder:
+		return src.desc + ": float accumulation is order-sensitive and Go randomizes map order per run; sort the keys first"
+	}
+	return "uses " + src.desc
+}
+
+// reportTaintedCalls flags every call site in fn whose callee lives
+// outside every deterministic scope yet transitively reaches a
+// nondeterminism source. Callees inside a deterministic scope are
+// skipped: their own package reports the source (or its own call
+// sites), so the report lands once, where the fix belongs.
+func reportTaintedCalls(p *Pass, fn *types.Func) {
+	type siteReport struct {
+		pos    token.Pos
+		callee *types.Func
+	}
+	seenLine := make(map[token.Pos]bool)
+	edges := append([]*CallSite(nil), p.Prog.Graph.ByCaller[fn]...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Pos != edges[j].Pos {
+			return edges[i].Pos < edges[j].Pos
+		}
+		return edges[i].Callee.FullName() < edges[j].Callee.FullName()
+	})
+	var reports []siteReport
+	for _, e := range edges {
+		if seenLine[e.Pos] {
+			continue
+		}
+		calleePkg := p.Prog.Graph.PkgOf[e.Callee]
+		if calleePkg == nil || inScope(calleePkg.Rel, determinismScope...) {
+			continue
+		}
+		if p.Prog.Sums.taintOf(e.Callee) == nil {
+			continue
+		}
+		seenLine[e.Pos] = true
+		reports = append(reports, siteReport{pos: e.Pos, callee: e.Callee})
+	}
+	for _, r := range reports {
+		p.Reportf(r.pos, "call into %s reaches a nondeterminism source: %s",
+			funcDisplayName(r.callee), p.Prog.Sums.taintPath(r.callee))
+	}
 }

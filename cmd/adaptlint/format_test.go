@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/sim/sim.go", Line: 13, Column: 23},
+			Analyzer: "determinism",
+			Message:  "uses time.Now: seeded packages run in virtual time; wall-clock reads break seed replay",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/svc/ctx.go", Line: 14, Column: 9},
+			Analyzer: "ctxcheck",
+			Message:  "context.Background() below the CLI layer\nwith 100% certainty",
+		},
+	}
+}
+
+// TestJSONSchema round-trips -format=json output through a strict
+// schema check: exact top-level keys, exact per-finding keys, correct
+// types, and count consistency. The field names are a CI contract —
+// this test is what breaks if they drift.
+func TestJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeDiagnostics(&buf, "json", sampleDiags()); err != nil {
+		t.Fatalf("writeDiagnostics(json): %v", err)
+	}
+
+	// Strict decode: unknown or missing fields fail.
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var rep jsonReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("decoding into jsonReport: %v", err)
+	}
+	if rep.Count != len(rep.Findings) || rep.Count != 2 {
+		t.Errorf("count = %d, findings = %d, want both 2", rep.Count, len(rep.Findings))
+	}
+
+	// Generic schema walk: every finding has exactly the five keys
+	// with the right JSON types.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal generic: %v", err)
+	}
+	if len(doc) != 2 {
+		t.Errorf("top-level keys = %d, want exactly {findings, count}", len(doc))
+	}
+	findings, ok := doc["findings"].([]any)
+	if !ok {
+		t.Fatalf("findings is %T, want array", doc["findings"])
+	}
+	for i, raw := range findings {
+		f, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("finding %d is %T, want object", i, raw)
+		}
+		if len(f) != 5 {
+			t.Errorf("finding %d has %d keys, want exactly {file, line, column, analyzer, message}", i, len(f))
+		}
+		for _, key := range []string{"file", "analyzer", "message"} {
+			if _, ok := f[key].(string); !ok {
+				t.Errorf("finding %d: %q is %T, want string", i, key, f[key])
+			}
+		}
+		for _, key := range []string{"line", "column"} {
+			if _, ok := f[key].(float64); !ok {
+				t.Errorf("finding %d: %q is %T, want number", i, key, f[key])
+			}
+		}
+	}
+
+	// Round trip: re-encoding the decoded report reproduces the bytes.
+	var buf2 bytes.Buffer
+	enc := json.NewEncoder(&buf2)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if buf.String() != buf2.String() {
+		t.Errorf("JSON does not round-trip:\n--- first ---\n%s\n--- second ---\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestGitHubFormat checks the workflow-command shape and that message
+// data is escaped (a raw newline or % would truncate or corrupt the
+// annotation).
+func TestGitHubFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeDiagnostics(&buf, "github", sampleDiags()); err != nil {
+		t.Fatalf("writeDiagnostics(github): %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d annotation lines, want 2:\n%s", len(lines), buf.String())
+	}
+	shape := regexp.MustCompile(`^::error file=[^,]+,line=\d+,col=\d+,title=adaptlint [a-z]+::.+$`)
+	for _, line := range lines {
+		if !shape.MatchString(line) {
+			t.Errorf("annotation does not match workflow-command shape: %q", line)
+		}
+	}
+	if !strings.Contains(lines[1], "%0A") || !strings.Contains(lines[1], "%25") {
+		t.Errorf("newline/percent not escaped: %q", lines[1])
+	}
+}
+
+// TestTextFormat pins the historical default shape other tooling greps
+// for.
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeDiagnostics(&buf, "text", sampleDiags()[:1]); err != nil {
+		t.Fatalf("writeDiagnostics(text): %v", err)
+	}
+	want := "internal/sim/sim.go:13: [determinism] uses time.Now: seeded packages run in virtual time; wall-clock reads break seed replay\n"
+	if buf.String() != want {
+		t.Errorf("text output = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestUnknownFormatRejected keeps the flag surface honest.
+func TestUnknownFormatRejected(t *testing.T) {
+	if err := writeDiagnostics(&bytes.Buffer{}, "xml", nil); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

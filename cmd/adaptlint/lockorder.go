@@ -1,0 +1,337 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorderAnalyzer builds the whole-program mutex-acquisition graph
+// and reports cycles as potential deadlocks. A node is a lock
+// identity (struct field "pkg.Type.mu" or package-level var
+// "pkg.mu"); an edge A → B means some execution path acquires B while
+// holding A — either by a direct nested Lock in one function or by
+// calling (over static/ref call-graph edges) a function whose
+// transitive summary acquires B. Two goroutines taking the same pair
+// of locks in opposite orders deadlock, which is exactly a cycle in
+// this graph.
+//
+// Identities are declaration-level, not instance-level, so acquiring
+// two different instances of one field (the per-file lock pattern)
+// is a self-edge and deliberately not reported; lockcheck's rule 1
+// and review cover same-lock recursion.
+func lockorderAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "the mutex-acquisition graph must stay acyclic: opposite-order lock pairs deadlock",
+	}
+	a.RunProgram = func(p *Pass) {
+		g := buildLockGraph(p.Prog)
+		reportLockCycles(p, g)
+	}
+	return a
+}
+
+// lockEdge is one ordered acquisition A→B with the source position
+// that witnesses it and a short explanation of how B is reached.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	how      string
+}
+
+// lockGraph maps each held lock to the locks acquired under it.
+type lockGraph struct {
+	edges map[string]map[string]*lockEdge
+}
+
+func (g *lockGraph) add(e *lockEdge) {
+	if e.from == e.to {
+		return // instance-blind self-edge; see analyzer doc
+	}
+	m, ok := g.edges[e.from]
+	if !ok {
+		m = make(map[string]*lockEdge)
+		g.edges[e.from] = m
+	}
+	if _, ok := m[e.to]; !ok {
+		m[e.to] = e // keep the first witness (deterministic walk order)
+	}
+}
+
+// buildLockGraph scans every function with the same source-order
+// held-lock approximation lockcheck uses (deferred unlocks are sticky,
+// explicit unlocks release) and records, for each statement executed
+// under a held lock, every direct or transitive acquisition it
+// performs.
+func buildLockGraph(prog *Program) *lockGraph {
+	g := &lockGraph{edges: make(map[string]map[string]*lockEdge)}
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				scanFuncLockOrder(prog, p, fn, fd.Body, g)
+			}
+		}
+	}
+	return g
+}
+
+// lockEvent is one ordered occurrence inside a function body.
+type lockEvent struct {
+	pos  token.Pos
+	kind string // "lock", "unlock", "deferUnlock", "call"
+	id   string // lock identity for lock events
+	site *CallSite
+}
+
+func scanFuncLockOrder(prog *Program, p *Pkg, fn *types.Func, body *ast.BlockStmt, g *lockGraph) {
+	info := p.Info
+	// Index this function's call sites by position for the event scan.
+	sitesAt := make(map[token.Pos][]*CallSite)
+	for _, e := range prog.Graph.ByCaller[fn] {
+		if e.Kind == EdgeDynamic {
+			continue // over-approximate dispatch would invent orderings
+		}
+		sitesAt[e.Pos] = append(sitesAt[e.Pos], e)
+	}
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fnObj, ok := info.Uses[n.Sel].(*types.Func); ok && isMutexMethod(fnObj) {
+				id := lockIdentity(p, n.X)
+				if id == "" {
+					return true
+				}
+				switch fnObj.Name() {
+				case "Lock", "RLock":
+					events = append(events, lockEvent{pos: n.Pos(), kind: "lock", id: id})
+				case "Unlock", "RUnlock":
+					events = append(events, lockEvent{pos: n.Pos(), kind: "unlock", id: id})
+				}
+				return true
+			}
+			if sites := sitesAt[n.Sel.Pos()]; sites != nil {
+				for _, e := range sites {
+					events = append(events, lockEvent{pos: n.Sel.Pos(), kind: "call", site: e})
+				}
+			}
+		case *ast.Ident:
+			if sites := sitesAt[n.Pos()]; sites != nil {
+				for _, e := range sites {
+					events = append(events, lockEvent{pos: n.Pos(), kind: "call", site: e})
+				}
+			}
+		case *ast.DeferStmt:
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok {
+				if fnObj, ok := info.Uses[sel.Sel].(*types.Func); ok && isMutexMethod(fnObj) {
+					if name := fnObj.Name(); name == "Unlock" || name == "RUnlock" {
+						if id := lockIdentity(p, sel.X); id != "" {
+							events = append(events, lockEvent{pos: n.Pos(), kind: "deferUnlock", id: id})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	type heldState struct{ sticky bool }
+	held := make(map[string]heldState)
+	heldOrder := []string{} // acquisition order, for deterministic edges
+	drop := func(id string) {
+		delete(held, id)
+		for i, h := range heldOrder {
+			if h == id {
+				heldOrder = append(heldOrder[:i], heldOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case "lock":
+			for _, h := range heldOrder {
+				g.add(&lockEdge{from: h, to: ev.id, pos: ev.pos,
+					how: fmt.Sprintf("%s locks %s while holding %s", funcDisplayName(fn), ev.id, h)})
+			}
+			if _, ok := held[ev.id]; !ok {
+				held[ev.id] = heldState{}
+				heldOrder = append(heldOrder, ev.id)
+			}
+		case "deferUnlock":
+			if _, ok := held[ev.id]; ok {
+				held[ev.id] = heldState{sticky: true}
+			}
+		case "unlock":
+			if st, ok := held[ev.id]; ok && !st.sticky {
+				drop(ev.id)
+			}
+		case "call":
+			if len(heldOrder) == 0 {
+				continue
+			}
+			acq := prog.Sums.acquiresOf(ev.site.Callee)
+			if len(acq) == 0 {
+				continue
+			}
+			ids := make([]string, 0, len(acq))
+			for id := range acq {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, h := range heldOrder {
+				for _, to := range ids {
+					g.add(&lockEdge{from: h, to: to, pos: ev.pos,
+						how: fmt.Sprintf("%s calls %s (which acquires %s) while holding %s",
+							funcDisplayName(fn), funcDisplayName(ev.site.Callee), to, h)})
+				}
+			}
+		}
+	}
+}
+
+// reportLockCycles finds strongly connected components of two or more
+// locks and reports each once, at its lexicographically first edge's
+// witness, spelling out the full cycle.
+func reportLockCycles(p *Pass, g *lockGraph) {
+	nodes := make([]string, 0, len(g.edges))
+	for n := range g.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	sccs := tarjanSCC(nodes, g)
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Collect the SCC's internal edges, sorted.
+		var edges []*lockEdge
+		for _, from := range scc {
+			var tos []string
+			for to := range g.edges[from] {
+				tos = append(tos, to)
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				if inSCC[to] {
+					edges = append(edges, g.edges[from][to])
+				}
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		var hows []string
+		for _, e := range edges {
+			hows = append(hows, fmt.Sprintf("%s → %s (%s at %s)", e.from, e.to, e.how, p.relPos(e.pos)))
+		}
+		p.Reportf(edges[0].pos, "lock-order cycle among {%s}: %s — opposite-order acquisition can deadlock",
+			strings.Join(scc, ", "), strings.Join(hows, "; "))
+	}
+}
+
+// relPos renders a position relative to the module root for stable
+// diagnostics.
+func (p *Pass) relPos(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", relToRoot(p.Prog.Root, position.Filename), position.Line)
+}
+
+// tarjanSCC computes strongly connected components, iteratively, over
+// the lock graph restricted to the given nodes (plus edge targets).
+func tarjanSCC(roots []string, g *lockGraph) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		succ []string
+		i    int
+	}
+	succsOf := func(n string) []string {
+		out := make([]string, 0, len(g.edges[n]))
+		for to := range g.edges[n] {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+	var visit func(string)
+	visit = func(root string) {
+		var frames []frame
+		push := func(n string) {
+			index[n] = next
+			low[n] = next
+			next++
+			stack = append(stack, n)
+			onStack[n] = true
+			frames = append(frames, frame{node: n, succ: succsOf(n)})
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					push(w)
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// Pop.
+			n := f.node
+			if low[n] == index[n] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[n] < low[parent.node] {
+					low[parent.node] = low[n]
+				}
+			}
+		}
+	}
+	for _, n := range roots {
+		if _, seen := index[n]; !seen {
+			visit(n)
+		}
+	}
+	return sccs
+}

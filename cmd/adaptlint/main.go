@@ -7,10 +7,11 @@ import (
 )
 
 // Exit codes: 0 clean, 1 findings, 2 operational failure (parse or
-// type-check error, bad root).
+// type-check error, bad root, bad flags).
 func main() {
 	root := flag.String("root", ".", "module root to analyze (directory containing go.mod)")
 	list := flag.Bool("list", false, "list the analyzers and the invariants they protect, then exit")
+	format := flag.String("format", "text", "output format: text, json, or github (Actions annotations)")
 	flag.Parse()
 
 	if *list {
@@ -25,8 +26,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adaptlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d.format())
+	if err := writeDiagnostics(os.Stdout, *format, diags); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptlint:", err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "adaptlint: %d finding(s)\n", len(diags))

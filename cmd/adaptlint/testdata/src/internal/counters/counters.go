@@ -1,0 +1,38 @@
+// Package counters is the atomiccheck fixture: a package-level var
+// and a struct field that sync/atomic touches in one place and plain
+// code touches in another.
+package counters
+
+import "sync/atomic"
+
+// hits is atomic everywhere except Snapshot.
+var hits int64
+
+// Gauge mixes an atomic field with a plain read.
+type Gauge struct {
+	val int64
+}
+
+// Bump is the atomic side — clean, and it marks both variables
+// atomic for the whole module.
+func Bump(g *Gauge) {
+	atomic.AddInt64(&hits, 1)
+	atomic.AddInt64(&g.val, 1)
+}
+
+// Snapshot reads both plainly — flagged twice: these reads race with
+// Bump.
+func Snapshot(g *Gauge) (int64, int64) {
+	return hits, g.val
+}
+
+// Peek reads atomically — clean.
+func Peek(g *Gauge) (int64, int64) {
+	return atomic.LoadInt64(&hits), atomic.LoadInt64(&g.val)
+}
+
+// Fresh constructs with a composite-literal key — allowed:
+// construction precedes sharing.
+func Fresh() *Gauge {
+	return &Gauge{val: 0}
+}

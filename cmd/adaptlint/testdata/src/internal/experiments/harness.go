@@ -1,0 +1,36 @@
+// Package experiments is the interprocedural determinism fixture: the
+// scoped harness never touches a nondeterminism source directly, but
+// reaches time.Sleep through the out-of-scope util helpers and
+// time.Now through interface dispatch — both flagged at the call site
+// with the witness chain.
+package experiments
+
+import (
+	"github.com/adaptsim/fixture/internal/graph"
+	"github.com/adaptsim/fixture/internal/util"
+)
+
+// RunCell retries with jitter — flagged: Jitter → backoff →
+// time.Sleep.
+func RunCell() {
+	util.Jitter()
+}
+
+// RunDrive calls through the Worker interface — flagged even though
+// it passes the clean implementation: dispatch is resolved
+// conservatively, and graph.Clocky's clock can stand behind the
+// interface.
+func RunDrive() int {
+	return graph.Drive(graph.A{})
+}
+
+// RunBlessed calls the suppressed sleeper — clean: a blessed source
+// does not taint its callers.
+func RunBlessed() {
+	util.BlessedDelay(0)
+}
+
+// RunPure calls the clean helper — clean.
+func RunPure() float64 {
+	return util.Pure(2)
+}

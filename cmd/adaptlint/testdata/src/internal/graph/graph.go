@@ -1,0 +1,40 @@
+// Package graph exercises the call-graph edge kinds the analysis core
+// must model: interface dispatch (conservative dynamic edges to every
+// module-local implementation), method values (ref edges), and the
+// taint that rides them.
+package graph
+
+import "time"
+
+// Worker is the dispatch interface.
+type Worker interface{ Work() int }
+
+// A is a clean implementation.
+type A struct{}
+
+// Work on A computes.
+func (A) Work() int { return 1 }
+
+// B is a clean pointer-receiver implementation.
+type B struct{}
+
+// Work on B computes.
+func (*B) Work() int { return 2 }
+
+// Clocky is the tainted implementation: its Work reads the wall
+// clock, so every interface call site that might dispatch to it is
+// conservatively tainted.
+type Clocky struct{}
+
+// Work on Clocky reads time.Now.
+func (Clocky) Work() int { return int(time.Now().Unix()) }
+
+// Drive calls through the interface: the graph records dynamic edges
+// to A.Work, B.Work, and Clocky.Work, and Clocky's clock taints Drive.
+func Drive(w Worker) int { return w.Work() }
+
+// Handoff returns a method value without calling it — a ref edge,
+// treated like a call by soundness-first analyses.
+func Handoff(a A) func() int {
+	return a.Work
+}

@@ -1,0 +1,32 @@
+// Package hadoopsim is the scheduler-policy fixture for the
+// determinism and floateq analyzers: ambient randomness and wall
+// clock reads in a seeded scheduler, and exact float comparison of
+// expected task times.
+package hadoopsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// PickBackup uses the process-global generator and the wall clock to
+// choose a backup host — both flagged: the same seed must replay the
+// same schedule.
+func PickBackup(n int) int {
+	idx := rand.Intn(n)
+	_ = time.Now()
+	return idx
+}
+
+// SameExpectedTime compares two E[T] estimates exactly — flagged:
+// the estimates come from a chain of float arithmetic and need a
+// tolerance.
+func SameExpectedTime(a, b float64) bool {
+	return a == b
+}
+
+// HorizonUnset uses the exact-zero sentinel — clean: zero is exactly
+// representable and marks "parameter unset".
+func HorizonUnset(h float64) bool {
+	return h == 0
+}

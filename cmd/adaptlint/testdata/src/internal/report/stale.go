@@ -1,0 +1,14 @@
+// stale.go carries a directive that no longer suppresses anything —
+// the unusedignore ratchet must flag it.
+package report
+
+// Total sums a slice; the map loop the directive once suppressed was
+// rewritten long ago, but the directive stayed behind.
+func Total(xs []float64) float64 {
+	total := 0.0
+	//lint:ignore mapiter the map loop this once suppressed was rewritten to a slice
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -14,10 +14,10 @@ func Tick() float64 {
 }
 
 // LogStamp is allowed: the wall clock only decorates a log line.
-func LogStamp() time.Duration {
+func LogStamp() int64 {
 	//lint:ignore determinism wall-clock used only to decorate demo output
 	start := time.Now()
-	return time.Since(start)
+	return start.UnixNano()
 }
 
 // Clean consumes no ambient randomness at all.

@@ -1,0 +1,55 @@
+// ctx.go is the ctxcheck fixture: fresh Background/TODO contexts
+// below the CLI layer, a dropped ctx parameter, and the two allowed
+// idioms (compat shim, WithCancel lifecycle root).
+package svc
+
+import (
+	"context"
+	"time"
+)
+
+// Fetch mints a fresh Background for an RPC — flagged (two
+// statements, so not a compat shim).
+func Fetch() error {
+	ctx := context.Background()
+	return FetchContext(ctx)
+}
+
+// FetchContext threads the context — clean.
+func FetchContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Drop has a perfectly good ctx in scope and still mints TODO —
+// flagged with the dropped-parameter message.
+func Drop(ctx context.Context) error {
+	return FetchContext(context.TODO())
+}
+
+// Read is the sanctioned compat shim: one statement delegating to the
+// Context-suffixed sibling — clean.
+func Read() error { return ReadContext(context.Background()) }
+
+// ReadContext threads the context — clean.
+func ReadContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Serve owns its lifecycle: WithCancel(Background()) is the allowed
+// root idiom, the cancel func being the component's stop handle.
+func Serve() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = ctx
+	return cancel
+}
+
+// Scan bounds work with WithTimeout(Background()) — flagged: a
+// timeout without the caller's cancellation still outlives a
+// shutdown.
+func Scan() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return FetchContext(ctx)
+}

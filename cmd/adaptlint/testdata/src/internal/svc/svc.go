@@ -1,0 +1,28 @@
+// Package svc is the errtaxonomy fixture for the service layer: the
+// wire contract extends the taxonomy across RPC, so unclassifiable
+// errors are flagged here exactly as in internal/dfs.
+package svc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConnClosed is a package-level sentinel — the taxonomy itself,
+// exempt from the rule.
+var ErrConnClosed = errors.New("svc: connection closed")
+
+// Opaque builds an error that wraps nothing — flagged.
+func Opaque(method string) error {
+	return fmt.Errorf("svc: call %s failed", method)
+}
+
+// Local mints a function-local error — flagged.
+func Local() error {
+	return errors.New("svc: transient hiccup")
+}
+
+// Wrapped chains the sentinel with %w — clean.
+func Wrapped(method string) error {
+	return fmt.Errorf("svc: call %s: %w", method, ErrConnClosed)
+}

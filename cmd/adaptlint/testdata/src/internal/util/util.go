@@ -1,0 +1,24 @@
+// Package util is the out-of-scope helper layer for the
+// interprocedural determinism fixture: nothing here is flagged
+// directly (util is not a seeded scope), but the taint that starts at
+// time.Sleep in backoff must flow through Jitter into every scoped
+// caller.
+package util
+
+import "time"
+
+// Jitter pauses a little before a retry: tainted via backoff.
+func Jitter() { backoff(10 * time.Millisecond) }
+
+func backoff(d time.Duration) { time.Sleep(d) }
+
+// BlessedDelay also sleeps, but the source carries a directive: a
+// suppressed source must not taint callers.
+func BlessedDelay(d time.Duration) {
+	//lint:ignore determinism fixture: a sanctioned sleep must not taint scoped callers
+	time.Sleep(d)
+}
+
+// Pure touches no ambient state: calling it from a seeded scope is
+// fine.
+func Pure(x float64) float64 { return x * x }

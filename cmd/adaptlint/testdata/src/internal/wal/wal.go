@@ -1,0 +1,61 @@
+// Package wal is the closecheck fixture: Close errors silently
+// dropped (bare call, defer, goroutine), plus the approved idioms —
+// checked, explicitly discarded, suppressed, and a Close that
+// returns nothing.
+package wal
+
+// Log is a durable file whose Close flushes; its error matters.
+type Log struct{ dirty bool }
+
+// Close flushes and reports failure.
+func (l *Log) Close() error {
+	l.dirty = false
+	return nil
+}
+
+// Conn is teardown-only; its Close returns nothing.
+type Conn struct{ open bool }
+
+// Close tears the connection down.
+func (c *Conn) Close() { c.open = false }
+
+// DropBare drops the Close error in a bare statement — flagged.
+func DropBare(l *Log) {
+	l.Close()
+}
+
+// DropDefer drops the Close error via defer — flagged.
+func DropDefer(l *Log) {
+	defer l.Close()
+	l.dirty = true
+}
+
+// DropGo drops the Close error in a goroutine — flagged.
+func DropGo(l *Log) {
+	go l.Close()
+}
+
+// Checked handles the error — clean.
+func Checked(l *Log) error {
+	if err := l.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Discarded documents the drop with a blank assignment — clean.
+func Discarded(l *Log) {
+	_ = l.Close()
+}
+
+// Suppressed carries an ignore directive — clean.
+func Suppressed(l *Log) {
+	//lint:ignore closecheck best-effort teardown after failure
+	l.Close()
+}
+
+// NoError closes a type whose Close returns nothing — clean.
+func NoError(c *Conn) {
+	c.Close()
+	defer c.Close()
+}

@@ -93,6 +93,7 @@ func (f *OpFaults) FailOp(node cluster.NodeID, op dfs.Op, block dfs.BlockID) err
 			if d > f.MaxSleep {
 				d = f.MaxSleep
 			}
+			//lint:ignore determinism latency injection IS the feature: the stall length is seed-derived and capped by MaxSleep
 			time.Sleep(d)
 		}
 	}

@@ -771,15 +771,21 @@ func (nn *NameNode) ReadFileContext(ctx context.Context, name string) ([]byte, e
 // redistribute or repair mid-flight. The first violation is returned
 // as a descriptive error; nil means consistent.
 func (nn *NameNode) CheckConsistency() error {
+	return nn.CheckConsistencyContext(context.Background())
+}
+
+// CheckConsistencyContext is CheckConsistency bounded by ctx: the
+// per-replica fetches stop at the first cancellation.
+func (nn *NameNode) CheckConsistencyContext(ctx context.Context) error {
 	for _, name := range nn.List() {
-		if err := nn.checkFile(name); err != nil {
+		if err := nn.checkFile(ctx, name); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (nn *NameNode) checkFile(name string) error {
+func (nn *NameNode) checkFile(ctx context.Context, name string) error {
 	unlock := nn.lockFile(name)
 	defer unlock()
 	fm, err := nn.Stat(name)
@@ -802,7 +808,7 @@ func (nn *NameNode) checkFile(name string) error {
 				return fmt.Errorf("%w: %q block %d: duplicate holder %d", ErrInconsistent, name, bm.Index, r)
 			}
 			seen[r] = true
-			data, ok := nn.stores[r].StoredData(context.Background(), bm.ID)
+			data, ok := nn.stores[r].StoredData(ctx, bm.ID)
 			if !ok {
 				return fmt.Errorf("%w: %q block %d: holder %d lost block %d", ErrInconsistent, name, bm.Index, r, bm.ID)
 			}

@@ -72,10 +72,9 @@ func (p RetryPolicy) wait(ctx context.Context, retry int) error {
 		p.Sleep(d)
 		return ctx.Err()
 	}
-	if ctx.Done() == nil {
-		time.Sleep(d)
-		return nil
-	}
+	// A context with no deadline has a nil Done channel, which blocks
+	// forever in select, so the timer path preserves the historical
+	// count-based semantics exactly while staying cancellable.
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

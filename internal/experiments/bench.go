@@ -65,6 +65,7 @@ func (c BenchConfig) withDefaults() BenchConfig {
 		c.Series = []Series{{StrategyRandom, 1}, {StrategyAdapt, 1}}
 	}
 	if c.Now == nil {
+		//lint:ignore determinism the bench harness measures wall-clock throughput by design; tests inject a virtual Now
 		c.Now = time.Now
 	}
 	return c
@@ -174,8 +175,10 @@ func BenchSim(cfg BenchConfig) (*BenchReport, error) {
 		labels[i] = s.Label()
 	}
 	report := &BenchReport{
-		Schema:     BenchSchema,
-		NumCPU:     runtime.NumCPU(),
+		Schema: BenchSchema,
+		//lint:ignore determinism the report records the host environment honestly; throughput numbers are env-dependent by nature
+		NumCPU: runtime.NumCPU(),
+		//lint:ignore determinism same: GOMAXPROCS is reported metadata, not a simulation input
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Config: BenchReportConfig{
 			Hosts:        cfg.Hosts,

@@ -15,6 +15,7 @@ import (
 // below 1 mean "use GOMAXPROCS".
 func Resolve(workers int) int {
 	if workers < 1 {
+		//lint:ignore determinism worker count affects parallelism only; result invariance across counts is proven by the par tests
 		return runtime.GOMAXPROCS(0)
 	}
 	return workers

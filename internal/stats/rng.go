@@ -9,6 +9,7 @@
 package stats
 
 import (
+	//lint:ignore determinism this is the sanctioned wrapper: RNG's seeded PCG is the one place math/rand/v2 may enter the seeded scopes
 	"math/rand/v2"
 	"sync/atomic"
 )

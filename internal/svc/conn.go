@@ -150,9 +150,10 @@ func (c *Conn) Call(ctx context.Context, method string, params, result any) erro
 	c.mu.Unlock()
 
 	req := request{
-		ID:         id,
-		From:       c.local,
-		Method:     method,
+		ID:     id,
+		From:   c.local,
+		Method: method,
+		//lint:ignore determinism encoding the ctx deadline as a wire budget needs the wall clock; simulations drive the transport with deadline-free contexts
 		DeadlineMS: deadlineBudget(ctx, time.Now()),
 		Params:     raw,
 	}

@@ -222,6 +222,14 @@ func (d *DataNodeServer) FlushHeartbeat(ctx context.Context) error {
 func (d *DataNodeServer) StartHeartbeats(interval time.Duration, accrueWallUptime bool) {
 	d.loopStop = make(chan struct{})
 	d.loopDone = make(chan struct{})
+	loopCtx, loopCancel := context.WithCancel(context.Background())
+	go func() {
+		// Stop closes loopStop; cancelling the loop context unblocks a
+		// beat that is mid-flight against an unresponsive NameNode, so
+		// Stop never waits out the per-beat timeout.
+		<-d.loopStop
+		loopCancel()
+	}()
 	go func() {
 		defer close(d.loopDone)
 		t := time.NewTicker(interval)
@@ -236,7 +244,7 @@ func (d *DataNodeServer) StartHeartbeats(interval time.Duration, accrueWallUptim
 					_ = d.ObserveUptime(now.Sub(last).Seconds())
 					last = now
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				ctx, cancel := context.WithTimeout(loopCtx, interval)
 				_ = d.FlushHeartbeat(ctx) // transient loss is the design point: totals carry over
 				cancel()
 			}

@@ -106,6 +106,13 @@ type NameNodeServer struct {
 	stopOnce   sync.Once
 	loops      sync.WaitGroup // detector + repair goroutines
 	repairKick chan struct{}  // coalesced "scan now" signal
+
+	// lifeCtx is the server's lifecycle context: it parents every
+	// background operation (repair scans, maintenance RPCs) and is
+	// cancelled by stopLoops, so Shutdown/Crash interrupts in-flight
+	// work instead of waiting out its timeouts.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 }
 
 // NameNodeConfig tunes the service's client engine and its
@@ -165,6 +172,7 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 		stopCh:     make(chan struct{}),
 		repairKick: make(chan struct{}, 1),
 	}
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	if cfg.WALDir != "" {
 		j, files, err := openJournal(cfg.WALDir)
 		if err != nil {
@@ -200,7 +208,10 @@ func (s *NameNodeServer) Engine() *dfs.NameNode { return s.nn }
 // stopLoops halts the failure-detector and auto-repair goroutines
 // (idempotent) and waits for them to exit.
 func (s *NameNodeServer) stopLoops() {
-	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		s.lifeCancel()
+	})
 	s.loops.Wait()
 }
 
@@ -360,7 +371,7 @@ func (s *NameNodeServer) dispatch(ctx context.Context, from, method string, para
 	case "nn.consistency":
 		s.availMu.RLock()
 		defer s.availMu.RUnlock()
-		if err := s.nn.CheckConsistency(); err != nil {
+		if err := s.nn.CheckConsistencyContext(ctx); err != nil {
 			return nil, err
 		}
 		return struct{}{}, nil

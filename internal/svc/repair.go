@@ -91,7 +91,9 @@ func (s *NameNodeServer) kickRepair() {
 func (s *NameNodeServer) RepairScan(cfg RepairConfig) int {
 	cfg.defaults()
 	s.nn.Resilience().RepairScans.Add(1)
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.ScanTimeout)
+	// Parented on the lifecycle context so Shutdown/Crash cancels an
+	// in-flight scan instead of letting it run out its timeout.
+	ctx, cancel := context.WithTimeout(s.lifeCtx, cfg.ScanTimeout)
 	defer cancel()
 	sem := make(chan struct{}, cfg.Concurrency)
 	var wg sync.WaitGroup

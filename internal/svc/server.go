@@ -25,6 +25,13 @@ type Server struct {
 
 	ln net.Listener
 
+	// baseCtx parents every handler invocation; baseCancel fires on
+	// Crash (immediately) and Shutdown (after the drain window), so a
+	// handler stuck in a downstream call observes the server dying
+	// instead of holding the connection forever.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu       sync.Mutex
 	conns    map[net.Conn]bool
 	down     bool
@@ -34,12 +41,14 @@ type Server struct {
 // NewServer creates a server for the named endpoint. faults may be
 // nil.
 func NewServer(name string, faults TransportFaults, handler Handler) *Server {
-	return &Server{
+	s := &Server{
 		name:    name,
 		faults:  faults,
 		handler: handler,
 		conns:   make(map[net.Conn]bool),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
@@ -123,7 +132,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Unlock()
 		go func(req request) {
 			defer s.inflight.Done()
-			ctx := context.Background()
+			ctx := s.baseCtx
 			if req.DeadlineMS > 0 {
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
@@ -159,6 +168,7 @@ func (s *Server) reply(nc net.Conn, wmu *sync.Mutex, id uint64, result any, err 
 // connection drop immediately and in-flight handlers lose their reply
 // path — the transport shape of SIGKILL, for crash-recovery tests.
 func (s *Server) Crash() {
+	s.baseCancel() // in-flight handlers die with the process image
 	s.mu.Lock()
 	s.down = true
 	ln := s.ln
@@ -197,6 +207,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = fmt.Errorf("svc: shutdown of %s: %w", s.name, ctx.Err())
 	}
+	// Drain window over: cancel whatever is still running.
+	s.baseCancel()
 
 	s.mu.Lock()
 	for nc := range s.conns {
