@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-github lint-json build test test-short race race-all race-engine race-svc race-wal race-sched sched-verify svc-smoke crash-smoke soak bench bench-smoke
+.PHONY: ci vet lint lint-github lint-json build test test-short race race-all race-engine race-svc race-wal race-sched race-wire sched-verify svc-smoke crash-smoke soak bench bench-smoke fuzz-smoke bench-svc-smoke
 
-# Full CI gate: static checks, build, and the race-enabled test suite
-# (includes the churn-soak test).
-ci: vet lint build race-all
+# Full CI gate: static checks, build, the race-enabled test suite
+# (includes the churn-soak test), and the wire-protocol gates.
+ci: vet lint build race-all fuzz-smoke bench-svc-smoke
 
 vet:
 	$(GO) vet ./...
@@ -71,6 +71,32 @@ race-wal:
 race-sched:
 	$(GO) test -race -run 'Speculat|Predictive|Redundant|Sibling|DynRF|DynamicRF|Scheduling' \
 		./internal/hadoopsim/ ./internal/dfs/ ./internal/experiments/
+
+# Focused race gate for the v2 wire protocol: frame codec, protocol
+# equivalence (binary == JSON), the replication pipeline, and the
+# chaos soak (3-deep chains under partitions + crashes, zero acked
+# writes lost, no orphans), all under the race detector.
+race-wire:
+	$(GO) test -race -run 'Frame2|Wire|OpenWrite|OpenRead|ReadHdr|Ack|V2|DataPath|Equivalence|Pipeline|Scrub|StreamGet|BenchSvc' \
+		./internal/svc/
+
+# Coverage-guided fuzz smoke for the v2 frame codec: the decoder fuzz
+# target (arbitrary bytes must never crash, leak pooled buffers, or
+# yield an invalid frame) and the chunk-reassembly round-trip target,
+# each for 15s on top of the committed seed corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 15s ./internal/svc/
+	$(GO) test -run '^$$' -fuzz FuzzChunkReassembly -fuzztime 15s ./internal/svc/
+
+# Tiny end-to-end run of the wire benchmark: JSON vs binary data path
+# on a loopback cluster must produce a BENCH_svc.json that -svc-verify
+# accepts (parses, schema-stable, every cell verified, binary content
+# fingerprints identical to JSON).
+bench-svc-smoke:
+	$(GO) run ./cmd/adapt-bench -exp svc \
+		-svc-sizes 4096,65536 -svc-conc 1,2 -svc-ops 4 \
+		-svc-out /tmp/BENCH_svc_smoke.json
+	$(GO) run ./cmd/adapt-bench -svc-verify /tmp/BENCH_svc_smoke.json
 
 # Determinism gate for the headline scheduling experiment: the full
 # policy x replication x Table-2 grid must fingerprint identically at

@@ -20,9 +20,17 @@
 //	adapt-bench -exp bench                           # paper-shaped sweep -> BENCH_sim.json
 //	adapt-bench -exp bench -bench-hosts 64,128 -bench-workers 1,2
 //	adapt-bench -bench-verify BENCH_sim.json         # parse + schema check
+//
+// The wire benchmark compares the JSON and binary block data paths on
+// a loopback cluster:
+//
+//	adapt-bench -exp svc                             # full sweep -> BENCH_svc.json
+//	adapt-bench -exp svc -svc-sizes 65536 -svc-conc 1 -svc-ops 4
+//	adapt-bench -svc-verify BENCH_svc.json           # parse + schema + honesty check
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +39,7 @@ import (
 	"strings"
 
 	adapt "github.com/adaptsim/adapt"
+	"github.com/adaptsim/adapt/internal/svc"
 )
 
 func main() {
@@ -57,6 +66,12 @@ type options struct {
 	benchOut     string
 	benchVerify  string
 
+	svcSizes  string
+	svcConc   string
+	svcOps    int
+	svcOut    string
+	svcVerify string
+
 	speculation string
 	redundancy  int
 	dynamicRF   string
@@ -80,6 +95,11 @@ func run(args []string) error {
 	fs.IntVar(&opt.benchTrials, "bench-trials", 0, "bench mode: trials per cell (default 1)")
 	fs.StringVar(&opt.benchOut, "bench-out", "BENCH_sim.json", "bench mode: report output path (empty = stdout table only)")
 	fs.StringVar(&opt.benchVerify, "bench-verify", "", "verify an existing bench report (parse + schema check) and exit")
+	fs.StringVar(&opt.svcSizes, "svc-sizes", "", "svc mode: comma-separated block sizes in bytes (default 65536,1048576,8388608)")
+	fs.StringVar(&opt.svcConc, "svc-conc", "", "svc mode: comma-separated client concurrencies (default 1,4)")
+	fs.IntVar(&opt.svcOps, "svc-ops", 0, "svc mode: blocks moved per measurement cell (default 8)")
+	fs.StringVar(&opt.svcOut, "svc-out", "BENCH_svc.json", "svc mode: report output path (empty = stdout table only)")
+	fs.StringVar(&opt.svcVerify, "svc-verify", "", "verify an existing wire bench report (parse + schema + honesty check) and exit")
 	fs.StringVar(&opt.speculation, "speculation", "", "sched mode: restrict to one policy (reactive | predictive | redundant; empty = all)")
 	fs.IntVar(&opt.redundancy, "redundancy", 0, "sched mode: attempts per task for the redundant policy (0 = default 2)")
 	fs.StringVar(&opt.dynamicRF, "dynamic-rf", "both", "sched mode: replication arms to run (both | on | off)")
@@ -90,6 +110,9 @@ func run(args []string) error {
 
 	if opt.benchVerify != "" {
 		return verifyBench(opt.benchVerify)
+	}
+	if opt.svcVerify != "" {
+		return verifyBenchSvc(opt.svcVerify)
 	}
 
 	ids := []string{opt.exp}
@@ -104,6 +127,12 @@ func run(args []string) error {
 		if strings.ToLower(id) == "bench" {
 			if err := runBench(opt); err != nil {
 				return fmt.Errorf("bench: %w", err)
+			}
+			continue
+		}
+		if strings.ToLower(id) == "svc" {
+			if err := runBenchSvc(opt); err != nil {
+				return fmt.Errorf("svc: %w", err)
 			}
 			continue
 		}
@@ -191,6 +220,77 @@ func runBench(opt options) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d runs)\n", opt.benchOut, len(report.Runs))
+	return nil
+}
+
+// parseInt64s parses a comma-separated list of int64s.
+func parseInt64s(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runBenchSvc executes the wire benchmark (JSON vs binary block data
+// path on a loopback cluster) and writes BENCH_svc.json.
+func runBenchSvc(opt options) error {
+	sizes, err := parseInt64s(opt.svcSizes)
+	if err != nil {
+		return err
+	}
+	conc, err := parseInts(opt.svcConc)
+	if err != nil {
+		return err
+	}
+	report, err := svc.BenchSvc(context.Background(), svc.BenchSvcConfig{
+		BlockSizes:  sizes,
+		Concurrency: conc,
+		Ops:         opt.svcOps,
+		Seed:        opt.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(svc.BenchSvcText(report))
+	if opt.svcOut == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(opt.svcOut, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d runs)\n", opt.svcOut, len(report.Runs))
+	return nil
+}
+
+// verifyBenchSvc parses an existing wire bench report and runs its
+// honesty checks — the bench-svc-smoke CI gate.
+func verifyBenchSvc(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var report svc.BenchSvcReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := report.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: ok (%d runs, schema %s)\n", path, len(report.Runs), report.Schema)
 	return nil
 }
 

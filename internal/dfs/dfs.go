@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -256,6 +257,20 @@ func (d *DataNode) Has(id BlockID) bool {
 	defer d.mu.RUnlock()
 	_, ok := d.blocks[id]
 	return ok
+}
+
+// StoredBlocks returns the ids of every block the node stores, in
+// ascending order (regardless of up state — the bits are on disk).
+// The orphan scrubber diffs this inventory against live metadata.
+func (d *DataNode) StoredBlocks() []BlockID {
+	d.mu.RLock()
+	ids := make([]BlockID, 0, len(d.blocks))
+	for id := range d.blocks {
+		ids = append(ids, id)
+	}
+	d.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // BlockCount returns how many replicas the node stores.
@@ -526,11 +541,26 @@ func copyFileMeta(fm *FileMeta) *FileMeta {
 // create, after bounded backoff-retry; replicas written for earlier
 // blocks are then cleaned up so nothing leaks.
 func (nn *NameNode) createFile(ctx context.Context, name string, data []byte, blockSize int64, replication int, pol placement.Policy, g *stats.RNG, retry RetryPolicy, report *WriteReport) (*FileMeta, error) {
+	return nn.createFileStream(ctx, name, bytes.NewReader(data), int64(len(data)), blockSize, replication, pol, g, retry, report)
+}
+
+// createFileStream is createFile reading the content from r — the
+// streaming write path: each block's bytes are read, placed, and
+// written before the next block's are touched, so memory stays at one
+// block regardless of file size. size must be the exact byte count r
+// will deliver; a short or failing read unwinds like any block write
+// failure. The placement draws are identical to the buffered path
+// (same placer construction, same RNG usage), so streaming vs buffered
+// writes of the same bytes under the same seed place identically.
+func (nn *NameNode) createFileStream(ctx context.Context, name string, r io.Reader, size int64, blockSize int64, replication int, pol placement.Policy, g *stats.RNG, retry RetryPolicy, report *WriteReport) (*FileMeta, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadBlockSize, blockSize)
 	}
 	if replication < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadReplication, replication)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("%w: negative size %d", ErrBadBlockSize, size)
 	}
 	nn.mu.Lock()
 	if _, ok := nn.files[name]; ok {
@@ -539,7 +569,7 @@ func (nn *NameNode) createFile(ctx context.Context, name string, data []byte, bl
 	}
 	nn.mu.Unlock()
 
-	nBlocks := int((int64(len(data)) + blockSize - 1) / blockSize)
+	nBlocks := int((size + blockSize - 1) / blockSize)
 	if nBlocks == 0 {
 		nBlocks = 1 // empty files still get one (empty) block
 	}
@@ -553,7 +583,7 @@ func (nn *NameNode) createFile(ctx context.Context, name string, data []byte, bl
 	}
 	fm := &FileMeta{
 		Name:        name,
-		Size:        int64(len(data)),
+		Size:        size,
 		BlockSize:   blockSize,
 		Replication: replication,
 		Blocks:      make([]BlockMeta, 0, nBlocks),
@@ -567,15 +597,23 @@ func (nn *NameNode) createFile(ctx context.Context, name string, data []byte, bl
 			}
 		}
 	}
+	// One block buffer for the whole file: every consumer of chunk
+	// (local puts, JSON marshalling, pipeline streaming) copies before
+	// returning, so the next block may safely reuse it.
+	buf := make([]byte, blockSize)
 	for i := 0; i < nBlocks; i++ {
 		lo := int64(i) * blockSize
 		hi := lo + blockSize
-		if hi > int64(len(data)) {
-			hi = int64(len(data))
+		if hi > size {
+			hi = size
 		}
 		var chunk []byte
 		if lo < hi {
-			chunk = data[lo:hi]
+			chunk = buf[:hi-lo]
+			if _, err := io.ReadFull(r, chunk); err != nil {
+				cleanup()
+				return nil, fmt.Errorf("dfs: create %q block %d: source ended early: %w", name, i, err)
+			}
 		}
 		holders, err := placer.PlaceBlock()
 		if err != nil {
@@ -652,6 +690,22 @@ func (nn *NameNode) writeBlockReplicas(ctx context.Context, id BlockID, chunk []
 				nn.counters.WriteFailovers.Add(1)
 				if report != nil {
 					report.Failovers++
+				}
+			}
+		}
+		// Pipeline fast path: when the first placed holder can stream a
+		// replication chain, one connection covers every placed holder.
+		// Only acked nodes count as tried — a severed chain fails every
+		// deeper hop collaterally, and those nodes deserve the direct
+		// attempt the loop below gives them, so a mid-chain partition
+		// degrades the write no further than fan-out would.
+		if len(want) > 0 {
+			if pp, ok := nn.stores[want[0]].(PipelinePutter); ok {
+				if res, active := pp.PutChain(ctx, id, chunk, want[1:]); active {
+					for _, h := range res.Acked {
+						tried[h] = true
+					}
+					placed = append(placed, res.Acked...)
 				}
 			}
 		}

@@ -42,6 +42,34 @@ type BlockStore interface {
 	StoredData(ctx context.Context, id BlockID) ([]byte, bool)
 }
 
+// PipelineResult reports the per-node outcome of one pipeline write:
+// Acked lists the chain nodes that committed the replica, in chain
+// order; Failed maps each node that did not to its error, per the
+// BlockStore contract (unreachable wraps ErrNodeDown), so the engine
+// classifies pipeline failures exactly like fan-out failures.
+type PipelineResult struct {
+	Acked  []cluster.NodeID
+	Failed map[cluster.NodeID]error
+}
+
+// PipelinePutter is an optional BlockStore capability: a store that
+// can stream one block onward through a replication chain — HDFS-style
+// client → DN1 → DN2 → DN3 pipelining — implements it. PutChain
+// stores the block on this node and on rest (in order). ok reports
+// whether the capability is active; false means the caller must fall
+// back to per-store fan-out Puts (the result is then meaningless).
+type PipelinePutter interface {
+	PutChain(ctx context.Context, id BlockID, data []byte, rest []cluster.NodeID) (PipelineResult, bool)
+}
+
+// BlockLister is an optional BlockStore capability: the stored-block
+// inventory, for diffing against metadata when scrubbing orphans. ok
+// is false when the inventory is unavailable (node unreachable) — the
+// scrubber must then skip the node rather than assume it is empty.
+type BlockLister interface {
+	StoredBlocks(ctx context.Context) ([]BlockID, bool)
+}
+
 // localStore adapts the in-process *DataNode to BlockStore. The
 // context is honored only between operations (in-memory calls are
 // instantaneous); remote stores honor it as an RPC deadline.
@@ -78,6 +106,13 @@ func (s localStore) StoredData(ctx context.Context, id BlockID) ([]byte, bool) {
 		return nil, false
 	}
 	return s.dn.StoredData(id)
+}
+
+func (s localStore) StoredBlocks(ctx context.Context) ([]BlockID, bool) {
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	return s.dn.StoredBlocks(), true
 }
 
 // Local exposes the wrapped DataNode; NameNode.DataNode uses it to

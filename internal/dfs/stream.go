@@ -1,0 +1,130 @@
+package dfs
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// Streaming shell surface: block-at-a-time writes from an io.Reader
+// and reads into an io.Writer, so file size no longer bounds client
+// memory. Placement is identical to the buffered CopyFromLocal path —
+// same placer construction, same RNG draws — so a streamed and a
+// buffered write of the same bytes under the same seed land on the
+// same holders.
+
+// CopyFromLocalStream streams size bytes from r into a new file.
+// useAdapt selects the availability-aware distributor. size must be
+// exact: a source that ends early fails the create and unwinds every
+// replica already written.
+func (c *Client) CopyFromLocalStream(name string, r io.Reader, size int64, useAdapt bool) (*FileMeta, WriteReport, error) {
+	return c.CopyFromLocalStreamContext(context.Background(), name, r, size, useAdapt)
+}
+
+// CopyFromLocalStreamContext is CopyFromLocalStream bounded by ctx.
+func (c *Client) CopyFromLocalStreamContext(ctx context.Context, name string, r io.Reader, size int64, useAdapt bool) (*FileMeta, WriteReport, error) {
+	var report WriteReport
+	pol, err := c.policy(useAdapt)
+	if err != nil {
+		return nil, report, err
+	}
+	fm, err := c.nn.createFileStream(ctx, name, r, size, c.BlockSize, c.Replication, pol, c.g.Split(), c.Retry, &report)
+	return fm, report, err
+}
+
+// ReadFileTo streams a file's bytes to w block-at-a-time, with the
+// same per-block replica failover and transient retry as ReadFile.
+// It returns the bytes written; on error the prefix already written
+// to w stays written (callers needing all-or-nothing buffer via
+// ReadFile).
+func (c *Client) ReadFileTo(name string, w io.Writer) (int64, error) {
+	return c.ReadFileToContext(context.Background(), name, w)
+}
+
+// ReadFileToContext is ReadFileTo bounded by ctx.
+func (c *Client) ReadFileToContext(ctx context.Context, name string, w io.Writer) (int64, error) {
+	fm, err := c.nn.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	var written int64
+	for _, bm := range fm.Blocks {
+		data, err := c.ReadBlockContext(ctx, bm)
+		if err != nil {
+			return written, fmt.Errorf("dfs: read %q to stream: %w", name, err)
+		}
+		n, err := w.Write(data)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("dfs: read %q to stream: %w", name, err)
+		}
+	}
+	return written, nil
+}
+
+// ScrubOrphans deletes stored replicas that no file references —
+// residue of torn pipeline writes whose cleanup could not reach a
+// partitioned holder. Only stores exposing a BlockLister inventory
+// are scrubbed; unreachable nodes are skipped, never assumed empty.
+//
+// Run it quiescent: a create already in flight when the scan starts
+// holds replicas whose metadata is not yet published, and the scrubber
+// would mistake them for orphans. Blocks minted after the scan starts
+// are exempt (the block-id high-water mark), so creates that begin
+// during the scrub are safe; ones that began before it are not.
+// Returns how many replicas were removed.
+func (nn *NameNode) ScrubOrphans(ctx context.Context) (int, error) {
+	nn.mu.Lock()
+	highWater := nn.nextBlock
+	live := make(map[BlockID]bool)
+	for _, fm := range nn.files {
+		for _, bm := range fm.Blocks {
+			live[bm.ID] = true
+		}
+	}
+	nn.mu.Unlock()
+
+	removed := 0
+	for _, s := range nn.stores {
+		bl, ok := s.(BlockLister)
+		if !ok {
+			continue
+		}
+		ids, ok := bl.StoredBlocks(ctx)
+		if !ok {
+			continue
+		}
+		for _, id := range ids {
+			if live[id] || id >= highWater {
+				continue
+			}
+			// Re-check against current metadata right before deleting:
+			// a concurrent redistribute may have published this block
+			// onto this holder after the snapshot above.
+			nn.mu.Lock()
+			stillOrphan := true
+			for _, fm := range nn.files {
+				for _, bm := range fm.Blocks {
+					if bm.ID == id {
+						stillOrphan = false
+						break
+					}
+				}
+				if !stillOrphan {
+					break
+				}
+			}
+			nn.mu.Unlock()
+			if !stillOrphan {
+				continue
+			}
+			if err := s.Delete(ctx, id); err == nil {
+				removed++
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

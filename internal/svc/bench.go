@@ -1,0 +1,434 @@
+package svc
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// The wire benchmark harness: the same block workload driven over the
+// legacy JSON data path and the v2 binary pipeline, against a real
+// loopback cluster, measuring put/get throughput and tail latency
+// across block sizes and client concurrency. The report marshals to
+// the schema-stable BENCH_svc.json committed alongside BENCH_sim.json.
+//
+// Content equivalence is part of the measurement: every cell
+// fingerprints the bytes it moved, and Validate requires the binary
+// runs to fingerprint identically to their JSON counterparts — a
+// benchmark that got faster by corrupting data fails its own report.
+
+// BenchSvcSchema identifies the BENCH_svc.json layout. Bump only on
+// incompatible changes; trajectory tooling keys on it.
+const BenchSvcSchema = "adapt-bench-svc/v1"
+
+// Benchmark protocols and operations, as recorded in runs.
+const (
+	benchOpPut = "put"
+	benchOpGet = "get"
+)
+
+// BenchSvcConfig parameterizes the harness. Zero fields take defaults.
+type BenchSvcConfig struct {
+	// BlockSizes to sweep (default 64 KiB, 1 MiB, 8 MiB).
+	BlockSizes []int64
+	// Concurrency is the client worker counts to sweep (default 1, 4).
+	Concurrency []int
+	// Ops is the number of blocks moved per measurement cell
+	// (default 8).
+	Ops int
+	// Nodes in the loopback cluster (default 4).
+	Nodes int
+	// Replication per block (default 3 — every put crosses a
+	// three-deep pipeline on the binary path).
+	Replication int
+	// Seed drives placement and payload generation (default 1).
+	Seed uint64
+	// Now supplies wall-clock readings; defaults to time.Now. Tests
+	// inject a fake clock to keep assertions deterministic.
+	Now func() time.Time
+}
+
+func (c BenchSvcConfig) withDefaults() BenchSvcConfig {
+	if len(c.BlockSizes) == 0 {
+		c.BlockSizes = []int64{64 << 10, 1 << 20, 8 << 20}
+	}
+	if len(c.Concurrency) == 0 {
+		c.Concurrency = []int{1, 4}
+	}
+	if c.Ops == 0 {
+		c.Ops = 8
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		//lint:ignore determinism the bench harness measures wall-clock throughput by design; tests inject a virtual Now
+		c.Now = time.Now
+	}
+	return c
+}
+
+// BenchSvcRun is one measured (protocol, op, blockSize, concurrency)
+// cell.
+type BenchSvcRun struct {
+	Protocol    string  `json:"protocol"` // DataPathJSON or DataPathBinary
+	Op          string  `json:"op"`       // put or get
+	BlockSize   int64   `json:"blockSize"`
+	Concurrency int     `json:"concurrency"`
+	Ops         int     `json:"ops"`
+	Seconds     float64 `json:"seconds"`
+	// MBPerSec counts payload bytes only (block content, once), not
+	// replication amplification or framing.
+	MBPerSec float64 `json:"mbPerSec"`
+	P50MS    float64 `json:"p50ms"`
+	P99MS    float64 `json:"p99ms"`
+	// Fingerprint is a sha256 over every block's content hash in op
+	// order; equal fingerprints across protocols mean the same bytes
+	// moved.
+	Fingerprint string `json:"fingerprint"`
+	// Verified: puts achieved full replication; gets returned
+	// byte-identical content.
+	Verified bool `json:"verified"`
+	// SpeedupVsJSON is this run's MBPerSec over the matching JSON
+	// run's (binary-protocol runs only).
+	SpeedupVsJSON float64 `json:"speedupVsJSON,omitempty"`
+}
+
+// BenchSvcReportConfig echoes the harness parameters into the report.
+type BenchSvcReportConfig struct {
+	BlockSizes  []int64 `json:"blockSizes"`
+	Concurrency []int   `json:"concurrency"`
+	Ops         int     `json:"ops"`
+	Nodes       int     `json:"nodes"`
+	Replication int     `json:"replication"`
+	Seed        uint64  `json:"seed"`
+}
+
+// BenchSvcReport is the BENCH_svc.json document.
+type BenchSvcReport struct {
+	Schema     string              `json:"schema"`
+	NumCPU     int                 `json:"numCPU"`
+	GoMaxProcs int                 `json:"goMaxProcs"`
+	Config     BenchSvcReportConfig `json:"config"`
+	Runs       []BenchSvcRun       `json:"runs"`
+}
+
+// ErrBenchSvcSchema reports a BENCH_svc.json that does not match the
+// schema this binary writes.
+var ErrBenchSvcSchema = errors.New("svc: bench report schema mismatch")
+
+// ErrBenchSvcReport marks a wire bench report that fails its honesty
+// checks (malformed runs, unverified cells, diverging fingerprints).
+var ErrBenchSvcReport = errors.New("svc: invalid bench report")
+
+// errBenchRun marks a measurement cell that failed at run time — a
+// degraded write or a readback mismatch on an idle cluster. Not
+// transient: retrying the benchmark won't fix a broken data path.
+var errBenchRun = errors.New("svc: bench run failed")
+
+// Validate checks the report is structurally sound and honest: right
+// schema, every cell verified, and every binary run's content
+// fingerprint identical to its JSON counterpart.
+func (r *BenchSvcReport) Validate() error {
+	if r.Schema != BenchSvcSchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrBenchSvcSchema, r.Schema, BenchSvcSchema)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("%w: no runs", ErrBenchSvcReport)
+	}
+	jsonFP := make(map[string]string)
+	for i, run := range r.Runs {
+		if run.BlockSize <= 0 || run.Concurrency <= 0 || run.Ops <= 0 {
+			return fmt.Errorf("%w: run %d has non-positive coordinates: %+v", ErrBenchSvcReport, i, run)
+		}
+		if run.Seconds < 0 {
+			return fmt.Errorf("%w: run %d has negative wall-clock", ErrBenchSvcReport, i)
+		}
+		if run.Fingerprint == "" {
+			return fmt.Errorf("%w: run %d missing fingerprint", ErrBenchSvcReport, i)
+		}
+		if !run.Verified {
+			return fmt.Errorf("%w: run %d (%s %s %d) failed verification", ErrBenchSvcReport, i, run.Protocol, run.Op, run.BlockSize)
+		}
+		key := fmt.Sprintf("%s/%d/%d", run.Op, run.BlockSize, run.Concurrency)
+		switch run.Protocol {
+		case DataPathJSON:
+			jsonFP[key] = run.Fingerprint
+		case DataPathBinary:
+			if want, ok := jsonFP[key]; ok && want != run.Fingerprint {
+				return fmt.Errorf("%w: run %d: binary content fingerprint diverges from JSON at %s", ErrBenchSvcReport, i, key)
+			}
+		default:
+			return fmt.Errorf("%w: run %d has unknown protocol %q", ErrBenchSvcReport, i, run.Protocol)
+		}
+	}
+	return nil
+}
+
+// benchPayload builds one deterministic block of the given size. The
+// pattern varies per op so fingerprints catch cross-op mixups.
+func benchPayload(size int64, seed uint64, op int) []byte {
+	data := make([]byte, size)
+	x := seed*0x9E3779B97F4A7C15 + uint64(op)*0xBF58476D1CE4E5B9 + 1
+	for i := range data {
+		// xorshift64: cheap, deterministic, incompressible enough that
+		// neither protocol gets free wins from runs of zeros.
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		data[i] = byte(x)
+	}
+	return data
+}
+
+// benchCell runs one (op, blockSize, concurrency) cell against a
+// cluster and returns the run. names[i] is op i's file name.
+type benchCell struct {
+	protocol    string
+	op          string
+	blockSize   int64
+	concurrency int
+	ops         int
+}
+
+func quantileMS(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx] * 1000
+}
+
+// BenchSvc runs the harness: one loopback cluster per protocol, the
+// same deterministic block workload over each, timed per op.
+func BenchSvc(ctx context.Context, cfg BenchSvcConfig) (*BenchSvcReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < cfg.Replication {
+		return nil, fmt.Errorf("%w: bench needs at least %d nodes for replication %d, got %d", dfs.ErrBadConfig, cfg.Replication, cfg.Replication, cfg.Nodes)
+	}
+	report := &BenchSvcReport{
+		Schema: BenchSvcSchema,
+		//lint:ignore determinism the report records the host environment honestly; throughput numbers are env-dependent by nature
+		NumCPU: runtime.NumCPU(),
+		//lint:ignore determinism same: GOMAXPROCS is reported metadata, not a benchmark input
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config: BenchSvcReportConfig{
+			BlockSizes:  cfg.BlockSizes,
+			Concurrency: cfg.Concurrency,
+			Ops:         cfg.Ops,
+			Nodes:       cfg.Nodes,
+			Replication: cfg.Replication,
+			Seed:        cfg.Seed,
+		},
+	}
+
+	for _, protocol := range []string{DataPathJSON, DataPathBinary} {
+		c, err := cluster.New(make([]cluster.Node, cfg.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		lc, err := StartLocalCluster(c, stats.NewRNG(cfg.Seed), nil, NameNodeConfig{
+			Replication: cfg.Replication,
+			DataPath:    protocol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, blockSize := range cfg.BlockSizes {
+			for _, conc := range cfg.Concurrency {
+				runs, err := benchProtocolCell(ctx, cfg, lc, protocol, blockSize, conc)
+				if err != nil {
+					_ = lc.Close(context.WithoutCancel(ctx))
+					return nil, err
+				}
+				report.Runs = append(report.Runs, runs...)
+			}
+		}
+		if err := lc.Close(context.WithoutCancel(ctx)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Binary speedups against the matching JSON cells.
+	jsonMBs := make(map[string]float64)
+	for _, run := range report.Runs {
+		if run.Protocol == DataPathJSON {
+			jsonMBs[fmt.Sprintf("%s/%d/%d", run.Op, run.BlockSize, run.Concurrency)] = run.MBPerSec
+		}
+	}
+	for i := range report.Runs {
+		run := &report.Runs[i]
+		if run.Protocol != DataPathBinary {
+			continue
+		}
+		if base := jsonMBs[fmt.Sprintf("%s/%d/%d", run.Op, run.BlockSize, run.Concurrency)]; base > 0 {
+			run.SpeedupVsJSON = run.MBPerSec / base
+		}
+	}
+	return report, nil
+}
+
+// benchProtocolCell measures the put cell and then the get cell for
+// one (blockSize, concurrency) point, cleaning its files afterwards so
+// cells do not accumulate memory.
+func benchProtocolCell(ctx context.Context, cfg BenchSvcConfig, lc *LocalCluster, protocol string, blockSize int64, conc int) ([]BenchSvcRun, error) {
+	ops := cfg.Ops
+	names := make([]string, ops)
+	hashes := make([][32]byte, ops)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%d-%d-%d", blockSize, conc, i)
+	}
+
+	// One client per worker, each with its own RNG, so placement stays
+	// deterministic per worker and no lock serializes the clients.
+	clients := make([]*dfs.Client, conc)
+	for w := range clients {
+		cl, err := dfs.NewClient(lc.Engine(), stats.NewRNG(cfg.Seed+uint64(w)+1))
+		if err != nil {
+			return nil, err
+		}
+		cl.BlockSize = blockSize
+		cl.Replication = cfg.Replication
+		clients[w] = cl
+	}
+
+	runCell := func(op string, work func(w, i int) (float64, error)) (BenchSvcRun, error) {
+		latencies := make([]float64, ops)
+		errs := make([]error, conc)
+		start := cfg.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < ops; i += conc {
+					sec, err := work(w, i)
+					if err != nil {
+						errs[w] = fmt.Errorf("%s %s op %d: %w", protocol, op, i, err)
+						return
+					}
+					latencies[i] = sec
+				}
+			}(w)
+		}
+		wg.Wait()
+		seconds := cfg.Now().Sub(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return BenchSvcRun{}, err
+			}
+		}
+		sort.Float64s(latencies)
+		run := BenchSvcRun{
+			Protocol:    protocol,
+			Op:          op,
+			BlockSize:   blockSize,
+			Concurrency: conc,
+			Ops:         ops,
+			Seconds:     seconds,
+			P50MS:       quantileMS(latencies, 0.50),
+			P99MS:       quantileMS(latencies, 0.99),
+			Verified:    true,
+		}
+		if seconds > 0 {
+			run.MBPerSec = float64(int64(ops)*blockSize) / (1 << 20) / seconds
+		}
+		return run, nil
+	}
+
+	put, err := runCell(benchOpPut, func(w, i int) (float64, error) {
+		data := benchPayload(blockSize, cfg.Seed, i)
+		hashes[i] = sha256.Sum256(data)
+		t0 := cfg.Now()
+		_, rep, err := clients[w].CopyFromLocalReportContext(ctx, names[i], data, false)
+		sec := cfg.Now().Sub(t0).Seconds()
+		if err != nil {
+			return 0, err
+		}
+		if rep.MinReplication < cfg.Replication {
+			return 0, fmt.Errorf("%w: degraded write on an idle cluster: %+v", errBenchRun, rep)
+		}
+		return sec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	put.Fingerprint = fingerprintHashes(hashes)
+
+	readHashes := make([][32]byte, ops)
+	get, err := runCell(benchOpGet, func(w, i int) (float64, error) {
+		t0 := cfg.Now()
+		got, err := clients[w].ReadFileContext(ctx, names[i])
+		sec := cfg.Now().Sub(t0).Seconds()
+		if err != nil {
+			return 0, err
+		}
+		readHashes[i] = sha256.Sum256(got)
+		if readHashes[i] != hashes[i] {
+			return 0, fmt.Errorf("%w: read bytes differ from written", errBenchRun)
+		}
+		return sec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	get.Fingerprint = fingerprintHashes(readHashes)
+
+	for _, name := range names {
+		if err := lc.Engine().DeleteContext(ctx, name); err != nil {
+			return nil, err
+		}
+	}
+	return []BenchSvcRun{put, get}, nil
+}
+
+// fingerprintHashes digests per-op content hashes in op order.
+func fingerprintHashes(hs [][32]byte) string {
+	h := sha256.New()
+	for _, e := range hs {
+		h.Write(e[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BenchSvcText renders the harness report for the terminal.
+func BenchSvcText(r *BenchSvcReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wire protocol benchmark (block data path; %d CPU / GOMAXPROCS %d; replication %d)\n",
+		r.NumCPU, r.GoMaxProcs, r.Config.Replication)
+	fmt.Fprintf(&b, "%-8s %-4s %10s %6s %10s %9s %9s %9s\n",
+		"protocol", "op", "blockSize", "conc", "MB/s", "p50 ms", "p99 ms", "vs json")
+	for _, run := range r.Runs {
+		speedup := ""
+		if run.SpeedupVsJSON > 0 {
+			speedup = fmt.Sprintf("%.2fx", run.SpeedupVsJSON)
+		}
+		fmt.Fprintf(&b, "%-8s %-4s %10d %6d %10.1f %9.2f %9.2f %9s\n",
+			run.Protocol, run.Op, run.BlockSize, run.Concurrency,
+			run.MBPerSec, run.P50MS, run.P99MS, speedup)
+	}
+	return b.String()
+}

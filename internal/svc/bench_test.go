@@ -1,0 +1,121 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchSvcToyRun drives the wire benchmark end to end at toy sizes
+// and checks the report's shape, verification, and speedup wiring —
+// not the numbers, which are the host's business.
+func TestBenchSvcToyRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cfg := BenchSvcConfig{
+		BlockSizes:  []int64{512, 2048},
+		Concurrency: []int{1, 2},
+		Ops:         4,
+		Nodes:       3,
+		Replication: 2,
+		Seed:        5,
+	}
+	report, err := BenchSvc(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 protocols x 2 sizes x 2 concurrencies x {put,get}.
+	if len(report.Runs) != 16 {
+		t.Fatalf("got %d runs, want 16", len(report.Runs))
+	}
+	binary := 0
+	for _, run := range report.Runs {
+		if run.Protocol == DataPathBinary {
+			binary++
+			if run.SpeedupVsJSON <= 0 {
+				t.Errorf("binary run %s/%d/%d has no speedup ratio", run.Op, run.BlockSize, run.Concurrency)
+			}
+		}
+	}
+	if binary != 8 {
+		t.Fatalf("got %d binary runs, want 8", binary)
+	}
+
+	// The report must round-trip through its on-disk form.
+	blob, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchSvcReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	text := BenchSvcText(report)
+	for _, want := range []string{DataPathJSON, DataPathBinary, "put", "get", "MB/s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestBenchSvcValidateRejects exercises the honesty checks.
+func TestBenchSvcValidateRejects(t *testing.T) {
+	good := func() *BenchSvcReport {
+		return &BenchSvcReport{
+			Schema: BenchSvcSchema,
+			Runs: []BenchSvcRun{
+				{Protocol: DataPathJSON, Op: "put", BlockSize: 512, Concurrency: 1, Ops: 2, Fingerprint: "aa", Verified: true},
+				{Protocol: DataPathBinary, Op: "put", BlockSize: 512, Concurrency: 1, Ops: 2, Fingerprint: "aa", Verified: true},
+			},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := good()
+	r.Schema = "adapt-bench-svc/v0"
+	if err := r.Validate(); !errors.Is(err, ErrBenchSvcSchema) {
+		t.Errorf("wrong schema: err = %v, want ErrBenchSvcSchema", err)
+	}
+
+	r = good()
+	r.Runs = nil
+	if r.Validate() == nil {
+		t.Error("empty runs validated")
+	}
+
+	r = good()
+	r.Runs[1].Fingerprint = "bb"
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "diverges") {
+		t.Errorf("diverging fingerprint: err = %v", err)
+	}
+
+	r = good()
+	r.Runs[0].Verified = false
+	if r.Validate() == nil {
+		t.Error("unverified run validated")
+	}
+
+	r = good()
+	r.Runs[0].BlockSize = 0
+	if r.Validate() == nil {
+		t.Error("zero block size validated")
+	}
+
+	r = good()
+	r.Runs[0].Protocol = "carrier-pigeon"
+	if r.Validate() == nil {
+		t.Error("unknown protocol validated")
+	}
+}

@@ -143,3 +143,14 @@ func (c *Client) Fsck(ctx context.Context) (dfs.HealthReport, error) {
 	err := c.peer.call(ctx, "nn.fsck", nil, &rep)
 	return rep, err
 }
+
+// ScrubOrphans asks the NameNode to delete stored replicas no file
+// references — residue of torn pipeline writes whose cleanup could
+// not reach a partitioned holder. Returns how many were removed.
+func (c *Client) ScrubOrphans(ctx context.Context) (int, error) {
+	var res scrubResult
+	if err := c.peer.call(ctx, "nn.scrub", nil, &res); err != nil {
+		return 0, err
+	}
+	return res.Removed, nil
+}

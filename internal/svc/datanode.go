@@ -79,6 +79,7 @@ func NewDataNodeServer(id cluster.NodeID, faults TransportFaults) *DataNodeServe
 		epoch:  newEpoch(),
 	}
 	d.srv = NewServer(endpointName(id), faults, d.handle)
+	d.srv.SetDataHandler(d.serveData)
 	return d
 }
 
@@ -159,6 +160,8 @@ func (d *DataNodeServer) handle(ctx context.Context, from, method string, params
 		}
 		data, ok := d.dn.StoredData(p.Block)
 		return storedResult{Data: data, OK: ok}, nil
+	case "dn.blocks":
+		return blocksResult{Blocks: d.dn.StoredBlocks()}, nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}

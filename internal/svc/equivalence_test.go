@@ -1,0 +1,234 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// Protocol equivalence: the v2 binary data plane must be observably
+// identical to the legacy JSON path — same bytes stored and read back,
+// same WriteReports, same placement under the same seed, and the same
+// error taxonomy for every registered wire code. Only the wire format
+// differs.
+
+// equivCluster boots a cluster with the given data path, everything
+// else held fixed (seed included, so placement draws are comparable).
+func equivCluster(t *testing.T, dataPath string) *LocalCluster {
+	t.Helper()
+	nodes := make([]cluster.Node, 4)
+	c, err := cluster.New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := StartLocalCluster(c, stats.NewRNG(7), nil, NameNodeConfig{
+		BlockSize:   1024,
+		Replication: 2,
+		DataPath:    dataPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = lc.Close(ctx)
+	})
+	return lc
+}
+
+// TestProtocolEquivalenceContent writes the same files through both
+// data planes and asserts byte-identical reads, identical
+// WriteReports, and identical placement.
+func TestProtocolEquivalenceContent(t *testing.T) {
+	jsonLC := equivCluster(t, DataPathJSON)
+	binLC := equivCluster(t, DataPathBinary)
+	jsonCL := jsonLC.Client("shell")
+	defer jsonCL.Close()
+	binCL := binLC.Client("shell")
+	defer binCL.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Sizes chosen to cross block boundaries every way: sub-block,
+	// exact multiple, ragged tail, and empty.
+	cases := []struct {
+		name string
+		size int
+	}{
+		{"empty", 0},
+		{"subblock", 100},
+		{"exact", 4 * 1024},
+		{"ragged", 5*1024 + 17},
+	}
+	for _, tc := range cases {
+		data := payload(tc.size)
+		jm, jr, err := jsonCL.CopyFromLocal(ctx, tc.name, data, false)
+		if err != nil {
+			t.Fatalf("%s: json write: %v", tc.name, err)
+		}
+		bm, br, err := binCL.CopyFromLocal(ctx, tc.name, data, false)
+		if err != nil {
+			t.Fatalf("%s: binary write: %v", tc.name, err)
+		}
+		if jr != br {
+			t.Errorf("%s: WriteReport diverged: json %+v vs binary %+v", tc.name, jr, br)
+		}
+		if len(jm.Blocks) != len(bm.Blocks) {
+			t.Fatalf("%s: block counts diverged: %d vs %d", tc.name, len(jm.Blocks), len(bm.Blocks))
+		}
+		// Same seed, same draws: every block must land on the same
+		// holders in the same order.
+		for i := range jm.Blocks {
+			jb, bb := jm.Blocks[i], bm.Blocks[i]
+			if jb.ID != bb.ID || len(jb.Replicas) != len(bb.Replicas) {
+				t.Fatalf("%s block %d: meta diverged: %+v vs %+v", tc.name, i, jb, bb)
+			}
+			for k := range jb.Replicas {
+				if jb.Replicas[k] != bb.Replicas[k] {
+					t.Errorf("%s block %d: placement diverged: %v vs %v", tc.name, i, jb.Replicas, bb.Replicas)
+					break
+				}
+			}
+		}
+		jgot, err := jsonCL.ReadFile(ctx, tc.name)
+		if err != nil {
+			t.Fatalf("%s: json read: %v", tc.name, err)
+		}
+		bgot, err := binCL.ReadFile(ctx, tc.name)
+		if err != nil {
+			t.Fatalf("%s: binary read: %v", tc.name, err)
+		}
+		if !bytes.Equal(jgot, data) || !bytes.Equal(bgot, data) {
+			t.Errorf("%s: read bytes differ from written", tc.name)
+		}
+	}
+
+	// Cross-check the stored replicas bit for bit, not just through
+	// the read path: fsck-grade equivalence.
+	if err := jsonCL.CheckConsistency(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := binCL.CheckConsistency(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProtocolEquivalenceErrors drives the same failure through both
+// data planes: reading a block that does not exist must surface
+// dfs.ErrBlockNotFound with matching transience from either protocol.
+func TestProtocolEquivalenceErrors(t *testing.T) {
+	for _, dp := range []string{DataPathJSON, DataPathBinary} {
+		lc := equivCluster(t, dp)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		st, err := lc.Engine().Store(0)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		_, err = st.Get(ctx, dfs.BlockID(12345))
+		cancel()
+		if !errors.Is(err, dfs.ErrBlockNotFound) {
+			t.Errorf("%s: missing block get = %v, want ErrBlockNotFound", dp, err)
+		}
+		if dfs.IsTransient(err) {
+			t.Errorf("%s: missing block classified transient", dp)
+		}
+	}
+}
+
+// TestProtocolEquivalenceTaxonomy encodes an error wrapping every
+// registered wire code through the v1 JSON envelope and the v2 binary
+// error frame and asserts the rehydrated errors are indistinguishable:
+// same errors.Is matches, same transience, same message.
+func TestProtocolEquivalenceTaxonomy(t *testing.T) {
+	for _, ec := range wireCodes {
+		src := fmt.Errorf("equivalence probe: %w", ec.sentinel)
+
+		var resp response
+		encodeError(&resp, src)
+		v1 := decodeError(&resp)
+		v2 := decodeErrorFrame(encodeErrorFrame(src))
+
+		if errors.Is(v1, ec.sentinel) != errors.Is(v2, ec.sentinel) {
+			t.Errorf("%s: sentinel match diverged (v1 %v, v2 %v)", ec.code, errors.Is(v1, ec.sentinel), errors.Is(v2, ec.sentinel))
+		}
+		if !errors.Is(v2, ec.sentinel) {
+			t.Errorf("%s: v2 lost the sentinel", ec.code)
+		}
+		if dfs.IsTransient(v1) != dfs.IsTransient(v2) {
+			t.Errorf("%s: transience diverged (v1 %v, v2 %v)", ec.code, dfs.IsTransient(v1), dfs.IsTransient(v2))
+		}
+		if v1.Error() != v2.Error() {
+			t.Errorf("%s: message diverged: %q vs %q", ec.code, v1.Error(), v2.Error())
+		}
+	}
+}
+
+// TestStreamedWriteEquivalence: the streaming entry point must place
+// and store exactly what the buffered one does under the same seed —
+// same replicas, same bytes — because it draws from the same RNG
+// sequence block by block.
+func TestStreamedWriteEquivalence(t *testing.T) {
+	bufLC := equivCluster(t, DataPathBinary)
+	strLC := equivCluster(t, DataPathBinary)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Identical fresh clients over each cluster's engine, so the
+	// placement RNG sequences are comparable draw for draw.
+	mkClient := func(lc *LocalCluster) *dfs.Client {
+		cl, err := dfs.NewClient(lc.Engine(), stats.NewRNG(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.BlockSize = 1024
+		cl.Replication = 2
+		return cl
+	}
+	bufCL := mkClient(bufLC)
+	strCL := mkClient(strLC)
+
+	data := payload(5*1024 + 333)
+	bm, brep, err := bufCL.CopyFromLocalReportContext(ctx, "f", data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, srep, err := strCL.CopyFromLocalStreamContext(ctx, "f", bytes.NewReader(data), int64(len(data)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brep != srep {
+		t.Errorf("WriteReport diverged: buffered %+v vs streamed %+v", brep, srep)
+	}
+	if len(bm.Blocks) != len(sm.Blocks) {
+		t.Fatalf("block counts diverged: %d vs %d", len(bm.Blocks), len(sm.Blocks))
+	}
+	for i := range bm.Blocks {
+		if bm.Blocks[i].ID != sm.Blocks[i].ID {
+			t.Errorf("block %d: id %d vs %d", i, bm.Blocks[i].ID, sm.Blocks[i].ID)
+		}
+		for k := range bm.Blocks[i].Replicas {
+			if bm.Blocks[i].Replicas[k] != sm.Blocks[i].Replicas[k] {
+				t.Errorf("block %d: placement diverged: %v vs %v", i, bm.Blocks[i].Replicas, sm.Blocks[i].Replicas)
+				break
+			}
+		}
+	}
+
+	var sink bytes.Buffer
+	n, err := strCL.ReadFileToContext(ctx, "f", &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) || !bytes.Equal(sink.Bytes(), data) {
+		t.Errorf("streamed read returned %d bytes, differs from written", n)
+	}
+}

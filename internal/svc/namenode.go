@@ -59,6 +59,10 @@ type estimatesResult struct {
 	Estimates map[cluster.NodeID]model.Availability `json:"estimates"`
 }
 
+type scrubResult struct {
+	Removed int `json:"removed"`
+}
+
 // hbState is the NameNode's per-DataNode heartbeat bookkeeping: the
 // last sequence folded and the cumulative totals it carried, so the
 // next beat folds only the delta. epoch identifies the DataNode
@@ -115,6 +119,18 @@ type NameNodeServer struct {
 	lifeCancel context.CancelFunc
 }
 
+// DataPath values for NameNodeConfig: how block bytes cross the wire.
+// The JSON control plane (metadata, heartbeats, deletes) is identical
+// either way.
+const (
+	// DataPathBinary is the default: v2 streaming frames with
+	// replication pipelining (wire2.go).
+	DataPathBinary = "binary"
+	// DataPathJSON is the legacy path: whole blocks as base64 inside
+	// JSON RPC envelopes, fan-out writes.
+	DataPathJSON = "json"
+)
+
 // NameNodeConfig tunes the service's client engine and its
 // durability. Zero values keep the dfs defaults and, with an empty
 // WALDir, a volatile (PR 4-style) namespace.
@@ -122,6 +138,9 @@ type NameNodeConfig struct {
 	BlockSize   int64
 	Replication int
 	Gamma       float64
+	// DataPath selects the block-bytes transport: DataPathBinary
+	// (default, also for "") or DataPathJSON.
+	DataPath string
 	// WALDir enables the durable namespace: every mutation is
 	// journaled there before it is acknowledged, and construction
 	// recovers whatever namespace the directory already holds.
@@ -139,12 +158,35 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 	if len(dnAddrs) != c.Len() {
 		return nil, fmt.Errorf("svc: %d datanode addrs for %d nodes: %w", len(dnAddrs), c.Len(), dfs.ErrUnknownNode)
 	}
+	if cfg.DataPath != "" && cfg.DataPath != DataPathBinary && cfg.DataPath != DataPathJSON {
+		return nil, fmt.Errorf("svc: unknown data path %q: %w", cfg.DataPath, dfs.ErrBadConfig)
+	}
+	binary := cfg.DataPath != DataPathJSON
+	addrs := append([]string(nil), dnAddrs...)
+	resolve := func(n cluster.NodeID) (string, bool) {
+		if int(n) < 0 || int(n) >= len(addrs) {
+			return "", false
+		}
+		return addrs[n], true
+	}
 	stores := make([]*remoteStore, c.Len())
 	ifaces := make([]dfs.BlockStore, c.Len())
 	for i := range stores {
 		id := cluster.NodeID(i)
 		stores[i] = newRemoteStore(id, dnAddrs[i], "namenode", endpointName(id), faults)
+		stores[i].binary = binary
+		stores[i].resolve = resolve
 		ifaces[i] = stores[i]
+	}
+	// After a torn pipeline a deep chain node may hold a committed
+	// replica whose ack was lost; the writer scrubs it through the
+	// node's own control-plane proxy.
+	for i := range stores {
+		stores[i].scrub = func(ctx context.Context, n cluster.NodeID, id dfs.BlockID) {
+			if int(n) >= 0 && int(n) < len(stores) {
+				_ = stores[n].Delete(ctx, id)
+			}
+		}
 	}
 	nn, err := dfs.NewNameNodeWithStores(c, ifaces)
 	if err != nil {
@@ -379,6 +421,12 @@ func (s *NameNodeServer) dispatch(ctx context.Context, from, method string, para
 		s.availMu.RLock()
 		defer s.availMu.RUnlock()
 		return s.nn.Health(), nil
+	case "nn.scrub":
+		removed, err := s.nn.ScrubOrphans(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return scrubResult{Removed: removed}, nil
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, method)
 	}

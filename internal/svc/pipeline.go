@@ -1,0 +1,260 @@
+package svc
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/dfs"
+)
+
+// DataNode side of the v2 data plane: the stream handler the server's
+// preamble sniffing routes binary connections to. A write stream is
+// relayed down the replication chain HDFS-style — this node dials the
+// next hop, forwards each chunk as it arrives, and commits
+// deepest-first: downstream commit acks are collected before the
+// local put, and only then is the combined ack sent upstream, so a
+// torn stream can never leave a committed prefix the writer did not
+// hear about from every deeper node first.
+
+// serveData dispatches one v2 connection by its opening frame.
+func (d *DataNodeServer) serveData(ctx context.Context, nc net.Conn, br *bufio.Reader) {
+	f, err := readFrame2(br)
+	if err != nil {
+		return
+	}
+	switch f.Type {
+	case frameOpenWrite:
+		d.serveWrite(ctx, nc, br, f)
+	case frameOpenRead:
+		d.serveRead(ctx, nc, br, f)
+	default:
+		f.release()
+	}
+}
+
+// streamCtx derives the stream's context from the open frame's
+// deadline budget and mirrors it onto the connection, so a cancelled
+// or expired stream aborts blocked I/O instead of hanging.
+func streamCtx(ctx context.Context, nc net.Conn, deadlineMS int64) (context.Context, func()) {
+	var cancel context.CancelFunc = func() {}
+	if deadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = nc.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { _ = nc.SetDeadline(connPast) })
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}
+
+// nodeDownAcks marks every chain node failed with an ErrNodeDown
+// wrap — the outcome when the hop to chain[0] is severed and nothing
+// deeper is reachable.
+func nodeDownAcks(chain []chainEntry, cause error) []ackEntry {
+	acks := make([]ackEntry, 0, len(chain))
+	for _, ce := range chain {
+		acks = append(acks, failedAck(ce.Node,
+			fmt.Errorf("%w: datanode %d unreachable in pipeline: %v", dfs.ErrNodeDown, ce.Node, cause)))
+	}
+	return acks
+}
+
+func (d *DataNodeServer) serveWrite(ctx context.Context, nc net.Conn, br *bufio.Reader, f frame2) {
+	sid := f.Stream
+	ow, err := decodeOpenWrite(f.Payload)
+	f.release()
+	if err != nil || ow.Size > MaxFrameSize {
+		return
+	}
+	name := endpointName(d.id)
+	// Serving-side fault check, as for incoming JSON requests: a
+	// partition severs streams already dialed, not just new dials.
+	if d.faults != nil {
+		if d.faults.FailMessage(ow.From, name) != nil {
+			return
+		}
+	}
+	ctx, done := streamCtx(ctx, nc, ow.DeadlineMS)
+	defer done()
+	bw := bufio.NewWriterSize(nc, 32<<10)
+
+	// Set up the downstream hop before admitting the stream, so the
+	// writer's setup ack already reflects which chain nodes are in.
+	var down *dataConn
+	var downAcks []ackEntry
+	if len(ow.Chain) > 0 {
+		next := ow.Chain[0]
+		dc, derr := dialData(ctx, next.Addr, name, endpointName(next.Node), d.faults)
+		if derr == nil {
+			fw := openWrite{Block: ow.Block, Size: ow.Size, DeadlineMS: ow.DeadlineMS, From: name, Chain: ow.Chain[1:]}
+			derr = writeFrame2(dc.bw, frameOpenWrite, 0, sid, encodeOpenWrite(fw))
+			if derr == nil {
+				derr = dc.bw.Flush()
+			}
+			if derr == nil {
+				sf, rerr := readFrame2(dc.br)
+				switch {
+				case rerr != nil:
+					derr = rerr
+				case sf.Type != frameSetupAck:
+					sf.release()
+					derr = fmt.Errorf("%w: setup reply type %d", ErrBadFrame, sf.Type)
+				default:
+					downAcks, derr = decodeAcks(sf.Payload)
+					sf.release()
+				}
+			}
+			if derr != nil {
+				dc.close()
+				dc = nil
+			}
+		}
+		if derr != nil {
+			downAcks = nodeDownAcks(ow.Chain, derr)
+		}
+		down = dc
+	}
+	if down != nil {
+		defer down.close()
+	}
+	setup := append([]ackEntry{{Node: d.id, OK: true}}, downAcks...)
+	if writeFrame2(bw, frameSetupAck, 0, sid, encodeAcks(setup)) != nil || bw.Flush() != nil {
+		return
+	}
+
+	// Assemble the block from chunks, relaying each downstream as it
+	// arrives. The assembly buffer is pooled: dn.Put copies on commit.
+	buf := frameBufs.get(int(ow.Size))
+	defer frameBufs.put(buf)
+	received := int64(0)
+	for {
+		cf, rerr := readFrame2(br)
+		if rerr != nil {
+			return // torn stream: no commit, writer cleans up
+		}
+		if cf.Type != frameChunk || cf.Stream != sid || received+int64(len(cf.Payload)) > ow.Size {
+			cf.release()
+			return
+		}
+		if down != nil {
+			relayErr := error(nil)
+			if d.faults != nil {
+				relayErr = d.faults.FailMessage(name, endpointName(ow.Chain[0].Node))
+			}
+			if relayErr == nil {
+				relayErr = writeFrame2(down.bw, frameChunk, cf.Flags, sid, cf.Payload)
+			}
+			if relayErr == nil && cf.last() {
+				relayErr = down.bw.Flush()
+			}
+			if relayErr != nil {
+				// The deeper chain is gone; keep receiving for the
+				// local replica and report the loss in the commit ack.
+				down.close()
+				down = nil
+				downAcks = nodeDownAcks(ow.Chain, relayErr)
+			}
+		}
+		copy(buf[received:], cf.Payload)
+		received += int64(len(cf.Payload))
+		last := cf.last()
+		cf.release()
+		if last {
+			break
+		}
+	}
+	if received != ow.Size {
+		return // short stream: never commit a partial block
+	}
+
+	// Commit deepest-first: downstream acks before the local put.
+	if down != nil {
+		cf, rerr := readFrame2(down.br)
+		switch {
+		case rerr != nil:
+			downAcks = nodeDownAcks(ow.Chain, rerr)
+		case cf.Type != frameCommitAck:
+			cf.release()
+			downAcks = nodeDownAcks(ow.Chain, fmt.Errorf("%w: commit reply type %d", ErrBadFrame, cf.Type))
+		default:
+			var derr error
+			downAcks, derr = decodeAcks(cf.Payload)
+			cf.release()
+			if derr != nil {
+				downAcks = nodeDownAcks(ow.Chain, derr)
+			}
+		}
+	}
+	var self ackEntry
+	if cerr := ctx.Err(); cerr != nil {
+		self = failedAck(d.id, cerr)
+	} else if perr := d.dn.Put(ow.Block, buf); perr != nil {
+		self = failedAck(d.id, perr)
+	} else {
+		self = ackEntry{Node: d.id, OK: true}
+	}
+	commit := append([]ackEntry{self}, downAcks...)
+	if writeFrame2(bw, frameCommitAck, 0, sid, encodeAcks(commit)) == nil {
+		_ = bw.Flush()
+	}
+}
+
+func (d *DataNodeServer) serveRead(ctx context.Context, nc net.Conn, br *bufio.Reader, f frame2) {
+	sid := f.Stream
+	or, err := decodeOpenRead(f.Payload)
+	f.release()
+	if err != nil {
+		return
+	}
+	name := endpointName(d.id)
+	if d.faults != nil {
+		if d.faults.FailMessage(or.From, name) != nil {
+			return
+		}
+	}
+	_, done := streamCtx(ctx, nc, or.DeadlineMS)
+	defer done()
+	bw := bufio.NewWriterSize(nc, 32<<10)
+
+	data, gerr := d.dn.Get(or.Block)
+	if gerr != nil {
+		if writeFrame2(bw, frameError, flagLast, sid, encodeErrorFrame(gerr)) == nil {
+			_ = bw.Flush()
+		}
+		return
+	}
+	if writeFrame2(bw, frameReadHdr, 0, sid, encodeReadHdr(int64(len(data)))) != nil {
+		return
+	}
+	for off := 0; ; {
+		n := len(data) - off
+		if n > DefaultChunkSize {
+			n = DefaultChunkSize
+		}
+		last := off+n == len(data)
+		var flags uint16
+		if last {
+			flags = flagLast
+		}
+		// A mid-stream partition severs the remaining chunks.
+		if d.faults != nil {
+			if d.faults.FailMessage(or.From, name) != nil {
+				return
+			}
+		}
+		if writeFrame2(bw, frameChunk, flags, sid, data[off:off+n]) != nil {
+			return
+		}
+		off += n
+		if last {
+			break
+		}
+	}
+	_ = bw.Flush()
+}

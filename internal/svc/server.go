@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"net"
@@ -12,6 +13,12 @@ import (
 // request envelope; ctx carries the caller's propagated deadline.
 type Handler func(ctx context.Context, from, method string, params []byte) (any, error)
 
+// DataHandler serves one v2 binary data stream on a dedicated
+// connection (see wire2.go). It owns the connection until it returns;
+// ctx is the server's lifecycle context. r is the connection's
+// buffered reader with the preamble already consumed.
+type DataHandler func(ctx context.Context, nc net.Conn, r *bufio.Reader)
+
 // Server accepts frame connections and dispatches each request to its
 // Handler on a fresh goroutine, so one slow block transfer never
 // blocks a heartbeat on the same connection. Shutdown drains in-flight
@@ -22,6 +29,7 @@ type Server struct {
 	name    string // endpoint name, for the fault hook
 	faults  TransportFaults
 	handler Handler
+	data    DataHandler // v2 stream handler; nil endpoints drop v2 dials
 
 	ln net.Listener
 
@@ -50,6 +58,10 @@ func NewServer(name string, faults TransportFaults, handler Handler) *Server {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s
 }
+
+// SetDataHandler installs the v2 binary stream handler. Call before
+// Listen; endpoints without one close v2 connections on arrival.
+func (s *Server) SetDataHandler(h DataHandler) { s.data = h }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
 // background goroutine.
@@ -106,9 +118,33 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Unlock()
 		_ = nc.Close()
 	}()
+	// Both protocols share the listener: v2 data streams announce
+	// themselves with a 4-byte preamble that can never be a valid JSON
+	// frame header (it decodes as a length beyond MaxFrameSize), so
+	// peeking the first bytes routes the connection unambiguously.
+	br := bufio.NewReaderSize(nc, 64<<10)
+	first, err := br.Peek(len(dataPreamble))
+	if err != nil {
+		return
+	}
+	if [4]byte(first) == dataPreamble {
+		_, _ = br.Discard(len(dataPreamble))
+		// A data stream counts as one in-flight unit: Shutdown drains
+		// it like a pending RPC instead of cutting a half-written block.
+		s.mu.Lock()
+		if s.down || s.data == nil {
+			s.mu.Unlock()
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		defer s.inflight.Done()
+		s.data(s.baseCtx, nc, br)
+		return
+	}
 	for {
 		var req request
-		if err := readFrame(nc, &req); err != nil {
+		if err := readFrame(br, &req); err != nil {
 			return
 		}
 		// The serving side consults the fault hook too: a partition

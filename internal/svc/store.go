@@ -31,6 +31,10 @@ type storedResult struct {
 	OK   bool   `json:"ok"`
 }
 
+type blocksResult struct {
+	Blocks []dfs.BlockID `json:"blocks"`
+}
+
 // remoteStore is the NameNode's RPC proxy for one DataNode's block
 // storage: it implements dfs.BlockStore, so the exact engine code
 // paths — createFile, ReadBlock, redistribute, repair — drive remote
@@ -45,6 +49,16 @@ type storedResult struct {
 type remoteStore struct {
 	id   cluster.NodeID
 	peer *peerConn
+
+	// The binary data plane (wire2.go). binary selects v2 streams for
+	// block bytes; resolve maps chain node ids to data addresses for
+	// pipeline writes; scrub best-effort deletes a possibly-committed
+	// replica on another chain node after a torn pipeline, so deep
+	// commits whose acks were lost do not linger as orphans. The JSON
+	// control plane (deletes, inventory, liveness) is untouched.
+	binary  bool
+	resolve func(cluster.NodeID) (string, bool)
+	scrub   func(ctx context.Context, node cluster.NodeID, id dfs.BlockID)
 
 	mu sync.Mutex
 	up bool
@@ -90,10 +104,89 @@ func (s *remoteStore) call(ctx context.Context, method string, params, result an
 }
 
 func (s *remoteStore) Put(ctx context.Context, id dfs.BlockID, data []byte) error {
+	if s.binary {
+		res, ok := s.PutChain(ctx, id, data, nil)
+		if ok {
+			if err, failed := res.Failed[s.id]; failed {
+				return err
+			}
+			return nil
+		}
+	}
 	return s.call(ctx, "dn.put", putParams{Block: id, Data: data}, nil)
 }
 
+// PutChain streams the block to this node and onward through rest over
+// one v2 pipeline (dfs.PipelinePutter). ok is false when the binary
+// data plane is disabled — the engine then falls back to fan-out.
+func (s *remoteStore) PutChain(ctx context.Context, id dfs.BlockID, data []byte, rest []cluster.NodeID) (dfs.PipelineResult, bool) {
+	if !s.binary {
+		return dfs.PipelineResult{}, false
+	}
+	res := dfs.PipelineResult{Failed: make(map[cluster.NodeID]error, 1+len(rest))}
+	chain := make([]chainEntry, 0, 1+len(rest))
+	chain = append(chain, chainEntry{Node: s.id, Addr: s.peer.addr})
+	for _, n := range rest {
+		addr, ok := "", false
+		if s.resolve != nil {
+			addr, ok = s.resolve(n)
+		}
+		if !ok {
+			// Misconfiguration, not an outage: surface it per-node and
+			// pipeline through the resolvable prefix.
+			res.Failed[n] = fmt.Errorf("%w: no data address for node %d", dfs.ErrUnknownNode, n)
+			continue
+		}
+		chain = append(chain, chainEntry{Node: n, Addr: addr})
+	}
+	acks, err := pipelinePut(ctx, s.peer.local, s.peer.faults, chain, id, data)
+	if err != nil {
+		// The stream broke: no commit acks, so whether any chain node
+		// committed is unknown. Mark everything down-failed and delete
+		// best-effort wherever a deep commit might have landed.
+		s.SetUp(false)
+		cause := fmt.Errorf("%w: datanode %d pipeline unreachable: %v", dfs.ErrNodeDown, s.id, err)
+		for _, ce := range chain {
+			res.Failed[ce.Node] = cause
+			if s.scrub != nil {
+				s.scrub(context.WithoutCancel(ctx), ce.Node, id)
+			}
+		}
+		return res, true
+	}
+	acked := make(map[cluster.NodeID]bool, len(acks))
+	for _, e := range acks {
+		if e.OK {
+			acked[e.Node] = true
+		} else if rerr := e.err(); rerr != nil {
+			res.Failed[e.Node] = fmt.Errorf("svc: pipeline put block %d on datanode %d: %w", id, e.Node, rerr)
+		}
+	}
+	// Acked in chain order, so the engine's replica lists match what
+	// fan-out over the same holders would have produced.
+	for _, ce := range chain {
+		if acked[ce.Node] {
+			res.Acked = append(res.Acked, ce.Node)
+		} else if _, reported := res.Failed[ce.Node]; !reported {
+			res.Failed[ce.Node] = fmt.Errorf("%w: datanode %d missing from pipeline ack", dfs.ErrNodeDown, ce.Node)
+		}
+	}
+	return res, true
+}
+
 func (s *remoteStore) Get(ctx context.Context, id dfs.BlockID) ([]byte, error) {
+	if s.binary {
+		data, err := streamGet(ctx, s.peer.local, s.peer.faults, s.peer.addr, s.peer.peer, id)
+		if err == nil {
+			return data, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			return nil, err // the peer answered; its error speaks for itself
+		}
+		s.SetUp(false)
+		return nil, fmt.Errorf("%w: datanode %d unreachable: %v", dfs.ErrNodeDown, s.id, err)
+	}
 	var res getResult
 	if err := s.call(ctx, "dn.get", getParams{Block: id}, &res); err != nil {
 		return nil, err
@@ -111,6 +204,16 @@ func (s *remoteStore) StoredData(ctx context.Context, id dfs.BlockID) ([]byte, b
 		return nil, false
 	}
 	return res.Data, res.OK
+}
+
+// StoredBlocks fetches the node's block inventory (dfs.BlockLister);
+// ok is false when the node is unreachable.
+func (s *remoteStore) StoredBlocks(ctx context.Context) ([]dfs.BlockID, bool) {
+	var res blocksResult
+	if err := s.call(ctx, "dn.blocks", struct{}{}, &res); err != nil {
+		return nil, false
+	}
+	return res.Blocks, true
 }
 
 // close tears down the proxy's cached connection.

@@ -1,0 +1,264 @@
+package svc
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/dfs"
+)
+
+// Client side of the v2 data plane (see wire2.go): dedicated stream
+// connections carrying pipeline writes and chunked reads. One
+// connection carries one stream; multiplexing stays on the JSON
+// control plane, where frames are small.
+
+// streamIDs mints stream ids. With one stream per connection the id
+// is diagnostic — it ties the frames of a stream together in traces
+// and guards against crossed frames.
+var streamIDs atomic.Uint64
+
+// dataConn is one dialed v2 stream connection: buffered both ways so
+// a 20-byte header and its payload leave in one syscall.
+type dataConn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	stop func() bool // cancels the context watcher
+}
+
+// connPast is the deadline used to abort a stream's blocked I/O when
+// its context is cancelled: any instant in the past works.
+var connPast = time.Unix(1, 0)
+
+// dialData opens a v2 stream to addr: fault hook first (a partitioned
+// endpoint cannot even dial, and injected latency is paid once per
+// stream), then the preamble. The stream inherits ctx end to end —
+// its deadline becomes the connection deadline, and cancellation
+// aborts blocked reads and writes mid-stream.
+func dialData(ctx context.Context, addr, local, peer string, faults TransportFaults) (*dataConn, error) {
+	if faults != nil {
+		if err := faults.FailMessage(local, peer); err != nil {
+			return nil, fmt.Errorf("svc: data dial %s: %w", addr, err)
+		}
+		if d := faults.MessageDelay(local, peer); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("svc: data dial %s: %w", addr, ctx.Err())
+			}
+		}
+	}
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("svc: data dial %s: %w", addr, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = nc.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { _ = nc.SetDeadline(connPast) })
+	dc := &dataConn{
+		nc:   nc,
+		br:   bufio.NewReaderSize(nc, 64<<10),
+		bw:   bufio.NewWriterSize(nc, 32<<10),
+		stop: stop,
+	}
+	if _, err := dc.bw.Write(dataPreamble[:]); err != nil {
+		dc.close()
+		return nil, fmt.Errorf("svc: data dial %s: %w", addr, err)
+	}
+	return dc, nil
+}
+
+func (c *dataConn) close() {
+	c.stop()
+	_ = c.nc.Close()
+}
+
+// pipelinePut streams one block through the replication chain
+// (chain[0] is dialed; the rest ride in the open frame for the relays)
+// and returns the commit-phase ack entries, one per chain node, in
+// chain order. A nil error means the commit acks arrived — individual
+// nodes may still report failure in their entries. A non-nil error
+// means the stream broke and the commit outcome of every chain node
+// is unknown: the caller must treat all of them as unacked and clean
+// up best-effort.
+func pipelinePut(ctx context.Context, local string, faults TransportFaults, chain []chainEntry, id dfs.BlockID, data []byte) ([]ackEntry, error) {
+	dc, err := dialData(ctx, chain[0].Addr, local, endpointName(chain[0].Node), faults)
+	if err != nil {
+		return nil, err
+	}
+	defer dc.close()
+	sid := streamIDs.Add(1)
+	ow := openWrite{
+		Block: id,
+		Size:  int64(len(data)),
+		//lint:ignore determinism encoding the ctx deadline as a wire budget needs the wall clock; simulations drive the transport with deadline-free contexts
+		DeadlineMS: deadlineBudget(ctx, time.Now()),
+		From:       local,
+		Chain:      chain[1:],
+	}
+	if err := writeFrame2(dc.bw, frameOpenWrite, 0, sid, encodeOpenWrite(ow)); err != nil {
+		return nil, fmt.Errorf("svc: pipeline put block %d: %w", id, err)
+	}
+	if err := dc.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("svc: pipeline put block %d: %w", id, err)
+	}
+
+	sf, err := readFrame2(dc.br)
+	if err != nil {
+		return nil, fmt.Errorf("svc: pipeline put block %d: setup: %w", id, err)
+	}
+	if sf.Type != frameSetupAck || sf.Stream != sid {
+		sf.release()
+		return nil, fmt.Errorf("%w: pipeline put block %d: unexpected setup frame type %d", ErrBadFrame, id, sf.Type)
+	}
+	setup, err := decodeAcks(sf.Payload)
+	sf.release()
+	if err != nil {
+		return nil, fmt.Errorf("svc: pipeline put block %d: %w", id, err)
+	}
+	accepting := 0
+	for _, e := range setup {
+		if e.OK {
+			accepting++
+		}
+	}
+	if accepting == 0 {
+		// Early abort: nobody admitted the stream, so there is nothing
+		// to send — the setup entries are the final outcome.
+		return setup, nil
+	}
+
+	peer := endpointName(chain[0].Node)
+	for off := 0; ; {
+		n := len(data) - off
+		if n > DefaultChunkSize {
+			n = DefaultChunkSize
+		}
+		last := off+n == len(data)
+		var flags uint16
+		if last {
+			flags = flagLast
+		}
+		// A partition formed mid-stream severs the remaining chunks,
+		// exactly as it severs queued JSON calls.
+		if faults != nil {
+			if ferr := faults.FailMessage(local, peer); ferr != nil {
+				return nil, fmt.Errorf("svc: pipeline put block %d: %w", id, ferr)
+			}
+		}
+		if err := writeFrame2(dc.bw, frameChunk, flags, sid, data[off:off+n]); err != nil {
+			return nil, fmt.Errorf("svc: pipeline put block %d: %w", id, err)
+		}
+		off += n
+		if last {
+			break
+		}
+	}
+	if err := dc.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("svc: pipeline put block %d: %w", id, err)
+	}
+
+	cf, err := readFrame2(dc.br)
+	if err != nil {
+		return nil, fmt.Errorf("svc: pipeline put block %d: commit: %w", id, err)
+	}
+	if cf.Type != frameCommitAck || cf.Stream != sid {
+		cf.release()
+		return nil, fmt.Errorf("%w: pipeline put block %d: unexpected commit frame type %d", ErrBadFrame, id, cf.Type)
+	}
+	acks, err := decodeAcks(cf.Payload)
+	cf.release()
+	if err != nil {
+		return nil, fmt.Errorf("svc: pipeline put block %d: %w", id, err)
+	}
+	return acks, nil
+}
+
+// streamGet reads one block over a v2 stream: open, header announcing
+// the total size, then chunks assembled into a single buffer owned by
+// the caller. A server-side failure arrives as an error frame whose
+// taxonomy survives rehydration (errors.Is, IsTransient).
+func streamGet(ctx context.Context, local string, faults TransportFaults, addr, peer string, id dfs.BlockID) ([]byte, error) {
+	dc, err := dialData(ctx, addr, local, peer, faults)
+	if err != nil {
+		return nil, err
+	}
+	defer dc.close()
+	sid := streamIDs.Add(1)
+	or := openRead{
+		Block: id,
+		//lint:ignore determinism encoding the ctx deadline as a wire budget needs the wall clock; simulations drive the transport with deadline-free contexts
+		DeadlineMS: deadlineBudget(ctx, time.Now()),
+		From:       local,
+	}
+	if err := writeFrame2(dc.bw, frameOpenRead, 0, sid, encodeOpenRead(or)); err != nil {
+		return nil, fmt.Errorf("svc: stream get block %d: %w", id, err)
+	}
+	if err := dc.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("svc: stream get block %d: %w", id, err)
+	}
+
+	hf, err := readFrame2(dc.br)
+	if err != nil {
+		return nil, fmt.Errorf("svc: stream get block %d: %w", id, err)
+	}
+	if hf.Type == frameError {
+		rerr := decodeErrorFrame(hf.Payload)
+		hf.release()
+		return nil, fmt.Errorf("svc: stream get block %d: %w", id, rerr)
+	}
+	if hf.Type != frameReadHdr || hf.Stream != sid {
+		hf.release()
+		return nil, fmt.Errorf("%w: stream get block %d: unexpected frame type %d", ErrBadFrame, id, hf.Type)
+	}
+	size, err := decodeReadHdr(hf.Payload)
+	hf.release()
+	if err != nil {
+		return nil, fmt.Errorf("svc: stream get block %d: %w", id, err)
+	}
+	if size > MaxFrameSize {
+		return nil, fmt.Errorf("%w: stream get block %d announces %d bytes", ErrFrameTooLarge, id, size)
+	}
+
+	// The result buffer is returned to the caller (who keeps it), so
+	// it is allocated, not pooled; the chunk buffers it is assembled
+	// from are pooled and released per frame.
+	buf := make([]byte, 0, size)
+	for {
+		cf, err := readFrame2(dc.br)
+		if err != nil {
+			return nil, fmt.Errorf("svc: stream get block %d: %w", id, err)
+		}
+		if cf.Type == frameError {
+			rerr := decodeErrorFrame(cf.Payload)
+			cf.release()
+			return nil, fmt.Errorf("svc: stream get block %d: %w", id, rerr)
+		}
+		if cf.Type != frameChunk {
+			cf.release()
+			return nil, fmt.Errorf("%w: stream get block %d: unexpected frame type %d", ErrBadFrame, id, cf.Type)
+		}
+		if int64(len(buf))+int64(len(cf.Payload)) > size {
+			cf.release()
+			return nil, fmt.Errorf("%w: stream get block %d overflows announced size %d", ErrBadFrame, id, size)
+		}
+		buf = append(buf, cf.Payload...)
+		last := cf.last()
+		cf.release()
+		if last {
+			break
+		}
+	}
+	if int64(len(buf)) != size {
+		return nil, fmt.Errorf("%w: stream get block %d: got %d of %d bytes", ErrBadFrame, id, len(buf), size)
+	}
+	return buf, nil
+}

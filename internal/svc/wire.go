@@ -82,7 +82,11 @@ func readFrame(r io.Reader, v any) error {
 	if n > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	body := make([]byte, n)
+	// Pooled body, released on every path: json.Unmarshal never keeps
+	// a reference to its input (json.RawMessage fields copy), so the
+	// buffer is dead once this returns.
+	body := frameBufs.get(int(n))
+	defer frameBufs.put(body)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return fmt.Errorf("svc: read frame body: %w", err)
 	}
