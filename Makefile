@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-github lint-json build test test-short race race-all race-engine race-svc race-wal race-sched race-wire sched-verify svc-smoke crash-smoke soak bench bench-smoke fuzz-smoke bench-svc-smoke
+.PHONY: ci vet lint lint-github lint-json build test test-short race race-all race-engine race-svc race-wal race-sched race-wire race-shard sched-verify svc-smoke crash-smoke soak bench bench-smoke fuzz-smoke bench-svc-smoke bench-meta-smoke
 
 # Full CI gate: static checks, build, the race-enabled test suite
 # (includes the churn-soak test), and the wire-protocol gates.
@@ -80,6 +80,14 @@ race-wire:
 	$(GO) test -race -run 'Frame2|Wire|OpenWrite|OpenRead|ReadHdr|Ack|V2|DataPath|Equivalence|Pipeline|Scrub|StreamGet|BenchSvc' \
 		./internal/svc/
 
+# Focused race gate for the sharded namespace: the shard primitives
+# (hash map, quotas, consistent-hash ring), the multi-directory WAL
+# layout, and the sharded crash-recovery soak + meta bench in svc,
+# all under the race detector.
+race-shard:
+	$(GO) test -race ./internal/shard/... ./internal/wal/...
+	$(GO) test -race -run 'Shard|BenchMeta|Tenant|Ring|Hashring' ./internal/svc/ ./internal/dfs/ ./internal/placement/
+
 # Coverage-guided fuzz smoke for the v2 frame codec: the decoder fuzz
 # target (arbitrary bytes must never crash, leak pooled buffers, or
 # yield an invalid frame) and the chunk-reassembly round-trip target,
@@ -97,6 +105,16 @@ bench-svc-smoke:
 		-svc-sizes 4096,65536 -svc-conc 1,2 -svc-ops 4 \
 		-svc-out /tmp/BENCH_svc_smoke.json
 	$(GO) run ./cmd/adapt-bench -svc-verify /tmp/BENCH_svc_smoke.json
+
+# Tiny end-to-end run of the metadata benchmark: a small shard sweep
+# under churn must produce a BENCH_meta.json that -meta-verify accepts
+# (schema-stable, bit-deterministic per-shard replay, zero acked
+# mutations lost, and shards=4 at least 2x the shards=1 throughput).
+bench-meta-smoke:
+	$(GO) run ./cmd/adapt-bench -exp meta \
+		-meta-shards 1,4 -meta-ops 240 -meta-workers 8 \
+		-meta-out /tmp/BENCH_meta_smoke.json
+	$(GO) run ./cmd/adapt-bench -meta-verify /tmp/BENCH_meta_smoke.json
 
 # Determinism gate for the headline scheduling experiment: the full
 # policy x replication x Table-2 grid must fingerprint identically at

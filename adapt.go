@@ -217,6 +217,24 @@ func NewNaivePolicy(c *Cluster) (*WeightedPolicy, error) {
 // NewRandomPolicy returns stock HDFS placement.
 func NewRandomPolicy(c *Cluster) *RandomPolicy { return &placement.Random{Cluster: c} }
 
+// HashringPolicy is the deterministic consistent-hash mode: token
+// counts follow the ADAPT efficiencies 1/E[T], block holders are pure
+// hashes of (file, block index), and tenants are confined to shuffled
+// size-S ring subsets.
+type HashringPolicy = placement.Hashring
+
+// NewHashringPolicy builds the hashring mode for one file on a ring
+// weighted by 1/E[T] at task length gamma. tenant "" is the default
+// tenant; s <= 0 makes the whole ring eligible, s > 0 confines the
+// tenant to its shuffled size-s subset (N-of-S replication).
+func NewHashringPolicy(c *Cluster, gamma float64, file, tenant string, s int) (*HashringPolicy, error) {
+	ring, err := placement.BuildAvailabilityRing(c, gamma, 0)
+	if err != nil {
+		return nil, err
+	}
+	return placement.NewHashring(ring, file, tenant, s, nil)
+}
+
 // PlaceAll drives a policy over m blocks with k replicas.
 func PlaceAll(p PlacementPolicy, m, k int, g *RNG) (*Assignment, error) {
 	return placement.PlaceAll(p, m, k, g)

@@ -27,6 +27,15 @@
 //	adapt-bench -exp svc                             # full sweep -> BENCH_svc.json
 //	adapt-bench -exp svc -svc-sizes 65536 -svc-conc 1 -svc-ops 4
 //	adapt-bench -svc-verify BENCH_svc.json           # parse + schema + honesty check
+//
+// The metadata benchmark sweeps the sharded namespace: create/delete
+// throughput at several shard counts under churn, each shard count
+// ending in a kill -9 plus double replay that proves per-shard
+// bit-deterministic recovery with zero acked mutations lost:
+//
+//	adapt-bench -exp meta                            # shard sweep -> BENCH_meta.json
+//	adapt-bench -exp meta -meta-shards 1,4 -meta-ops 400
+//	adapt-bench -meta-verify BENCH_meta.json         # honesty + 2x scaling gate
 package main
 
 import (
@@ -72,6 +81,12 @@ type options struct {
 	svcOut    string
 	svcVerify string
 
+	metaShards  string
+	metaOps     int
+	metaWorkers int
+	metaOut     string
+	metaVerify  string
+
 	speculation string
 	redundancy  int
 	dynamicRF   string
@@ -100,6 +115,11 @@ func run(args []string) error {
 	fs.IntVar(&opt.svcOps, "svc-ops", 0, "svc mode: blocks moved per measurement cell (default 8)")
 	fs.StringVar(&opt.svcOut, "svc-out", "BENCH_svc.json", "svc mode: report output path (empty = stdout table only)")
 	fs.StringVar(&opt.svcVerify, "svc-verify", "", "verify an existing wire bench report (parse + schema + honesty check) and exit")
+	fs.StringVar(&opt.metaShards, "meta-shards", "", "meta mode: comma-separated namespace shard counts (default 1,2,4,8; first is the baseline)")
+	fs.IntVar(&opt.metaOps, "meta-ops", 0, "meta mode: metadata operations per shard count (default 800)")
+	fs.IntVar(&opt.metaWorkers, "meta-workers", 0, "meta mode: concurrent clients (default 8)")
+	fs.StringVar(&opt.metaOut, "meta-out", "BENCH_meta.json", "meta mode: report output path (empty = stdout table only)")
+	fs.StringVar(&opt.metaVerify, "meta-verify", "", "verify an existing meta bench report (schema + honesty + 2x scaling gate) and exit")
 	fs.StringVar(&opt.speculation, "speculation", "", "sched mode: restrict to one policy (reactive | predictive | redundant; empty = all)")
 	fs.IntVar(&opt.redundancy, "redundancy", 0, "sched mode: attempts per task for the redundant policy (0 = default 2)")
 	fs.StringVar(&opt.dynamicRF, "dynamic-rf", "both", "sched mode: replication arms to run (both | on | off)")
@@ -113,6 +133,9 @@ func run(args []string) error {
 	}
 	if opt.svcVerify != "" {
 		return verifyBenchSvc(opt.svcVerify)
+	}
+	if opt.metaVerify != "" {
+		return verifyBenchMeta(opt.metaVerify)
 	}
 
 	ids := []string{opt.exp}
@@ -133,6 +156,12 @@ func run(args []string) error {
 		if strings.ToLower(id) == "svc" {
 			if err := runBenchSvc(opt); err != nil {
 				return fmt.Errorf("svc: %w", err)
+			}
+			continue
+		}
+		if strings.ToLower(id) == "meta" {
+			if err := runBenchMeta(opt); err != nil {
+				return fmt.Errorf("meta: %w", err)
 			}
 			continue
 		}
@@ -273,6 +302,65 @@ func runBenchSvc(opt options) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d runs)\n", opt.svcOut, len(report.Runs))
+	return nil
+}
+
+// runBenchMeta executes the sharded-namespace metadata benchmark
+// (create/delete throughput vs shard count, with per-shard crash
+// recovery proof) and writes BENCH_meta.json.
+func runBenchMeta(opt options) error {
+	shards, err := parseInts(opt.metaShards)
+	if err != nil {
+		return err
+	}
+	report, err := svc.BenchMeta(svc.BenchMetaConfig{
+		Shards:  shards,
+		Ops:     opt.metaOps,
+		Workers: opt.metaWorkers,
+		Seed:    opt.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(svc.BenchMetaText(report))
+	if err := report.Validate(); err != nil {
+		return err
+	}
+	if opt.metaOut == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(opt.metaOut, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d runs)\n", opt.metaOut, len(report.Runs))
+	return nil
+}
+
+// verifyBenchMeta parses an existing meta bench report, runs its
+// honesty checks, and enforces the scaling gate (4 shards must reach
+// at least 2x the single-shard throughput) — the bench-meta-smoke CI
+// gate.
+func verifyBenchMeta(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var report svc.BenchMetaReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := report.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := report.CheckScaling(4, 2); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: ok (%d runs, schema %s, 4-shard scaling gate passed)\n", path, len(report.Runs), report.Schema)
 	return nil
 }
 

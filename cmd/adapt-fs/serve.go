@@ -23,6 +23,7 @@ import (
 
 	"github.com/adaptsim/adapt/internal/chaos"
 	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/shard"
 	"github.com/adaptsim/adapt/internal/stats"
 	"github.com/adaptsim/adapt/internal/svc"
 )
@@ -30,24 +31,28 @@ import (
 const serviceHelp = `adapt-fs service subcommands:
 
   serve-namenode  -listen ADDR -datanodes A,B,...  [-http ADDR] [-replicas N] [-block-size N] [-seed N]
-                  [-data-path binary|json] [-wal-dir DIR] [-snapshot-every N]
+                  [-data-path binary|json] [-wal-dir DIR] [-snapshot-every N] [-shards P]
                   [-suspect-after DUR] [-dead-after DUR] [-repair-interval DUR]
   serve-datanode  -id N -listen ADDR -namenode ADDR [-heartbeat DUR]
-  put             -namenode ADDR [-adapt] LOCAL NAME
-  get             -namenode ADDR NAME [LOCAL]
+  put             -namenode ADDR [-adapt] [-tenant T] LOCAL NAME
+  get             -namenode ADDR [-tenant T] NAME [LOCAL]
   ls              -namenode ADDR
-  stat            -namenode ADDR NAME
-  rm              -namenode ADDR NAME
-  adapt           -namenode ADDR NAME
-  rebalance       -namenode ADDR NAME
-  dist            -namenode ADDR NAME
+  stat            -namenode ADDR [-tenant T] NAME
+  rm              -namenode ADDR [-tenant T] NAME
+  adapt           -namenode ADDR [-tenant T] NAME
+  rebalance       -namenode ADDR [-tenant T] NAME
+  dist            -namenode ADDR [-tenant T] NAME
   estimates       -namenode ADDR
   fsck            -namenode ADDR   (JSON health report; exit 0 healthy, 1 under-replicated, 2 unavailable)
   local-demo      [-nodes N] [-blocks N] [-replicas N] [-seed N]
 
 With -wal-dir the NameNode journals every namespace mutation before
 acknowledging it and recovers the namespace on restart from the same
-directory; kill -9 loses nothing acknowledged.
+directory; kill -9 loses nothing acknowledged. With -shards P the
+namespace is hash-partitioned into P independently locked and
+journaled shards (the WAL directory remembers P; restart with the
+same value). -tenant T rewrites NAME to the "@T/NAME" form that
+tenant quotas are accounted against.
 
 Flag-only invocation (no subcommand) runs the in-memory placement or
 -chaos demo; see adapt-fs -h.`
@@ -98,6 +103,7 @@ func serveNameNode(args []string) error {
 
 		walDir       = fs.String("wal-dir", "", "durable namespace directory (empty = volatile); restart with the same directory to recover")
 		snapEvery    = fs.Int("snapshot-every", 0, "checkpoint cadence in WAL records (0 = default)")
+		shards       = fs.Int("shards", 0, "namespace shard count (0 = 1; the WAL directory remembers its count)")
 		suspectAfter = fs.Duration("suspect-after", 0, "heartbeat silence declaring a DataNode suspect (0 = default)")
 		deadAfter    = fs.Duration("dead-after", 0, "heartbeat silence declaring a DataNode dead (0 = default)")
 		repairEvery  = fs.Duration("repair-interval", 0, "auto-repair scan cadence (0 = default)")
@@ -121,6 +127,7 @@ func serveNameNode(args []string) error {
 		DataPath:      *dataPath,
 		WALDir:        *walDir,
 		SnapshotEvery: *snapEvery,
+		Shards:        *shards,
 	})
 	if err != nil {
 		return err
@@ -130,8 +137,8 @@ func serveNameNode(args []string) error {
 	}
 	fmt.Printf("namenode: serving %d datanodes on %s\n", len(addrs), nn.Addr())
 	if *walDir != "" {
-		fmt.Printf("namenode: durable namespace in %s (%d files recovered, wal seq %d)\n",
-			*walDir, len(nn.Engine().List()), nn.WALSeq())
+		fmt.Printf("namenode: durable namespace in %s (%d shards, %d files recovered, wal seq %d)\n",
+			*walDir, nn.Engine().ShardCount(), len(nn.Engine().List()), nn.WALSeq())
 	}
 	// The failure detector and the auto-repair scheduler make the
 	// master autonomous: silent DataNodes are declared dead and their
@@ -195,12 +202,14 @@ func runShell(cmd string, args []string) error {
 	var (
 		namenode = fs.String("namenode", "127.0.0.1:9870", "NameNode address")
 		useAdapt = fs.Bool("adapt", false, "use availability-aware placement (put)")
+		tenant   = fs.String("tenant", "", "tenant namespace: NAME becomes @TENANT/NAME, accounted against that tenant's quota")
 		timeout  = fs.Duration("timeout", 30*time.Second, "operation deadline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
+	qual := func(name string) string { return shard.Prefix(*tenant, name) }
 	cl := svc.Dial(*namenode, "shell", nil)
 	defer cl.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -221,7 +230,7 @@ func runShell(cmd string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fm, report, err := cl.CopyFromLocal(ctx, rest[1], data, *useAdapt)
+		fm, report, err := cl.CopyFromLocal(ctx, qual(rest[1]), data, *useAdapt)
 		if err != nil {
 			return err
 		}
@@ -231,7 +240,7 @@ func runShell(cmd string, args []string) error {
 		if err := need(1, "get NAME [LOCAL]"); err != nil {
 			return err
 		}
-		data, err := cl.ReadFile(ctx, rest[0])
+		data, err := cl.ReadFile(ctx, qual(rest[0]))
 		if err != nil {
 			return err
 		}
@@ -252,7 +261,7 @@ func runShell(cmd string, args []string) error {
 		if err := need(1, "stat NAME"); err != nil {
 			return err
 		}
-		fm, err := cl.Stat(ctx, rest[0])
+		fm, err := cl.Stat(ctx, qual(rest[0]))
 		if err != nil {
 			return err
 		}
@@ -262,7 +271,7 @@ func runShell(cmd string, args []string) error {
 		if err := need(1, "rm NAME"); err != nil {
 			return err
 		}
-		return cl.Delete(ctx, rest[0])
+		return cl.Delete(ctx, qual(rest[0]))
 	case "adapt", "rebalance":
 		if err := need(1, cmd+" NAME"); err != nil {
 			return err
@@ -270,9 +279,9 @@ func runShell(cmd string, args []string) error {
 		var moved int
 		var err error
 		if cmd == "adapt" {
-			moved, err = cl.Adapt(ctx, rest[0])
+			moved, err = cl.Adapt(ctx, qual(rest[0]))
 		} else {
-			moved, err = cl.Rebalance(ctx, rest[0])
+			moved, err = cl.Rebalance(ctx, qual(rest[0]))
 		}
 		if err != nil {
 			return err
@@ -282,7 +291,7 @@ func runShell(cmd string, args []string) error {
 		if err := need(1, "dist NAME"); err != nil {
 			return err
 		}
-		counts, err := cl.BlockDistribution(ctx, rest[0])
+		counts, err := cl.BlockDistribution(ctx, qual(rest[0]))
 		if err != nil {
 			return err
 		}

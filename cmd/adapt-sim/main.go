@@ -39,7 +39,8 @@ func run(args []string) error {
 		bandwidth     = fs.Float64("bandwidth", 8, "link speed in Mb/s")
 		blockMB       = fs.Float64("block-mb", 64, "block size in MB")
 		gamma         = fs.Float64("gamma", 12, "failure-free seconds per 64 MB map task")
-		strategy      = fs.String("strategy", "adapt", "placement strategy: random | adapt | naive")
+		strategy      = fs.String("strategy", "adapt", "placement strategy: random | adapt | naive | hashring")
+		tenantShard   = fs.Int("tenant-shard", 0, "hashring: confine the workload tenant to a shuffled ring subset of this size (0 = whole ring)")
 		replicas      = fs.Int("replicas", 1, "replication degree")
 		trials        = fs.Int("trials", 1, "independent runs to average")
 		workers       = fs.Int("workers", 0, "concurrent trial runners (0 = GOMAXPROCS); results are identical for any value")
@@ -97,6 +98,12 @@ func run(args []string) error {
 		policy = p
 	case "naive":
 		p, err := adapt.NewNaivePolicy(c)
+		if err != nil {
+			return err
+		}
+		policy = p
+	case "hashring":
+		p, err := adapt.NewHashringPolicy(c, taskGamma, "/input", "", *tenantShard)
 		if err != nil {
 			return err
 		}

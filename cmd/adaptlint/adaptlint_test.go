@@ -110,11 +110,12 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 // TestListFlagNamesAllAnalyzers keeps the suite definition honest:
-// exactly the ten documented analyzers, each with doc text.
+// exactly the eleven documented analyzers, each with doc text.
 func TestListFlagNamesAllAnalyzers(t *testing.T) {
 	want := []string{
-		"determinism", "errtaxonomy", "lockcheck", "lockorder", "ctxcheck",
-		"atomiccheck", "floateq", "mapiter", "closecheck", "unusedignore",
+		"determinism", "errtaxonomy", "lockcheck", "lockorder", "shardlock",
+		"ctxcheck", "atomiccheck", "floateq", "mapiter", "closecheck",
+		"unusedignore",
 	}
 	got := analyzers()
 	if len(got) != len(want) {

@@ -36,6 +36,7 @@ func analyzers() []*Analyzer {
 		errtaxonomyAnalyzer(),
 		lockcheckAnalyzer(),
 		lockorderAnalyzer(),
+		shardlockAnalyzer(),
 		ctxcheckAnalyzer(),
 		atomiccheckAnalyzer(),
 		floateqAnalyzer(),

@@ -95,7 +95,10 @@ type lockEvent struct {
 	site *CallSite
 }
 
-func scanFuncLockOrder(prog *Program, p *Pkg, fn *types.Func, body *ast.BlockStmt, g *lockGraph) {
+// collectLockEvents gathers one function's lock/unlock/deferUnlock
+// and (static/ref) call events in source order — the shared input of
+// the lockorder and shardlock scans.
+func collectLockEvents(prog *Program, p *Pkg, fn *types.Func, body *ast.BlockStmt) []lockEvent {
 	info := p.Info
 	// Index this function's call sites by position for the event scan.
 	sitesAt := make(map[token.Pos][]*CallSite)
@@ -147,6 +150,11 @@ func scanFuncLockOrder(prog *Program, p *Pkg, fn *types.Func, body *ast.BlockStm
 		return true
 	})
 	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+func scanFuncLockOrder(prog *Program, p *Pkg, fn *types.Func, body *ast.BlockStmt, g *lockGraph) {
+	events := collectLockEvents(prog, p, fn, body)
 
 	type heldState struct{ sticky bool }
 	held := make(map[string]heldState)

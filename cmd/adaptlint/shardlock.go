@@ -1,0 +1,130 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// shardlockAnalyzer enforces the sharded-namespace lock discipline:
+// a shard lock (any mutex field declared on a type whose name ends in
+// "Shard") is never held while acquiring a shard lock — the same
+// declaration on another instance included. Whole-namespace
+// operations must visit shards one at a time in ascending index
+// order; holding two shard locks at once lets two such walks meet in
+// opposite orders and deadlock, and lockorder cannot see it because
+// its identities are declaration-level, so two instances of the same
+// field are a self-edge it deliberately drops. This analyzer reports
+// exactly that dropped case, both for direct nested Locks and for
+// calls whose transitive summary acquires a shard lock.
+func shardlockAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "shardlock",
+		Doc:  "no path may hold one shard lock while acquiring another: shards are visited one at a time, ascending",
+	}
+	a.RunProgram = func(p *Pass) {
+		for _, pkg := range p.Prog.Pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					scanFuncShardLocks(p, pkg, fn, fd.Body)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// isShardLockID reports whether a declaration-level lock identity
+// ("pkg.Type.field") names a mutex owned by a shard type. The naming
+// contract is deliberate: calling a type "…Shard" declares its locks
+// leaf-per-shard and opts them into this check.
+func isShardLockID(id string) bool {
+	last := strings.LastIndexByte(id, '.')
+	if last <= 0 {
+		return false
+	}
+	return strings.HasSuffix(id[:last], "Shard")
+}
+
+// scanFuncShardLocks replays one function's lock events with the same
+// source-order held-lock approximation lockorder uses (deferred
+// unlocks sticky, explicit unlocks release) and reports any shard
+// lock acquired — directly or through a callee — while a shard lock
+// is held.
+func scanFuncShardLocks(p *Pass, pkg *Pkg, fn *types.Func, body *ast.BlockStmt) {
+	events := collectLockEvents(p.Prog, pkg, fn, body)
+
+	type heldState struct{ sticky bool }
+	held := make(map[string]heldState)
+	heldOrder := []string{}
+	drop := func(id string) {
+		delete(held, id)
+		for i, h := range heldOrder {
+			if h == id {
+				heldOrder = append(heldOrder[:i], heldOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	firstHeldShard := func() string {
+		for _, h := range heldOrder {
+			if isShardLockID(h) {
+				return h
+			}
+		}
+		return ""
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case "lock":
+			if isShardLockID(ev.id) {
+				if h := firstHeldShard(); h != "" {
+					p.Reportf(ev.pos, "%s locks %s while holding %s: shard locks are leaves — release the held shard, then visit shards one at a time in ascending index order",
+						funcDisplayName(fn), ev.id, h)
+				}
+			}
+			if _, ok := held[ev.id]; !ok {
+				held[ev.id] = heldState{}
+				heldOrder = append(heldOrder, ev.id)
+			}
+		case "deferUnlock":
+			if _, ok := held[ev.id]; ok {
+				held[ev.id] = heldState{sticky: true}
+			}
+		case "unlock":
+			if st, ok := held[ev.id]; ok && !st.sticky {
+				drop(ev.id)
+			}
+		case "call":
+			h := firstHeldShard()
+			if h == "" {
+				continue
+			}
+			acq := p.Prog.Sums.acquiresOf(ev.site.Callee)
+			if len(acq) == 0 {
+				continue
+			}
+			ids := make([]string, 0, len(acq))
+			for id := range acq {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, to := range ids {
+				if !isShardLockID(to) {
+					continue
+				}
+				p.Reportf(ev.pos, "%s calls %s (which acquires %s) while holding %s: shard locks are leaves — release the held shard, then visit shards one at a time in ascending index order",
+					funcDisplayName(fn), funcDisplayName(ev.site.Callee), to, h)
+			}
+		}
+	}
+}

@@ -19,6 +19,10 @@ import (
 type HeartbeatEstimator struct {
 	mu    sync.Mutex
 	nodes map[NodeID]*nodeStats
+	// dirty tracks nodes whose stats changed since the last ApplyDirty
+	// drain, so a refresh under churn recomputes O(changed) estimates
+	// instead of O(cluster).
+	dirty map[NodeID]bool
 }
 
 type nodeStats struct {
@@ -29,7 +33,7 @@ type nodeStats struct {
 
 // NewHeartbeatEstimator returns an empty estimator.
 func NewHeartbeatEstimator() *HeartbeatEstimator {
-	return &HeartbeatEstimator{nodes: make(map[NodeID]*nodeStats)}
+	return &HeartbeatEstimator{nodes: make(map[NodeID]*nodeStats), dirty: make(map[NodeID]bool)}
 }
 
 // ObserveUptime records that a node was observed (heartbeating) for d
@@ -87,12 +91,15 @@ func (h *HeartbeatEstimator) ObserveBatch(id NodeID, uptime float64, interruptio
 	return nil
 }
 
+// stats returns (creating if needed) a node's bookkeeping and marks
+// the node dirty: every caller is an Observe path about to mutate it.
 func (h *HeartbeatEstimator) stats(id NodeID) *nodeStats {
 	s, ok := h.nodes[id]
 	if !ok {
 		s = &nodeStats{}
 		h.nodes[id] = s
 	}
+	h.dirty[id] = true
 	return s
 }
 
@@ -143,9 +150,10 @@ func (h *HeartbeatEstimator) Snapshot() map[NodeID]model.Availability {
 }
 
 // ApplyTo overwrites the availability of every cluster node for which
-// the estimator has data, returning the number updated. This is the
-// path by which the live NameNode keeps the performance predictor
-// fresh.
+// the estimator has data, returning the number updated — the full
+// recompute. It does not drain the dirty set, so an ApplyDirty after
+// an ApplyTo still applies every pending change (applying an unchanged
+// estimate twice is idempotent).
 func (h *HeartbeatEstimator) ApplyTo(c *Cluster) int {
 	n := 0
 	for i := 0; i < c.Len(); i++ {
@@ -160,4 +168,35 @@ func (h *HeartbeatEstimator) ApplyTo(c *Cluster) int {
 		n++
 	}
 	return n
+}
+
+// ApplyDirty overwrites the availability of only the nodes whose
+// stats changed since the last drain, returning their ids in
+// ascending order (empty when nothing changed). Because estimates are
+// pure functions of per-node sums, applying just the dirty set leaves
+// the cluster in exactly the state a full ApplyTo would — the
+// equivalence the incremental-refresh test pins down — at O(changed)
+// cost per heartbeat tick instead of O(cluster). The returned ids
+// also tell ring-based placement which nodes need token updates.
+//
+// Out-of-range ids (heartbeats from nodes the cluster does not know)
+// are dropped from the dirty set without effect.
+func (h *HeartbeatEstimator) ApplyDirty(c *Cluster) []NodeID {
+	h.mu.Lock()
+	ids := make([]NodeID, 0, len(h.dirty))
+	for id := range h.dirty {
+		ids = append(ids, id)
+	}
+	clear(h.dirty)
+	h.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	applied := ids[:0]
+	for _, id := range ids {
+		if int(id) < 0 || int(id) >= c.Len() {
+			continue
+		}
+		c.Node(id).Availability = h.Estimate(id)
+		applied = append(applied, id)
+	}
+	return applied
 }

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/adaptsim/adapt/internal/model"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+func testClusterN(t *testing.T, n int) *Cluster {
+	t.Helper()
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i].Availability = model.FromMTBI(600, 30)
+	}
+	c, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestApplyDirtyEquivalentToFull is the satellite equivalence test:
+// after any observation sequence, draining the dirty set leaves the
+// cluster in exactly the state a full ApplyTo recompute would.
+func TestApplyDirtyEquivalentToFull(t *testing.T) {
+	const n = 32
+	full, incr := testClusterN(t, n), testClusterN(t, n)
+	hFull, hIncr := NewHeartbeatEstimator(), NewHeartbeatEstimator()
+
+	g := stats.NewRNG(42)
+	for round := 0; round < 50; round++ {
+		// Observe a random small subset each round — the churn shape
+		// the incremental path exists for.
+		for i := 0; i < 3; i++ {
+			id := NodeID(g.IntN(n))
+			up := 10 + 100*g.Float64()
+			down := 5 * g.Float64()
+			for _, h := range []*HeartbeatEstimator{hFull, hIncr} {
+				if err := h.ObserveBatch(id, up, 1, down); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		hFull.ApplyTo(full)
+		changed := hIncr.ApplyDirty(incr)
+		if len(changed) == 0 || len(changed) > 3 {
+			t.Fatalf("round %d: %d dirty nodes, want 1..3", round, len(changed))
+		}
+		for i := 0; i < n; i++ {
+			a, b := full.Node(NodeID(i)).Availability, incr.Node(NodeID(i)).Availability
+			if a != b {
+				t.Fatalf("round %d node %d: full=%+v incremental=%+v", round, i, a, b)
+			}
+		}
+	}
+	// Drained: a second ApplyDirty with no new observations is a no-op.
+	if again := hIncr.ApplyDirty(incr); len(again) != 0 {
+		t.Fatalf("dirty set not drained: %v", again)
+	}
+}
+
+func TestApplyDirtyAscendingAndBounded(t *testing.T) {
+	c := testClusterN(t, 8)
+	h := NewHeartbeatEstimator()
+	for _, id := range []NodeID{5, 2, 7, 2} {
+		if err := h.ObserveUptime(id, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A node the cluster does not know is dropped without effect.
+	if err := h.ObserveUptime(99, 10); err != nil {
+		t.Fatal(err)
+	}
+	got := h.ApplyDirty(c)
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 7 {
+		t.Fatalf("dirty ids = %v, want [2 5 7]", got)
+	}
+}

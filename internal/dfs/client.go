@@ -315,26 +315,20 @@ func (c *Client) redistribute(ctx context.Context, name string, pol placement.Po
 
 	// Phase 2: publish the new locations. Every new holder has the
 	// bytes and every old holder still does, so the block map is
-	// valid no matter where a crash lands.
-	c.nn.mu.Lock()
-	live, ok := c.nn.files[name]
-	if !ok {
-		// Deleted while we copied (before this operation took the
-		// file lock a deletion cannot interleave; this guards the
-		// unlocked Stat window). Drop our copies.
-		c.nn.mu.Unlock()
-		_, err := abort(fmt.Errorf("%w: %q (deleted during adapt)", ErrFileNotFound, name))
-		return 0, err
-	}
-	// Write-ahead: new locations are journaled before they replace
-	// the block map. On failure the file keeps its old (still fully
-	// valid) locations and the fresh copies are removed.
-	if err := c.nn.logBlocks(name, newBlocks); err != nil {
-		c.nn.mu.Unlock()
+	// valid no matter where a crash lands. publishBlocks write-aheads
+	// the new locations before swapping the block map; on failure the
+	// file keeps its old (still fully valid) locations and the fresh
+	// copies are removed. An ErrFileNotFound means the file was
+	// deleted while we copied (before this operation took the file
+	// lock a deletion cannot interleave; this guards the unlocked Stat
+	// window) — drop our copies.
+	if err := c.nn.publishBlocks(name, newBlocks); err != nil {
+		if errors.Is(err, ErrFileNotFound) {
+			_, err := abort(fmt.Errorf("%w: %q (deleted during adapt)", ErrFileNotFound, name))
+			return 0, err
+		}
 		return abort(err)
 	}
-	live.Blocks = newBlocks
-	c.nn.mu.Unlock()
 
 	// Phase 3: prune the replicas no longer referenced. A failure or
 	// crash here leaks surplus copies, never data.

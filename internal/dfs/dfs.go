@@ -26,6 +26,7 @@ import (
 	"github.com/adaptsim/adapt/internal/cluster"
 	"github.com/adaptsim/adapt/internal/metrics"
 	"github.com/adaptsim/adapt/internal/placement"
+	"github.com/adaptsim/adapt/internal/shard"
 	"github.com/adaptsim/adapt/internal/stats"
 )
 
@@ -291,58 +292,109 @@ func (d *DataNode) UsedBytes() int64 {
 	return total
 }
 
-// NameNode is the metadata service: file table, block locations, the
-// heartbeat-fed availability estimates, and the performance predictor
-// that turns them into placement weights.
-type NameNode struct {
+// nsShard is one independently-locked slice of the namespace: its own
+// file table, per-file structural lock table, and write-ahead journal.
+// Paths hash onto shards via shard.Map, so mutations of unrelated
+// files on different shards never contend on a lock or an fsync.
+//
+// Lock discipline: code never holds two shard locks at once.
+// Whole-namespace operations visit shards one at a time in ascending
+// shard-index order (the adaptlint shardlock analyzer enforces the
+// no-nesting rule). The quota registry is a leaf lock and may be taken
+// under a shard lock.
+type nsShard struct {
 	mu        sync.Mutex
-	cluster   *cluster.Cluster
 	files     map[string]*FileMeta
 	fileLocks map[string]*sync.Mutex
-	nextBlock BlockID
+	journal   Journal // write-ahead hook; nil = volatile shard
+}
+
+// NameNode is the metadata service: the sharded file table, block
+// locations, the heartbeat-fed availability estimates, and the
+// performance predictor that turns them into placement weights.
+type NameNode struct {
+	smap      shard.Map
+	shards    []*nsShard
+	cluster   *cluster.Cluster
+	nextBlock atomic.Int64 // global block-id allocator, lock-free
 	stores    []BlockStore
 	heartbeat *cluster.HeartbeatEstimator
 	counters  *metrics.ResilienceCounters
-	journal   Journal // write-ahead hook; nil = volatile namespace
+	quotas    *shard.Quotas
 
 	// dynamic, when non-nil, is the availability/popularity replication
 	// controller; loaded lock-free on the block read path.
 	dynamic atomic.Pointer[dynRF]
 }
 
-// NewNameNode builds a NameNode and one in-process DataNode per
-// cluster node.
+// NewNameNode builds a single-shard NameNode and one in-process
+// DataNode per cluster node.
 func NewNameNode(c *cluster.Cluster) (*NameNode, error) {
-	if c == nil || c.Len() == 0 {
-		return nil, cluster.ErrNoNodes
-	}
-	stores := make([]BlockStore, c.Len())
-	for i := 0; i < c.Len(); i++ {
-		stores[i] = localStore{NewDataNode(cluster.NodeID(i))}
-	}
-	return NewNameNodeWithStores(c, stores)
+	return NewNameNodeSharded(c, nil, 1)
 }
 
-// NewNameNodeWithStores builds a NameNode over caller-supplied block
-// stores — the networked layer's entry point, where each store is an
-// RPC proxy for one remote DataNode. The stores must be one per
-// cluster node, in node-id order.
+// NewNameNodeWithStores builds a single-shard NameNode over
+// caller-supplied block stores — the networked layer's entry point,
+// where each store is an RPC proxy for one remote DataNode. The stores
+// must be one per cluster node, in node-id order.
 func NewNameNodeWithStores(c *cluster.Cluster, stores []BlockStore) (*NameNode, error) {
+	return NewNameNodeSharded(c, stores, 1)
+}
+
+// NewNameNodeSharded builds a NameNode whose namespace is split into
+// shards independently-locked shards (see nsShard). stores may be nil,
+// in which case one in-process DataNode per cluster node is created.
+// Shard count 1 reproduces the classic single-table NameNode exactly.
+func NewNameNodeSharded(c *cluster.Cluster, stores []BlockStore, shards int) (*NameNode, error) {
 	if c == nil || c.Len() == 0 {
 		return nil, cluster.ErrNoNodes
+	}
+	if stores == nil {
+		stores = make([]BlockStore, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			stores[i] = localStore{NewDataNode(cluster.NodeID(i))}
+		}
 	}
 	if len(stores) != c.Len() {
 		return nil, fmt.Errorf("%w: %d stores for %d nodes", ErrUnknownNode, len(stores), c.Len())
 	}
-	return &NameNode{
+	smap, err := shard.NewMap(shards)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: %w", err)
+	}
+	nn := &NameNode{
+		smap:      smap,
+		shards:    make([]*nsShard, shards),
 		cluster:   c,
-		files:     make(map[string]*FileMeta),
-		fileLocks: make(map[string]*sync.Mutex),
 		stores:    stores,
 		heartbeat: cluster.NewHeartbeatEstimator(),
 		counters:  &metrics.ResilienceCounters{},
-	}, nil
+		quotas:    shard.NewQuotas(),
+	}
+	for i := range nn.shards {
+		nn.shards[i] = &nsShard{
+			files:     make(map[string]*FileMeta),
+			fileLocks: make(map[string]*sync.Mutex),
+		}
+	}
+	return nn, nil
 }
+
+// shardOf returns the shard owning a path.
+func (nn *NameNode) shardOf(name string) *nsShard {
+	return nn.shards[nn.smap.Of(name)]
+}
+
+// ShardCount returns the namespace shard count P.
+func (nn *NameNode) ShardCount() int { return len(nn.shards) }
+
+// ShardOfPath returns the shard index a path hashes to — exported for
+// tooling (fsck, benchmarks) that groups work by shard.
+func (nn *NameNode) ShardOfPath(name string) int { return nn.smap.Of(name) }
+
+// Quotas returns the tenant quota registry enforced on every create
+// and released on every delete.
+func (nn *NameNode) Quotas() *shard.Quotas { return nn.quotas }
 
 // Resilience returns the shared retry/failover/repair counters every
 // client and DataNode of this NameNode reports into.
@@ -372,15 +424,18 @@ func (nn *NameNode) SetFaultInjector(f FaultInjector) {
 
 // lockFile serializes structural operations (redistribute, repair,
 // delete) on one file and returns the unlock function. Reads and
-// writes of other files proceed concurrently.
+// writes of other files proceed concurrently. The lock table lives in
+// the file's shard, so structural traffic on different shards never
+// meets on a shared table lock.
 func (nn *NameNode) lockFile(name string) func() {
-	nn.mu.Lock()
-	l, ok := nn.fileLocks[name]
+	sh := nn.shardOf(name)
+	sh.mu.Lock()
+	l, ok := sh.fileLocks[name]
 	if !ok {
 		l = &sync.Mutex{}
-		nn.fileLocks[name] = l
+		sh.fileLocks[name] = l
 	}
-	nn.mu.Unlock()
+	sh.mu.Unlock()
 	l.Lock()
 	return l.Unlock
 }
@@ -417,29 +472,51 @@ func (nn *NameNode) Heartbeat() *cluster.HeartbeatEstimator { return nn.heartbea
 
 // RefreshAvailability folds the heartbeat estimates into the cluster's
 // availability parameters, as the prototype does when its two-double
-// per-node structure changes. It returns the number of nodes updated.
+// per-node structure changes. It is incremental: only nodes whose
+// estimator stats changed since the last refresh are recomputed, so a
+// heartbeat tick costs O(changed) rather than O(cluster). It returns
+// the number of nodes updated.
 func (nn *NameNode) RefreshAvailability() int {
+	return len(nn.heartbeat.ApplyDirty(nn.cluster))
+}
+
+// RefreshAvailabilityDirty is RefreshAvailability returning the ids of
+// the updated nodes (ascending) — consistent-hash placements feed them
+// to Ring.WithWeight so ring rebuilds under churn stay O(changed).
+func (nn *NameNode) RefreshAvailabilityDirty() []cluster.NodeID {
+	return nn.heartbeat.ApplyDirty(nn.cluster)
+}
+
+// RefreshAvailabilityFull forces the full recompute over every node
+// with estimator data — the reference the incremental path's
+// equivalence test compares against.
+func (nn *NameNode) RefreshAvailabilityFull() int {
 	return nn.heartbeat.ApplyTo(nn.cluster)
 }
 
 // Stat returns a file's metadata (deep copy).
 func (nn *NameNode) Stat(name string) (*FileMeta, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	fm, ok := nn.files[name]
+	sh := nn.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fm, ok := sh.files[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrFileNotFound, name)
 	}
 	return copyFileMeta(fm), nil
 }
 
-// List returns all file names in lexical order.
+// List returns all file names in lexical order. Shards are visited
+// one at a time in ascending index order and the union sorted, so the
+// merged view is deterministic regardless of shard count.
 func (nn *NameNode) List() []string {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	names := make([]string, 0, len(nn.files))
-	for n := range nn.files {
-		names = append(names, n)
+	var names []string
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		for n := range sh.files {
+			names = append(names, n)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(names)
 	return names
@@ -447,9 +524,10 @@ func (nn *NameNode) List() []string {
 
 // Exists reports whether a file exists.
 func (nn *NameNode) Exists(name string) bool {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	_, ok := nn.files[name]
+	sh := nn.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.files[name]
 	return ok
 }
 
@@ -467,18 +545,20 @@ func (nn *NameNode) Delete(name string) error {
 func (nn *NameNode) DeleteContext(ctx context.Context, name string) error {
 	unlock := nn.lockFile(name)
 	defer unlock()
-	nn.mu.Lock()
-	fm, ok := nn.files[name]
+	sh := nn.shardOf(name)
+	sh.mu.Lock()
+	fm, ok := sh.files[name]
 	if !ok {
-		nn.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrFileNotFound, name)
 	}
-	if err := nn.logDelete(name); err != nil {
-		nn.mu.Unlock()
+	if err := sh.logDelete(name); err != nil {
+		sh.mu.Unlock()
 		return err
 	}
-	delete(nn.files, name)
-	nn.mu.Unlock()
+	delete(sh.files, name)
+	sh.mu.Unlock()
+	nn.quotas.Release(shard.TenantOf(name), 1, fm.Size)
 	if d := nn.dynamic.Load(); d != nil {
 		d.forget(name)
 	}
@@ -492,9 +572,10 @@ func (nn *NameNode) DeleteContext(ctx context.Context, name string) error {
 
 // BlockDistribution returns per-node replica counts for a file.
 func (nn *NameNode) BlockDistribution(name string) ([]int, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	fm, ok := nn.files[name]
+	sh := nn.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fm, ok := sh.files[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrFileNotFound, name)
 	}
@@ -509,11 +590,13 @@ func (nn *NameNode) BlockDistribution(name string) ([]int, error) {
 
 // TotalBlocks returns the number of blocks across all files.
 func (nn *NameNode) TotalBlocks() int {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	n := 0
-	for _, fm := range nn.files {
-		n += len(fm.Blocks)
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		for _, fm := range sh.files {
+			n += len(fm.Blocks)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -562,12 +645,19 @@ func (nn *NameNode) createFileStream(ctx context.Context, name string, r io.Read
 	if size < 0 {
 		return nil, fmt.Errorf("%w: negative size %d", ErrBadBlockSize, size)
 	}
-	nn.mu.Lock()
-	if _, ok := nn.files[name]; ok {
-		nn.mu.Unlock()
+	sh := nn.shardOf(name)
+	sh.mu.Lock()
+	if _, ok := sh.files[name]; ok {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrFileExists, name)
 	}
-	nn.mu.Unlock()
+	sh.mu.Unlock()
+	// Fail fast on quota before any replica bytes move; the
+	// authoritative admission is the Reserve at publish time.
+	tenant := shard.TenantOf(name)
+	if err := nn.quotas.Check(tenant, 1, size, replication); err != nil {
+		return nil, fmt.Errorf("dfs: create %q: %w", name, err)
+	}
 
 	nBlocks := int((size + blockSize - 1) / blockSize)
 	if nBlocks == 0 {
@@ -620,10 +710,7 @@ func (nn *NameNode) createFileStream(ctx context.Context, name string, r io.Read
 			cleanup()
 			return nil, fmt.Errorf("dfs: create %q block %d: %w", name, i, err)
 		}
-		nn.mu.Lock()
-		id := nn.nextBlock
-		nn.nextBlock++
-		nn.mu.Unlock()
+		id := BlockID(nn.nextBlock.Add(1) - 1)
 		placed, err := nn.writeBlockReplicas(ctx, id, chunk, holders, replication, g, retry, report)
 		if err != nil {
 			cleanup()
@@ -645,24 +732,54 @@ func (nn *NameNode) createFileStream(ctx context.Context, name string, r io.Read
 		})
 	}
 
-	nn.mu.Lock()
-	if _, ok := nn.files[name]; ok {
-		nn.mu.Unlock()
+	sh.mu.Lock()
+	if _, ok := sh.files[name]; ok {
+		sh.mu.Unlock()
 		cleanup()
 		return nil, fmt.Errorf("%w: %q (raced)", ErrFileExists, name)
 	}
+	// Admission: the quota reservation is authoritative here, under the
+	// shard lock, so two racing creates cannot both squeeze under the
+	// cap. The quota registry is a leaf lock (see shard.Quotas).
+	if err := nn.quotas.Reserve(tenant, 1, size, replication); err != nil {
+		sh.mu.Unlock()
+		cleanup()
+		return nil, fmt.Errorf("dfs: create %q: %w", name, err)
+	}
 	// Write-ahead: the create is journaled before it is published or
 	// acknowledged; a journal failure unwinds the replicas already
-	// written, leaving no trace of the file.
-	if err := nn.logCreate(fm); err != nil {
-		nn.mu.Unlock()
+	// written and the reservation, leaving no trace of the file.
+	if err := sh.logCreate(fm); err != nil {
+		sh.mu.Unlock()
+		nn.quotas.Release(tenant, 1, size)
 		cleanup()
 		return nil, err
 	}
-	nn.files[name] = fm
+	sh.files[name] = fm
 	out := copyFileMeta(fm)
-	nn.mu.Unlock()
+	sh.mu.Unlock()
 	return out, nil
+}
+
+// publishBlocks swaps a file's block map for newBlocks under the
+// shard lock, write-ahead journaled — the single publish point for
+// redistribute and repair. The caller must hold the file's structural
+// lock and guarantee every holder named in newBlocks already stores
+// the bytes. ErrFileNotFound means the file was deleted since the
+// caller's Stat.
+func (nn *NameNode) publishBlocks(name string, newBlocks []BlockMeta) error {
+	sh := nn.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	live, ok := sh.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrFileNotFound, name)
+	}
+	if err := sh.logBlocks(name, newBlocks); err != nil {
+		return err
+	}
+	live.Blocks = newBlocks
+	return nil
 }
 
 // writeBlockReplicas stores one block on up to k nodes: first the

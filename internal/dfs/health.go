@@ -1,6 +1,10 @@
 package dfs
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/adaptsim/adapt/internal/shard"
+)
 
 // FileHealth is one file's replication health in a HealthReport.
 type FileHealth struct {
@@ -23,6 +27,11 @@ type HealthReport struct {
 	UnderReplicated int          `json:"under_replicated"`
 	Unavailable     int          `json:"unavailable"`
 	Details         []FileHealth `json:"details,omitempty"`
+	// Shards is the namespace shard count the report was taken over.
+	Shards int `json:"shards,omitempty"`
+	// Tenants is the per-tenant quota/usage rollup (sorted by tenant),
+	// the fsck view of multi-tenancy.
+	Tenants []shard.TenantUsage `json:"tenants,omitempty"`
 }
 
 // Healthy reports full replication across the namespace.
@@ -31,38 +40,38 @@ func (r HealthReport) Healthy() bool {
 }
 
 // Health surveys every file's block map against current node
-// liveness. Details are sorted by file name so the output is
-// deterministic.
+// liveness. Shards are surveyed one at a time in ascending index
+// order and the details merged by file name, so the output is
+// deterministic and identical across shard counts.
 func (nn *NameNode) Health() HealthReport {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	names := make([]string, 0, len(nn.files))
-	for n := range nn.files {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	report := HealthReport{Files: len(names)}
-	for _, name := range names {
-		fm := nn.files[name]
-		fh := FileHealth{Name: name, Blocks: len(fm.Blocks)}
-		for _, bm := range fm.Blocks {
-			live := 0
-			for _, r := range bm.Replicas {
-				if int(r) >= 0 && int(r) < len(nn.stores) && nn.stores[r].Up() {
-					live++
+	report := HealthReport{Shards: len(nn.shards)}
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		for name, fm := range sh.files {
+			fh := FileHealth{Name: name, Blocks: len(fm.Blocks)}
+			for _, bm := range fm.Blocks {
+				live := 0
+				for _, r := range bm.Replicas {
+					if int(r) >= 0 && int(r) < len(nn.stores) && nn.stores[r].Up() {
+						live++
+					}
+				}
+				if live < fm.Replication {
+					fh.UnderReplicated++
+				}
+				if live == 0 {
+					fh.Unavailable++
 				}
 			}
-			if live < fm.Replication {
-				fh.UnderReplicated++
-			}
-			if live == 0 {
-				fh.Unavailable++
-			}
+			report.Blocks += fh.Blocks
+			report.UnderReplicated += fh.UnderReplicated
+			report.Unavailable += fh.Unavailable
+			report.Details = append(report.Details, fh)
 		}
-		report.Blocks += fh.Blocks
-		report.UnderReplicated += fh.UnderReplicated
-		report.Unavailable += fh.Unavailable
-		report.Details = append(report.Details, fh)
+		sh.mu.Unlock()
 	}
+	report.Files = len(report.Details)
+	sort.Slice(report.Details, func(i, j int) bool { return report.Details[i].Name < report.Details[j].Name })
+	report.Tenants = nn.quotas.Snapshot()
 	return report
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/shard"
 )
 
 // Journal receives every namespace mutation *before* it is published
@@ -21,7 +22,12 @@ import (
 // converges to the same namespace. That property is what lets the
 // durable layer snapshot without stalling mutations.
 //
-// All three methods are invoked with the NameNode's metadata lock
+// With a sharded namespace each shard carries its own Journal — a
+// shard's journal only ever sees mutations of paths that hash to it,
+// so shards replay independently and their fsyncs never serialize
+// against each other.
+//
+// All three methods are invoked with the owning shard's metadata lock
 // held; implementations must not call back into the NameNode.
 type Journal interface {
 	// LogCreate records a file's full metadata at creation.
@@ -33,43 +39,62 @@ type Journal interface {
 	LogBlocks(name string, blocks []BlockMeta) error
 }
 
-// SetJournal attaches the write-ahead journal (nil detaches). Attach
-// it after Restore: recovery replays must not be re-journaled.
+// SetJournal attaches the same write-ahead journal to every shard
+// (nil detaches) — the single-WAL configuration, exact on a one-shard
+// NameNode. Attach it after Restore: recovery replays must not be
+// re-journaled.
 func (nn *NameNode) SetJournal(j Journal) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	nn.journal = j
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		sh.journal = j
+		sh.mu.Unlock()
+	}
 }
 
-// logCreate, logDelete, and logBlocks run under nn.mu at the publish
-// points; each wraps journal failures in ErrJournal so callers and
-// wire codes can classify them.
+// SetShardJournals attaches one journal per shard (js[i] may be nil to
+// leave shard i volatile). The slice length must equal the shard
+// count. Attach after recovery, as with SetJournal.
+func (nn *NameNode) SetShardJournals(js []Journal) error {
+	if len(js) != len(nn.shards) {
+		return fmt.Errorf("%w: %d journals for %d shards", shard.ErrBadShardCount, len(js), len(nn.shards))
+	}
+	for i, sh := range nn.shards {
+		sh.mu.Lock()
+		sh.journal = js[i]
+		sh.mu.Unlock()
+	}
+	return nil
+}
 
-func (nn *NameNode) logCreate(fm *FileMeta) error {
-	if nn.journal == nil {
+// logCreate, logDelete, and logBlocks run under the shard's mu at the
+// publish points; each wraps journal failures in ErrJournal so callers
+// and wire codes can classify them.
+
+func (sh *nsShard) logCreate(fm *FileMeta) error {
+	if sh.journal == nil {
 		return nil
 	}
-	if err := nn.journal.LogCreate(fm); err != nil {
+	if err := sh.journal.LogCreate(fm); err != nil {
 		return fmt.Errorf("%w: create %q: %w", ErrJournal, fm.Name, err)
 	}
 	return nil
 }
 
-func (nn *NameNode) logDelete(name string) error {
-	if nn.journal == nil {
+func (sh *nsShard) logDelete(name string) error {
+	if sh.journal == nil {
 		return nil
 	}
-	if err := nn.journal.LogDelete(name); err != nil {
+	if err := sh.journal.LogDelete(name); err != nil {
 		return fmt.Errorf("%w: delete %q: %w", ErrJournal, name, err)
 	}
 	return nil
 }
 
-func (nn *NameNode) logBlocks(name string, blocks []BlockMeta) error {
-	if nn.journal == nil {
+func (sh *nsShard) logBlocks(name string, blocks []BlockMeta) error {
+	if sh.journal == nil {
 		return nil
 	}
-	if err := nn.journal.LogBlocks(name, blocks); err != nil {
+	if err := sh.journal.LogBlocks(name, blocks); err != nil {
 		return fmt.Errorf("%w: relocate %q: %w", ErrJournal, name, err)
 	}
 	return nil
@@ -77,32 +102,83 @@ func (nn *NameNode) logBlocks(name string, blocks []BlockMeta) error {
 
 // FilesImage returns a deep copy of every file's metadata, sorted by
 // name — the namespace image the durable layer snapshots and
-// fingerprints.
+// fingerprints. Shards are visited one at a time in ascending index
+// order; since a path's shard is a pure hash, the merged, name-sorted
+// image is identical no matter how the namespace is sharded.
 func (nn *NameNode) FilesImage() []*FileMeta {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	names := make([]string, 0, len(nn.files))
-	for n := range nn.files {
+	var out []*FileMeta
+	for i := range nn.shards {
+		out = append(out, nn.FilesImageShard(i)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FilesImageShard returns the deep-copied, name-sorted image of one
+// shard — what that shard's durable layer snapshots.
+func (nn *NameNode) FilesImageShard(i int) []*FileMeta {
+	sh := nn.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	names := make([]string, 0, len(sh.files))
+	for n := range sh.files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	out := make([]*FileMeta, len(names))
-	for i, n := range names {
-		out[i] = copyFileMeta(nn.files[n])
+	for j, n := range names {
+		out[j] = copyFileMeta(sh.files[n])
 	}
 	return out
 }
 
 // Restore installs a recovered namespace image wholesale, replacing
-// the file table and advancing the block-id allocator past every
-// restored block. Call it on a freshly built NameNode, before
-// attaching the journal and before serving traffic.
+// every shard's file table (files hash onto shards by path) and
+// advancing the block-id allocator past every restored block. Call it
+// on a freshly built NameNode, before attaching journals and before
+// serving traffic.
 func (nn *NameNode) Restore(files []*FileMeta) error {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	perShard := make([][]*FileMeta, len(nn.shards))
+	for _, fm := range files {
+		i := nn.smap.Of(fm.Name)
+		perShard[i] = append(perShard[i], fm)
+	}
+	for i := range nn.shards {
+		if err := nn.restoreShard(i, perShard[i]); err != nil {
+			return err
+		}
+	}
+	nn.recomputeUsage()
+	return nil
+}
+
+// RestoreShard installs one shard's recovered image, leaving the other
+// shards untouched — the per-shard recovery path, where each shard's
+// WAL replays independently. Every file must hash to shard i. The
+// tenant usage ledger is recomputed from the full namespace, so call
+// order across shards does not matter.
+func (nn *NameNode) RestoreShard(i int, files []*FileMeta) error {
+	if i < 0 || i >= len(nn.shards) {
+		return fmt.Errorf("%w: restore of shard %d of %d", shard.ErrBadShardCount, i, len(nn.shards))
+	}
+	for _, fm := range files {
+		if want := nn.smap.Of(fm.Name); want != i {
+			return fmt.Errorf("%w: restored file %q hashes to shard %d, not %d", ErrInconsistent, fm.Name, want, i)
+		}
+	}
+	if err := nn.restoreShard(i, files); err != nil {
+		return err
+	}
+	nn.recomputeUsage()
+	return nil
+}
+
+// restoreShard validates and installs one shard's table and advances
+// the block allocator. It does not touch the usage ledger.
+func (nn *NameNode) restoreShard(i int, files []*FileMeta) error {
 	n := len(nn.stores)
 	table := make(map[string]*FileMeta, len(files))
-	next := nn.nextBlock
+	var maxID BlockID = -1
 	for _, fm := range files {
 		for _, bm := range fm.Blocks {
 			for _, r := range bm.Replicas {
@@ -110,15 +186,43 @@ func (nn *NameNode) Restore(files []*FileMeta) error {
 					return fmt.Errorf("%w: restored file %q block %d names node %d of %d", ErrUnknownNode, fm.Name, bm.ID, r, n)
 				}
 			}
-			if bm.ID >= next {
-				next = bm.ID + 1
+			if bm.ID > maxID {
+				maxID = bm.ID
 			}
 		}
 		table[fm.Name] = copyFileMeta(fm)
 	}
-	nn.files = table
-	nn.nextBlock = next
-	return nil
+	sh := nn.shards[i]
+	sh.mu.Lock()
+	sh.files = table
+	sh.mu.Unlock()
+	// Advance (never retreat) the allocator past the restored ids;
+	// shards restore in any order, so this is a CAS max.
+	for {
+		cur := nn.nextBlock.Load()
+		if int64(maxID)+1 <= cur || nn.nextBlock.CompareAndSwap(cur, int64(maxID)+1) {
+			return nil
+		}
+	}
+}
+
+// recomputeUsage rebuilds the tenant usage ledger from the live
+// namespace — the recovery path's accounting. Shards are visited one
+// at a time in ascending order.
+func (nn *NameNode) recomputeUsage() {
+	usage := make(map[string]shard.Usage)
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		for name, fm := range sh.files {
+			t := shard.TenantOf(name)
+			u := usage[t]
+			u.Files++
+			u.Bytes += fm.Size
+			usage[t] = u
+		}
+		sh.mu.Unlock()
+	}
+	nn.quotas.ResetUsage(usage)
 }
 
 // Fingerprint returns a SHA-256 hash of the canonical namespace
@@ -126,9 +230,17 @@ func (nn *NameNode) Restore(files []*FileMeta) error {
 // replica order included. Two NameNodes with identical metadata —
 // e.g. one that never crashed and one rebuilt from the WAL — produce
 // identical fingerprints, which is how the recovery tests prove
-// replay is bit-deterministic.
+// replay is bit-deterministic. The hash is independent of the shard
+// count: FilesImage merges shards deterministically.
 func (nn *NameNode) Fingerprint() string {
 	return FingerprintFiles(nn.FilesImage())
+}
+
+// FingerprintShard hashes one shard's image — the per-shard replay
+// determinism check: a shard recovered twice from the same WAL must
+// fingerprint identically both times.
+func (nn *NameNode) FingerprintShard(i int) string {
+	return FingerprintFiles(nn.FilesImageShard(i))
 }
 
 // FingerprintFiles hashes a namespace image (see Fingerprint). The

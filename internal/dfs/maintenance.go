@@ -154,21 +154,16 @@ func (c *Client) MaintainReplicationContext(ctx context.Context, name string, us
 		newBlocks[i] = nb
 	}
 
-	c.nn.mu.Lock()
-	liveMeta, ok := c.nn.files[name]
-	if !ok {
-		c.nn.mu.Unlock()
-		return report, fmt.Errorf("%w: %q (deleted during repair)", ErrFileNotFound, name)
-	}
 	// Write-ahead: repaired locations are journaled before they are
-	// published. On failure the extra copies leak as surplus replicas
-	// (harmless, like a crash mid-prune), never as lost metadata.
-	if err := c.nn.logBlocks(name, newBlocks); err != nil {
-		c.nn.mu.Unlock()
+	// published (publishBlocks). On failure the extra copies leak as
+	// surplus replicas (harmless, like a crash mid-prune), never as
+	// lost metadata.
+	if err := c.nn.publishBlocks(name, newBlocks); err != nil {
+		if errors.Is(err, ErrFileNotFound) {
+			return report, fmt.Errorf("%w: %q (deleted during repair)", ErrFileNotFound, name)
+		}
 		return report, err
 	}
-	liveMeta.Blocks = newBlocks
-	c.nn.mu.Unlock()
 	// Invalidate pruned bytes only after the trimmed metadata is
 	// published, so metadata never points at data that is gone; the
 	// deletes are best-effort lazy invalidation (a failure leaks a

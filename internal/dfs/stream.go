@@ -74,15 +74,19 @@ func (c *Client) ReadFileToContext(ctx context.Context, name string, w io.Writer
 // during the scrub are safe; ones that began before it are not.
 // Returns how many replicas were removed.
 func (nn *NameNode) ScrubOrphans(ctx context.Context) (int, error) {
-	nn.mu.Lock()
-	highWater := nn.nextBlock
+	// The high-water mark is read before any shard snapshot so a block
+	// minted during the scan is always exempt.
+	highWater := BlockID(nn.nextBlock.Load())
 	live := make(map[BlockID]bool)
-	for _, fm := range nn.files {
-		for _, bm := range fm.Blocks {
-			live[bm.ID] = true
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		for _, fm := range sh.files {
+			for _, bm := range fm.Blocks {
+				live[bm.ID] = true
+			}
 		}
+		sh.mu.Unlock()
 	}
-	nn.mu.Unlock()
 
 	removed := 0
 	for _, s := range nn.stores {
@@ -100,21 +104,27 @@ func (nn *NameNode) ScrubOrphans(ctx context.Context) (int, error) {
 			}
 			// Re-check against current metadata right before deleting:
 			// a concurrent redistribute may have published this block
-			// onto this holder after the snapshot above.
-			nn.mu.Lock()
+			// onto this holder after the snapshot above. Shards are
+			// scanned one at a time, ascending.
 			stillOrphan := true
-			for _, fm := range nn.files {
-				for _, bm := range fm.Blocks {
-					if bm.ID == id {
-						stillOrphan = false
+			for _, sh := range nn.shards {
+				sh.mu.Lock()
+				for _, fm := range sh.files {
+					for _, bm := range fm.Blocks {
+						if bm.ID == id {
+							stillOrphan = false
+							break
+						}
+					}
+					if !stillOrphan {
 						break
 					}
 				}
+				sh.mu.Unlock()
 				if !stillOrphan {
 					break
 				}
 			}
-			nn.mu.Unlock()
 			if !stillOrphan {
 				continue
 			}

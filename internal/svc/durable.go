@@ -17,6 +17,12 @@ import (
 // suffix and reconstructs the exact file table and placement map —
 // the HDFS edits-log/fsimage pair, scaled to this reproduction.
 //
+// With P namespace shards there are P independent logs (see
+// wal.ShardDirs): shard i journals exactly the files that hash to it,
+// fsyncs without contending with the other shards, checkpoints on its
+// own cadence, and recovers independently. P == 1 keeps the legacy
+// flat single-log layout byte-for-byte.
+//
 // Records carry the *complete* per-file state after the mutation
 // (full metadata on create, the full block map on relocate), not
 // deltas. Replay is therefore an upsert and is idempotent, which lets
@@ -34,15 +40,15 @@ type walRecord struct {
 	Blocks []dfs.BlockMeta `json:"blocks,omitempty"`
 }
 
-// walSnapshot is the checkpoint encoding: the full namespace image,
-// files sorted by name.
+// walSnapshot is the checkpoint encoding: the full shard image, files
+// sorted by name.
 type walSnapshot struct {
 	Files []*dfs.FileMeta `json:"files"`
 }
 
 // walJournal adapts a wal.Log to the dfs.Journal write-ahead hook.
-// Its methods run under the NameNode's metadata lock and must stay
-// callback-free.
+// Its methods run under the owning shard's metadata lock and must
+// stay callback-free.
 type walJournal struct {
 	log *wal.Log
 }
@@ -70,9 +76,9 @@ func (j *walJournal) append(r walRecord) error {
 	return nil
 }
 
-// openJournal opens (or creates) the WAL directory and rebuilds the
-// namespace image it describes: newest snapshot first, then the
-// record suffix upserted on top.
+// openJournal opens (or creates) one shard's WAL directory and
+// rebuilds the shard image it describes: newest snapshot first, then
+// the record suffix upserted on top.
 func openJournal(dir string) (*walJournal, []*dfs.FileMeta, error) {
 	log, err := wal.Open(dir)
 	if err != nil {
@@ -86,9 +92,10 @@ func openJournal(dir string) (*walJournal, []*dfs.FileMeta, error) {
 	return &walJournal{log: log}, files, nil
 }
 
-// RecoverNamespace rebuilds the namespace image a WAL directory
-// describes without taking ownership of the log — the read-only
-// recovery used by fsck-style tooling and the bit-determinism tests.
+// RecoverNamespace rebuilds the namespace image a single-shard WAL
+// directory describes without taking ownership of the log — the
+// read-only recovery used by fsck-style tooling and the
+// bit-determinism tests. For sharded layouts use RecoverShards.
 func RecoverNamespace(dir string) ([]*dfs.FileMeta, error) {
 	j, files, err := openJournal(dir)
 	if err != nil {
@@ -98,6 +105,28 @@ func RecoverNamespace(dir string) ([]*dfs.FileMeta, error) {
 		return nil, fmt.Errorf("svc: close wal %s: %w", dir, err)
 	}
 	return files, nil
+}
+
+// RecoverShards rebuilds every shard's image from a sharded WAL root
+// (shards == 1 reads the flat legacy layout), one sorted file list
+// per shard, without taking ownership of any log. Each shard recovers
+// independently — corruption in one shard's log does not block the
+// others from being read, but this helper fails fast on the first
+// error so callers never mistake a partial recovery for a full one.
+func RecoverShards(root string, shards int) ([][]*dfs.FileMeta, error) {
+	dirs, err := wal.ShardDirs(root, shards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*dfs.FileMeta, len(dirs))
+	for i, dir := range dirs {
+		files, err := RecoverNamespace(dir)
+		if err != nil {
+			return nil, fmt.Errorf("svc: recover shard %d: %w", i, err)
+		}
+		out[i] = files
+	}
+	return out, nil
 }
 
 // replayNamespace folds snapshot + records into a sorted file list.
@@ -157,81 +186,114 @@ func sortedKeys(m map[string]*dfs.FileMeta) []string {
 	return keys
 }
 
-// durableState is the NameNodeServer's durability bookkeeping.
+// durableState is the NameNodeServer's durability bookkeeping: one
+// journal and one checkpoint lock per namespace shard (empty when the
+// NameNode runs without a WAL).
 type durableState struct {
-	journal       *walJournal
+	journals      []*walJournal
 	snapshotEvery uint64
-	snapMu        sync.Mutex // one checkpoint at a time
+	snapMus       []sync.Mutex // one checkpoint at a time, per shard
 }
 
-// maybeSnapshot checkpoints the namespace when the replay suffix has
-// grown past the configured cadence. Safe (and cheap) to call after
-// any mutation; concurrent callers skip rather than queue.
+// maybeSnapshot checkpoints every shard whose replay suffix has grown
+// past the configured cadence. Safe (and cheap) to call after any
+// mutation; concurrent callers skip a shard being checkpointed rather
+// than queue behind it. Shards checkpoint independently — a busy
+// shard's cadence never forces an idle shard to re-image.
 func (s *NameNodeServer) maybeSnapshot() {
 	d := &s.durable
-	if d.journal == nil {
-		return
+	for i, j := range d.journals {
+		if j.log.RecordsSinceSnapshot() < d.snapshotEvery {
+			continue
+		}
+		if !d.snapMus[i].TryLock() {
+			continue // this shard's checkpoint is already running
+		}
+		_ = s.snapshotLocked(i)
+		d.snapMus[i].Unlock()
 	}
-	if d.journal.log.RecordsSinceSnapshot() < d.snapshotEvery {
-		return
-	}
-	if !d.snapMu.TryLock() {
-		return // a checkpoint is already running
-	}
-	defer d.snapMu.Unlock()
-	_ = s.snapshotLocked()
 }
 
-// Checkpoint forces a namespace snapshot into the WAL now (testing
-// and operational tooling; the cadence path calls snapshotLocked).
+// Checkpoint forces a namespace snapshot of every shard into its WAL
+// now (testing and operational tooling; the cadence path calls
+// snapshotLocked).
 func (s *NameNodeServer) Checkpoint() error {
 	d := &s.durable
-	if d.journal == nil {
-		return nil
+	for i := range d.journals {
+		d.snapMus[i].Lock()
+		err := s.snapshotLocked(i)
+		d.snapMus[i].Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	d.snapMu.Lock()
-	defer d.snapMu.Unlock()
-	return s.snapshotLocked()
+	return nil
 }
 
-// snapshotLocked captures and saves one checkpoint. The sequence is
-// read *before* the image: records committed during the capture are
-// both inside the image and replayed on top, which upsert replay
-// makes harmless.
-func (s *NameNodeServer) snapshotLocked() error {
+// snapshotLocked captures and saves one shard's checkpoint. The
+// sequence is read *before* the image: records committed during the
+// capture are both inside the image and replayed on top, which upsert
+// replay makes harmless.
+func (s *NameNodeServer) snapshotLocked(i int) error {
 	d := &s.durable
-	upTo := d.journal.log.Seq()
-	img := s.nn.FilesImage()
+	upTo := d.journals[i].log.Seq()
+	img := s.nn.FilesImageShard(i)
 	state, err := json.Marshal(walSnapshot{Files: img})
 	if err != nil {
 		return fmt.Errorf("svc: encode wal snapshot: %w", err)
 	}
-	if err := d.journal.log.SaveSnapshot(state, upTo); err != nil {
+	if err := d.journals[i].log.SaveSnapshot(state, upTo); err != nil {
 		return fmt.Errorf("svc: save wal snapshot: %w", err)
 	}
 	return nil
 }
 
-// WALSeq reports the journal's committed record sequence (0 when the
-// NameNode runs without a WAL).
+// WALSeq reports the committed record sequence summed across shard
+// journals (0 when the NameNode runs without a WAL). With one shard
+// this is exactly the single log's sequence.
 func (s *NameNodeServer) WALSeq() uint64 {
-	if s.durable.journal == nil {
-		return 0
+	var total uint64
+	for _, j := range s.durable.journals {
+		total += j.log.Seq()
 	}
-	return s.durable.journal.log.Seq()
+	return total
 }
 
-// WALSnapshotSeq reports the sequence the newest checkpoint covers.
+// WALSnapshotSeq reports the sequence covered by checkpoints, summed
+// across shard journals. With one shard this is exactly the single
+// log's newest snapshot sequence.
 func (s *NameNodeServer) WALSnapshotSeq() uint64 {
-	if s.durable.journal == nil {
-		return 0
+	var total uint64
+	for _, j := range s.durable.journals {
+		total += j.log.SnapshotSeq()
 	}
-	return s.durable.journal.log.SnapshotSeq()
+	return total
+}
+
+// WALShardSeqs reports each shard journal's (committed, snapshotted)
+// sequence pair, in shard order — the per-shard view behind the
+// WALSeq/WALSnapshotSeq aggregates. Nil without a WAL.
+func (s *NameNodeServer) WALShardSeqs() [][2]uint64 {
+	if len(s.durable.journals) == 0 {
+		return nil
+	}
+	out := make([][2]uint64, len(s.durable.journals))
+	for i, j := range s.durable.journals {
+		out[i] = [2]uint64{j.log.Seq(), j.log.SnapshotSeq()}
+	}
+	return out
 }
 
 // Durable reports whether this NameNode journals its namespace.
-func (s *NameNodeServer) Durable() bool { return s.durable.journal != nil }
+func (s *NameNodeServer) Durable() bool { return len(s.durable.journals) > 0 }
 
 // NamespaceFingerprint hashes the live namespace (see
 // dfs.FingerprintFiles) — the recovery tests' bit-determinism probe.
 func (s *NameNodeServer) NamespaceFingerprint() string { return s.nn.Fingerprint() }
+
+// ShardFingerprint hashes one shard's live file table — the per-shard
+// bit-determinism probe the sharded recovery tests compare against a
+// double replay of that shard's log.
+func (s *NameNodeServer) ShardFingerprint(i int) string {
+	return s.nn.FingerprintShard(i)
+}

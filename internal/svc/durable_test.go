@@ -196,7 +196,7 @@ func TestJournalFailureVetoesMutation(t *testing.T) {
 
 	// The journal device "fails": the next append tears and the log
 	// breaks, exactly as chaos would do it mid-write.
-	lc.NN.durable.journal.log.SetFaults(chaos.CrashAfter(0, 0))
+	lc.NN.durable.journals[0].log.SetFaults(chaos.CrashAfter(0, 0))
 
 	_, _, err := cl.CopyFromLocal(ctx, "lost", durablePayload(4, 800), false)
 	if !errors.Is(err, dfs.ErrJournal) {

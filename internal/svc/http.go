@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/adaptsim/adapt/internal/shard"
 )
 
 // MetricsSnapshot collects everything the observability endpoint
@@ -37,6 +39,11 @@ type MetricsSnapshot struct {
 	Durable        bool
 	WALSeq         float64
 	WALSnapshotSeq float64
+
+	// Shards is the namespace shard count; Tenants the per-tenant
+	// quota/usage rollup in tenant order.
+	Shards  int
+	Tenants []shard.TenantUsage
 }
 
 // snapshotMetrics gathers the NameNode's current state for export.
@@ -76,6 +83,8 @@ func (s *NameNodeServer) snapshotMetrics(now time.Time) MetricsSnapshot {
 		Durable:        s.Durable(),
 		WALSeq:         float64(s.WALSeq()),
 		WALSnapshotSeq: float64(s.WALSnapshotSeq()),
+		Shards:         s.nn.ShardCount(),
+		Tenants:        s.nn.Quotas().Snapshot(),
 	}
 	for _, st := range s.stores {
 		if st.Up() {
@@ -139,8 +148,27 @@ func RenderMetrics(m MetricsSnapshot) string {
 	series("adapt_namenode_mu", "Estimated mean downtime mu per DataNode (s).", m.Mu)
 	series("adapt_namenode_datanode_state", "Failure-detector belief per DataNode (0 alive, 1 suspect, 2 dead).", m.NodeState)
 	if m.Durable {
-		gauge("adapt_namenode_wal_seq", "Last committed WAL record sequence.", m.WALSeq)
-		gauge("adapt_namenode_wal_snapshot_seq", "WAL sequence covered by the newest namespace snapshot.", m.WALSnapshotSeq)
+		gauge("adapt_namenode_wal_seq", "Last committed WAL record sequence (summed across shard journals).", m.WALSeq)
+		gauge("adapt_namenode_wal_snapshot_seq", "WAL sequence covered by namespace snapshots (summed across shard journals).", m.WALSnapshotSeq)
+	}
+	if m.Shards > 0 {
+		gauge("adapt_namenode_shards", "Namespace shard count.", float64(m.Shards))
+	}
+	if len(m.Tenants) > 0 {
+		tenantSeries := func(name, help string, val func(shard.TenantUsage) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, tu := range m.Tenants {
+				fmt.Fprintf(&b, "%s{tenant=%q} %g\n", name, tu.Tenant, val(tu))
+			}
+		}
+		tenantSeries("adapt_namenode_tenant_files", "Files charged to a tenant.",
+			func(tu shard.TenantUsage) float64 { return float64(tu.Usage.Files) })
+		tenantSeries("adapt_namenode_tenant_bytes", "Logical bytes charged to a tenant.",
+			func(tu shard.TenantUsage) float64 { return float64(tu.Usage.Bytes) })
+		tenantSeries("adapt_namenode_tenant_max_files", "Tenant file quota (0 = unlimited).",
+			func(tu shard.TenantUsage) float64 { return float64(tu.Quota.MaxFiles) })
+		tenantSeries("adapt_namenode_tenant_max_bytes", "Tenant byte quota (0 = unlimited).",
+			func(tu shard.TenantUsage) float64 { return float64(tu.Quota.MaxBytes) })
 	}
 	return b.String()
 }

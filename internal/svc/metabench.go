@@ -1,0 +1,463 @@
+package svc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/stats"
+	"github.com/adaptsim/adapt/internal/wal"
+)
+
+// The metadata benchmark: the same multi-tenant create/delete
+// workload, with churn, run against the sharded namespace at several
+// shard counts, each shard journaling to its own WAL directory. Every
+// shard count ends with a kill -9 (Crash on every journal) followed
+// by a double replay, so the report carries both the scaling claim
+// (metadata ops/sec vs shards) and the safety claim (per-shard
+// bit-deterministic recovery, zero acked mutations lost). It marshals
+// to the schema-stable BENCH_meta.json.
+
+// BenchMetaSchema identifies the BENCH_meta.json layout. Bump only on
+// incompatible changes; trajectory tooling keys on it.
+const BenchMetaSchema = "adapt-bench-meta/v1"
+
+// BenchMetaConfig parameterizes the metadata benchmark. Zero fields
+// take defaults sized for a CI smoke run.
+type BenchMetaConfig struct {
+	// Shards are the namespace shard counts to sweep (default
+	// 1, 2, 4, 8). The first entry is the speedup baseline.
+	Shards []int
+	// Ops is the total metadata operations per shard count (default
+	// 800). Roughly 1/4 are deletes, the rest creates.
+	Ops int
+	// Workers is the number of concurrent clients (default 8).
+	Workers int
+	// Nodes is the DataNode count (default 8).
+	Nodes int
+	// Tenants is how many "@tN/" tenant namespaces the workload
+	// spreads files over (default 4).
+	Tenants int
+	// FileSize is the logical file size in bytes (default 512 —
+	// metadata-dominated on purpose).
+	FileSize int
+	// AppendDelay models the journal device's per-fsync latency
+	// (default 500µs). Injected through the WAL fault hook so the
+	// benchmark measures journaled metadata ops even when the
+	// filesystem's real fsync is free (tmpfs), which would otherwise
+	// let unrelated constant costs mask the shard scaling.
+	AppendDelay time.Duration
+	// ChurnEvery injects one liveness flip per this many operations
+	// (default 64): the longest-down node revives and another goes
+	// down, so the workload always runs under churn but placement
+	// never starves.
+	ChurnEvery int
+	// Seed is the root seed (default 1).
+	Seed uint64
+	// Now supplies wall-clock readings; defaults to time.Now. Tests
+	// inject a fake clock to keep assertions deterministic.
+	Now func() time.Time
+}
+
+func (c BenchMetaConfig) withDefaults() BenchMetaConfig {
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4, 8}
+	}
+	if c.Ops == 0 {
+		c.Ops = 800
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 512
+	}
+	if c.AppendDelay == 0 {
+		c.AppendDelay = 500 * time.Microsecond
+	}
+	if c.ChurnEvery == 0 {
+		c.ChurnEvery = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// BenchMetaRun is one measured shard count.
+type BenchMetaRun struct {
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+	// Ops is the number of acknowledged metadata mutations (creates +
+	// deletes) the measured window completed.
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"opsPerSec"`
+	// Speedup is this run's throughput over the first shard count's.
+	Speedup float64 `json:"speedupVsBaseline"`
+	// Churns is how many liveness flips the workload ran under.
+	Churns int `json:"churns"`
+	// AckedFiles is how many files the workload left acknowledged at
+	// crash time; LostAcked counts those missing (or corrupt) after
+	// replay and must be zero.
+	AckedFiles int `json:"ackedFiles"`
+	LostAcked  int `json:"lostAcked"`
+	// ReplayDeterministic reports that two independent replays of
+	// every shard's log produced bit-identical per-shard fingerprints.
+	ReplayDeterministic bool `json:"replayDeterministic"`
+	// ShardSeqs is each shard journal's committed sequence at crash —
+	// evidence the workload actually spread across journals.
+	ShardSeqs []uint64 `json:"shardSeqs"`
+}
+
+// BenchMetaReportConfig echoes the harness parameters into the report.
+type BenchMetaReportConfig struct {
+	Shards      []int   `json:"shards"`
+	Ops         int     `json:"ops"`
+	Workers     int     `json:"workers"`
+	Nodes       int     `json:"nodes"`
+	Tenants     int     `json:"tenants"`
+	FileSize    int     `json:"fileSize"`
+	AppendDelay float64 `json:"appendDelaySeconds"`
+	ChurnEvery  int     `json:"churnEvery"`
+	Seed        uint64  `json:"seed"`
+}
+
+// BenchMetaReport is the BENCH_meta.json document.
+type BenchMetaReport struct {
+	Schema     string                `json:"schema"`
+	NumCPU     int                   `json:"numCPU"`
+	GoMaxProcs int                   `json:"goMaxProcs"`
+	Config     BenchMetaReportConfig `json:"config"`
+	Runs       []BenchMetaRun        `json:"runs"`
+}
+
+// ErrBenchMetaSchema reports a BENCH_meta.json that does not match
+// the schema this binary writes.
+var ErrBenchMetaSchema = errors.New("svc: meta bench report schema mismatch")
+
+// ErrBenchMetaReport marks a meta bench report that fails its honesty
+// checks: no work measured, a shard that journaled nothing, replay
+// divergence, or lost acked mutations.
+var ErrBenchMetaReport = errors.New("svc: invalid meta bench report")
+
+// Validate checks the report is structurally sound and its safety
+// claims hold: right schema, non-empty runs, every run's recovery
+// bit-deterministic with zero acked mutations lost, and the workload
+// actually sharded (every journal of a multi-shard run committed
+// records).
+func (r *BenchMetaReport) Validate() error {
+	if r.Schema != BenchMetaSchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrBenchMetaSchema, r.Schema, BenchMetaSchema)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("%w: no runs", ErrBenchMetaReport)
+	}
+	for i, run := range r.Runs {
+		if run.Shards <= 0 || run.Ops <= 0 || run.Workers <= 0 {
+			return fmt.Errorf("%w: run %d has non-positive coordinates: %+v", ErrBenchMetaReport, i, run)
+		}
+		if run.Seconds <= 0 || run.OpsPerSec <= 0 {
+			return fmt.Errorf("%w: run %d measured no work", ErrBenchMetaReport, i)
+		}
+		if !run.ReplayDeterministic {
+			return fmt.Errorf("%w: run %d (shards=%d): replay not bit-deterministic", ErrBenchMetaReport, i, run.Shards)
+		}
+		if run.LostAcked != 0 {
+			return fmt.Errorf("%w: run %d (shards=%d): %d acked mutations lost", ErrBenchMetaReport, i, run.Shards, run.LostAcked)
+		}
+		if len(run.ShardSeqs) != run.Shards {
+			return fmt.Errorf("%w: run %d: %d shard seqs for %d shards", ErrBenchMetaReport, i, len(run.ShardSeqs), run.Shards)
+		}
+		for s, seq := range run.ShardSeqs {
+			if seq == 0 {
+				return fmt.Errorf("%w: run %d: shard %d journaled nothing; the sweep proves nothing", ErrBenchMetaReport, i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckScaling enforces the throughput claim: the run at `shards`
+// must reach at least `factor` times the ops/sec of the run at one
+// shard. This is the bench-meta-smoke CI gate.
+func (r *BenchMetaReport) CheckScaling(shards int, factor float64) error {
+	var base, target *BenchMetaRun
+	for i := range r.Runs {
+		switch r.Runs[i].Shards {
+		case 1:
+			base = &r.Runs[i]
+		case shards:
+			target = &r.Runs[i]
+		}
+	}
+	if base == nil || target == nil {
+		return fmt.Errorf("%w: report lacks shards=1 and shards=%d runs", ErrBenchMetaReport, shards)
+	}
+	if target.OpsPerSec < factor*base.OpsPerSec {
+		return fmt.Errorf("%w: shards=%d reached %.0f ops/sec, below %.1fx the shards=1 baseline %.0f",
+			ErrBenchMetaReport, shards, target.OpsPerSec, factor, base.OpsPerSec)
+	}
+	return nil
+}
+
+// appendDelayFaults models journal device latency: every append
+// sleeps the configured delay, then proceeds untorn.
+type appendDelayFaults struct{ d time.Duration }
+
+func (f appendDelayFaults) BeforeAppend(frame []byte) (int, error) {
+	//lint:ignore determinism the modeled journal-device latency IS the benchmark's load; only wall-clock throughput depends on it, never replayed state
+	time.Sleep(f.d)
+	return len(frame), nil
+}
+
+// BenchMeta runs the metadata benchmark sweep.
+func BenchMeta(cfg BenchMetaConfig) (*BenchMetaReport, error) {
+	cfg = cfg.withDefaults()
+	report := &BenchMetaReport{
+		Schema:     BenchMetaSchema,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config: BenchMetaReportConfig{
+			Shards:      cfg.Shards,
+			Ops:         cfg.Ops,
+			Workers:     cfg.Workers,
+			Nodes:       cfg.Nodes,
+			Tenants:     cfg.Tenants,
+			FileSize:    cfg.FileSize,
+			AppendDelay: cfg.AppendDelay.Seconds(),
+			ChurnEvery:  cfg.ChurnEvery,
+			Seed:        cfg.Seed,
+		},
+	}
+	var baseOpsPerSec float64
+	for i, shards := range cfg.Shards {
+		run, err := benchMetaOne(cfg, shards)
+		if err != nil {
+			return nil, fmt.Errorf("svc: meta bench shards=%d: %w", shards, err)
+		}
+		if i == 0 {
+			baseOpsPerSec = run.OpsPerSec
+		}
+		if baseOpsPerSec > 0 {
+			run.Speedup = run.OpsPerSec / baseOpsPerSec
+		}
+		report.Runs = append(report.Runs, *run)
+	}
+	return report, nil
+}
+
+// benchMetaOne measures one shard count: build a sharded NameNode
+// journaling under a fresh root, run the workload, crash, replay
+// twice, compare.
+func benchMetaOne(cfg BenchMetaConfig, shards int) (*BenchMetaRun, error) {
+	root, err := os.MkdirTemp("", "adapt-meta-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	c, err := cluster.New(make([]cluster.Node, cfg.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	nn, err := dfs.NewNameNodeSharded(c, nil, shards)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := wal.ShardDirs(root, shards)
+	if err != nil {
+		return nil, err
+	}
+	journals := make([]*walJournal, len(dirs))
+	hooks := make([]dfs.Journal, len(dirs))
+	for i, dir := range dirs {
+		j, files, err := openJournal(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := nn.RestoreShard(i, files); err != nil {
+			return nil, err
+		}
+		j.log.SetFaults(appendDelayFaults{d: cfg.AppendDelay})
+		journals[i] = j
+		hooks[i] = j
+	}
+	if err := nn.SetShardJournals(hooks); err != nil {
+		return nil, err
+	}
+
+	// The workload: Workers concurrent clients, each running its slice
+	// of Ops against its own tenant-prefixed names. Every 4th op
+	// deletes the worker's oldest live file; the rest create. A global
+	// op counter drives churn so the flip schedule depends on progress,
+	// not timers.
+	g := stats.NewRNG(cfg.Seed)
+	var opCounter atomic.Int64
+	var churns atomic.Int64
+	var churnMu sync.Mutex
+	downNode := -1
+	churn := func() {
+		churnMu.Lock()
+		defer churnMu.Unlock()
+		if downNode >= 0 {
+			_ = nn.SetNodeUp(cluster.NodeID(downNode), true)
+		}
+		downNode = (downNode + 1 + int(churns.Load())) % cfg.Nodes
+		_ = nn.SetNodeUp(cluster.NodeID(downNode), false)
+		churns.Add(1)
+	}
+
+	type ackedFile struct {
+		name string
+		size int
+	}
+	perWorker := make([][]ackedFile, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	payload := func(seed int) []byte {
+		data := make([]byte, cfg.FileSize)
+		for j := range data {
+			data[j] = byte((seed*131 + j*7) % 251)
+		}
+		return data
+	}
+
+	start := cfg.Now()
+	var wg sync.WaitGroup
+	opsPerWorker := cfg.Ops / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int, g *stats.RNG) {
+			defer wg.Done()
+			cl, err := dfs.NewClient(nn, g)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			cl.BlockSize = int64(cfg.FileSize)
+			cl.Replication = 2
+			var live []ackedFile
+			for op := 0; op < opsPerWorker; op++ {
+				if n := opCounter.Add(1); n%int64(cfg.ChurnEvery) == 0 {
+					churn()
+				}
+				if op%4 == 3 && len(live) > 0 {
+					victim := live[0]
+					if err := nn.Delete(victim.name); err != nil {
+						errs[w] = fmt.Errorf("delete %q: %w", victim.name, err)
+						return
+					}
+					live = live[1:]
+					continue
+				}
+				name := fmt.Sprintf("@t%d/w%d-f%06d", w%cfg.Tenants, w, op)
+				data := payload(w*100000 + op)
+				if _, err := cl.CopyFromLocal(name, data, op%2 == 0); err != nil {
+					errs[w] = fmt.Errorf("create %q: %w", name, err)
+					return
+				}
+				live = append(live, ackedFile{name: name, size: len(data)})
+			}
+			perWorker[w] = live
+		}(w, g.Split())
+	}
+	wg.Wait()
+	seconds := cfg.Now().Sub(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	run := &BenchMetaRun{
+		Shards:  shards,
+		Workers: cfg.Workers,
+		Ops:     opsPerWorker * cfg.Workers,
+		Seconds: seconds,
+		Churns:  int(churns.Load()),
+	}
+	if seconds > 0 {
+		run.OpsPerSec = float64(run.Ops) / seconds
+	}
+
+	// kill -9: abandon every journal handle without a final sync, then
+	// prove recovery from what is on disk.
+	liveFP := make([]string, shards)
+	for i := range liveFP {
+		liveFP[i] = nn.FingerprintShard(i)
+	}
+	for _, j := range journals {
+		j.log.Crash()
+	}
+	rec1, err := RecoverShards(root, shards)
+	if err != nil {
+		return nil, fmt.Errorf("first replay: %w", err)
+	}
+	rec2, err := RecoverShards(root, shards)
+	if err != nil {
+		return nil, fmt.Errorf("second replay: %w", err)
+	}
+	run.ReplayDeterministic = true
+	run.ShardSeqs = make([]uint64, shards)
+	for i := 0; i < shards; i++ {
+		run.ShardSeqs[i] = journals[i].log.Seq()
+		fp1, fp2 := dfs.FingerprintFiles(rec1[i]), dfs.FingerprintFiles(rec2[i])
+		if fp1 != fp2 || fp1 != liveFP[i] {
+			run.ReplayDeterministic = false
+		}
+	}
+
+	// Zero acked mutations lost: every file acked live at crash time
+	// must be present in the replayed image with its exact size.
+	recovered := make(map[string]int64)
+	for _, files := range rec1 {
+		for _, fm := range files {
+			recovered[fm.Name] = fm.Size
+		}
+	}
+	for w := range perWorker {
+		run.AckedFiles += len(perWorker[w])
+		for _, f := range perWorker[w] {
+			if size, ok := recovered[f.name]; !ok || size != int64(f.size) {
+				run.LostAcked++
+			}
+		}
+	}
+	return run, nil
+}
+
+// BenchMetaText renders the report for the terminal.
+func BenchMetaText(r *BenchMetaReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Sharded namespace metadata benchmark (%d CPU / GOMAXPROCS %d)\n", r.NumCPU, r.GoMaxProcs)
+	fmt.Fprintf(&b, "%d workers, %d nodes, %d tenants, %v simulated fsync, churn every %d ops\n",
+		r.Config.Workers, r.Config.Nodes, r.Config.Tenants,
+		time.Duration(r.Config.AppendDelay*float64(time.Second)), r.Config.ChurnEvery)
+	fmt.Fprintf(&b, "%8s %8s %9s %11s %9s %8s %7s %12s\n",
+		"shards", "ops", "seconds", "ops/sec", "speedup", "churns", "lost", "replay")
+	for _, run := range r.Runs {
+		replay := "identical"
+		if !run.ReplayDeterministic {
+			replay = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "%8d %8d %9.3f %11.1f %8.2fx %8d %7d %12s\n",
+			run.Shards, run.Ops, run.Seconds, run.OpsPerSec, run.Speedup, run.Churns, run.LostAcked, replay)
+	}
+	return b.String()
+}

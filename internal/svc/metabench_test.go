@@ -1,0 +1,118 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestBenchMetaSmoke runs a small sweep end to end: the report must
+// validate (per-shard replay determinism, zero lost acks, every
+// journal busy) and the sharded run must out-run the single-shard
+// baseline.
+func TestBenchMetaSmoke(t *testing.T) {
+	r, err := BenchMeta(BenchMetaConfig{Shards: []int{1, 4}, Ops: 160, Workers: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 2 || r.Runs[0].Shards != 1 || r.Runs[1].Shards != 4 {
+		t.Fatalf("runs = %+v", r.Runs)
+	}
+	for _, run := range r.Runs {
+		if run.Churns == 0 {
+			t.Fatalf("shards=%d ran without churn", run.Shards)
+		}
+		if run.AckedFiles == 0 {
+			t.Fatalf("shards=%d acked nothing", run.Shards)
+		}
+	}
+	if r.Runs[1].OpsPerSec <= r.Runs[0].OpsPerSec {
+		t.Fatalf("4 shards (%.0f ops/sec) not faster than 1 (%.0f)",
+			r.Runs[1].OpsPerSec, r.Runs[0].OpsPerSec)
+	}
+	if out := BenchMetaText(r); !strings.Contains(out, "identical") {
+		t.Fatalf("text table missing replay column:\n%s", out)
+	}
+}
+
+// TestBenchMetaSchemaStable pins the JSON layout the trajectory
+// tooling keys on.
+func TestBenchMetaSchemaStable(t *testing.T) {
+	r := &BenchMetaReport{
+		Schema: BenchMetaSchema,
+		Runs: []BenchMetaRun{{
+			Shards: 1, Workers: 2, Ops: 10, Seconds: 0.5, OpsPerSec: 20,
+			Speedup: 1, Churns: 1, AckedFiles: 8,
+			ReplayDeterministic: true, ShardSeqs: []uint64{12},
+		}},
+	}
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"schema":"` + BenchMetaSchema + `"`, `"shards":1`, `"opsPerSec":20`,
+		`"speedupVsBaseline":1`, `"lostAcked":0`, `"replayDeterministic":true`,
+		`"shardSeqs":[12]`,
+	} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("marshalled report missing %s:\n%s", key, buf)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchMetaValidateRejects covers the honesty checks.
+func TestBenchMetaValidateRejects(t *testing.T) {
+	good := func() *BenchMetaReport {
+		return &BenchMetaReport{
+			Schema: BenchMetaSchema,
+			Runs: []BenchMetaRun{
+				{Shards: 1, Workers: 2, Ops: 10, Seconds: 1, OpsPerSec: 10, ReplayDeterministic: true, ShardSeqs: []uint64{5}},
+				{Shards: 4, Workers: 2, Ops: 10, Seconds: 0.25, OpsPerSec: 40, ReplayDeterministic: true, ShardSeqs: []uint64{2, 1, 1, 1}},
+			},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := good()
+	bad.Schema = "other/v9"
+	if err := bad.Validate(); !errors.Is(err, ErrBenchMetaSchema) {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+	bad = good()
+	bad.Runs[1].LostAcked = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("lost acked write not rejected")
+	}
+	bad = good()
+	bad.Runs[0].ReplayDeterministic = false
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nondeterministic replay not rejected")
+	}
+	bad = good()
+	bad.Runs[1].ShardSeqs[2] = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("idle shard journal not rejected")
+	}
+
+	if err := good().CheckScaling(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	slow := good()
+	slow.Runs[1].OpsPerSec = 15
+	if err := slow.CheckScaling(4, 2); err == nil {
+		t.Fatal("sub-2x scaling not rejected")
+	}
+	if err := good().CheckScaling(8, 2); err == nil {
+		t.Fatal("missing shard count not rejected")
+	}
+}

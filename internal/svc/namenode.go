@@ -3,13 +3,16 @@ package svc
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/adaptsim/adapt/internal/cluster"
 	"github.com/adaptsim/adapt/internal/dfs"
 	"github.com/adaptsim/adapt/internal/model"
+	"github.com/adaptsim/adapt/internal/shard"
 	"github.com/adaptsim/adapt/internal/stats"
+	"github.com/adaptsim/adapt/internal/wal"
 )
 
 // Op RPC params/results (the shell surface of §IV-A over the wire).
@@ -146,9 +149,20 @@ type NameNodeConfig struct {
 	// recovers whatever namespace the directory already holds.
 	WALDir string
 	// SnapshotEvery is the checkpoint cadence in WAL records
-	// (default 256): once the replay suffix exceeds it, the next
-	// mutation or repair scan triggers a snapshot + log truncation.
+	// (default 256): once a shard's replay suffix exceeds it, the
+	// next mutation or repair scan triggers a snapshot + log
+	// truncation for that shard.
 	SnapshotEvery int
+	// Shards is the namespace shard count (default 1). Each shard has
+	// its own metadata lock and — under WALDir — its own journal
+	// directory and snapshot cadence, so metadata throughput scales
+	// with shards. A WAL directory remembers its shard count;
+	// reopening with a different one fails (resharding unsupported).
+	Shards int
+	// TenantQuotas seeds per-tenant admission limits (files, bytes,
+	// replication-factor ceiling), keyed by tenant name ("@tenant/…"
+	// namespace prefixes). Enforced at the shard layer on create.
+	TenantQuotas map[string]shard.Quota
 }
 
 // NewNameNodeServer creates the master for cluster c whose DataNodes
@@ -188,9 +202,16 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 			}
 		}
 	}
-	nn, err := dfs.NewNameNodeWithStores(c, ifaces)
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	nn, err := dfs.NewNameNodeSharded(c, ifaces, shards)
 	if err != nil {
 		return nil, err
+	}
+	for _, tenant := range sortedQuotaKeys(cfg.TenantQuotas) {
+		nn.Quotas().Set(tenant, cfg.TenantQuotas[tenant])
 	}
 	cl, err := dfs.NewClient(nn, g)
 	if err != nil {
@@ -216,18 +237,40 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 	}
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	if cfg.WALDir != "" {
-		j, files, err := openJournal(cfg.WALDir)
+		dirs, err := wal.ShardDirs(cfg.WALDir, shards)
 		if err != nil {
 			return nil, err
 		}
-		// Recovery first, then the journal: replayed mutations must
-		// not be re-journaled.
-		if err := nn.Restore(files); err != nil {
-			_ = j.log.Close()
+		journals := make([]*walJournal, len(dirs))
+		hooks := make([]dfs.Journal, len(dirs))
+		closeAll := func() {
+			for _, j := range journals {
+				if j != nil {
+					_ = j.log.Close()
+				}
+			}
+		}
+		for i, dir := range dirs {
+			j, files, err := openJournal(dir)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("svc: recover shard %d: %w", i, err)
+			}
+			journals[i] = j
+			hooks[i] = j
+			// Recovery first, then the journal: replayed mutations
+			// must not be re-journaled.
+			if err := nn.RestoreShard(i, files); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("svc: restore shard %d: %w", i, err)
+			}
+		}
+		if err := nn.SetShardJournals(hooks); err != nil {
+			closeAll()
 			return nil, err
 		}
-		nn.SetJournal(j)
-		s.durable.journal = j
+		s.durable.journals = journals
+		s.durable.snapMus = make([]sync.Mutex, len(journals))
 		s.durable.snapshotEvery = 256
 		if cfg.SnapshotEvery > 0 {
 			s.durable.snapshotEvery = uint64(cfg.SnapshotEvery)
@@ -235,6 +278,17 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 	}
 	s.srv = NewServer("namenode", faults, s.handle)
 	return s, nil
+}
+
+// sortedQuotaKeys returns the tenant names of a quota map in sorted
+// order so construction applies them deterministically.
+func sortedQuotaKeys(m map[string]shard.Quota) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Listen binds the metadata service.
@@ -266,8 +320,8 @@ func (s *NameNodeServer) Shutdown(ctx context.Context) error {
 	for _, st := range s.stores {
 		st.close()
 	}
-	if s.durable.journal != nil {
-		if jerr := s.durable.journal.log.Close(); jerr != nil && err == nil {
+	for _, j := range s.durable.journals {
+		if jerr := j.log.Close(); jerr != nil && err == nil {
 			err = jerr
 		}
 	}
@@ -282,8 +336,8 @@ func (s *NameNodeServer) Shutdown(ctx context.Context) error {
 // deliberately lost — that is the failure the recovery tests inject.
 func (s *NameNodeServer) Crash() {
 	s.stopLoops()
-	if s.durable.journal != nil {
-		s.durable.journal.log.Crash()
+	for _, j := range s.durable.journals {
+		j.log.Crash()
 	}
 	s.srv.Crash()
 	for _, st := range s.stores {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/shard"
 )
 
 // MaxFrameSize bounds one wire frame. Blocks ride inside JSON
@@ -163,6 +164,7 @@ func init() {
 	registerCode("inconsistent", dfs.ErrInconsistent)
 	registerCode("not_local", dfs.ErrNotLocal)
 	registerCode("journal", dfs.ErrJournal)
+	registerCode("quota", shard.ErrQuota)
 	registerCode("deadline", context.DeadlineExceeded)
 	registerCode("canceled", context.Canceled)
 }

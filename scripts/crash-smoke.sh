@@ -7,17 +7,25 @@
 # back byte-identical and (b) fsck reports the namespace fully
 # replicated (exit 0). This is the shell-level twin of the
 # TestCrashRecoverySoak unit test — same binary an operator runs.
+#
+# The cycle runs twice: once against the flat single-shard WAL layout
+# and once with -shards 4 (per-shard journal directories, the write
+# tenant-prefixed so quota accounting is on the recovered path), the
+# twin of TestShardedCrashRecoverySoak. A final probe restarts the
+# sharded WAL with the wrong -shards value and requires the NameNode
+# to refuse: resharding an existing directory must never silently
+# rehash the namespace.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 WORK="$(mktemp -d)"
-WAL="$WORK/wal"
 BIN="$WORK/adapt-fs"
 NN_ADDR="127.0.0.1:29870"
 DN0_ADDR="127.0.0.1:29864"
 DN1_ADDR="127.0.0.1:29865"
 PIDS=()
+NN_PID=""
 
 cleanup() {
   for pid in "${PIDS[@]:-}"; do
@@ -50,35 +58,68 @@ PIDS+=($!)
 "$BIN" serve-datanode -id 1 -listen "$DN1_ADDR" -namenode "$NN_ADDR" -heartbeat 300ms &
 PIDS+=($!)
 
-start_namenode() {
+start_namenode() { # start_namenode WAL_DIR SHARDS
   "$BIN" serve-namenode -listen "$NN_ADDR" -datanodes "$DN0_ADDR,$DN1_ADDR" \
-    -replicas 2 -block-size 1024 -wal-dir "$WAL" &
+    -replicas 2 -block-size 1024 -wal-dir "$1" -shards "$2" &
   NN_PID=$!
   PIDS+=($NN_PID)
   wait_ready "namenode" "$BIN" ls -namenode "$NN_ADDR"
 }
 
-start_namenode
-say "cluster up (namenode pid $NN_PID, wal dir $WAL)"
+stop_namenode() {
+  kill -9 "$NN_PID"
+  wait "$NN_PID" 2>/dev/null || true
+}
 
-head -c 16384 /dev/urandom > "$WORK/payload.bin"
-"$BIN" put -namenode "$NN_ADDR" -adapt "$WORK/payload.bin" /data
-"$BIN" get -namenode "$NN_ADDR" /data "$WORK/before.bin"
-cmp "$WORK/payload.bin" "$WORK/before.bin"
-say "wrote and verified /data (16 KiB, replication 2)"
+crash_cycle() { # crash_cycle WAL_DIR SHARDS TENANT_FLAGS...
+  local wal="$1" shards="$2"
+  shift 2
 
-say "kill -9 namenode (pid $NN_PID)"
-kill -9 "$NN_PID"
-wait "$NN_PID" 2>/dev/null || true
+  start_namenode "$wal" "$shards"
+  say "cluster up, shards=$shards (namenode pid $NN_PID, wal dir $wal)"
 
-start_namenode
-say "namenode restarted from WAL (pid $NN_PID)"
+  head -c 16384 /dev/urandom > "$WORK/payload.bin"
+  "$BIN" put -namenode "$NN_ADDR" -adapt "$@" "$WORK/payload.bin" /data
+  "$BIN" get -namenode "$NN_ADDR" "$@" /data "$WORK/before.bin"
+  cmp "$WORK/payload.bin" "$WORK/before.bin"
+  say "wrote and verified /data (16 KiB, replication 2)"
 
-"$BIN" get -namenode "$NN_ADDR" /data "$WORK/after.bin"
-cmp "$WORK/payload.bin" "$WORK/after.bin"
-say "acknowledged write survived the crash byte-for-byte"
+  say "kill -9 namenode (pid $NN_PID)"
+  stop_namenode
 
-# Heartbeats re-establish liveness; fsck must then report full health.
-wait_ready "post-crash fsck" "$BIN" fsck -namenode "$NN_ADDR"
-"$BIN" fsck -namenode "$NN_ADDR"
-say "fsck clean after recovery — PASS"
+  start_namenode "$wal" "$shards"
+  say "namenode restarted from WAL (pid $NN_PID)"
+
+  "$BIN" get -namenode "$NN_ADDR" "$@" /data "$WORK/after.bin"
+  cmp "$WORK/payload.bin" "$WORK/after.bin"
+  say "acknowledged write survived the crash byte-for-byte"
+
+  # Heartbeats re-establish liveness; fsck must then report full health.
+  wait_ready "post-crash fsck" "$BIN" fsck -namenode "$NN_ADDR"
+  "$BIN" fsck -namenode "$NN_ADDR"
+  say "fsck clean after recovery (shards=$shards)"
+  stop_namenode
+}
+
+crash_cycle "$WORK/wal-flat" 1
+
+crash_cycle "$WORK/wal-sharded" 4 -tenant acme
+if [ ! -f "$WORK/wal-sharded/SHARDS" ] || [ ! -d "$WORK/wal-sharded/shard-003" ]; then
+  say "sharded WAL layout missing SHARDS manifest or shard-003 directory"
+  exit 1
+fi
+say "sharded WAL layout verified (SHARDS manifest + per-shard directories)"
+
+# Resharding must be refused, not silently rehashed.
+set +e
+timeout 10 "$BIN" serve-namenode -listen "$NN_ADDR" -datanodes "$DN0_ADDR,$DN1_ADDR" \
+  -replicas 2 -block-size 1024 -wal-dir "$WORK/wal-sharded" -shards 8 2> "$WORK/reshard.err"
+rc=$?
+set -e
+if [ "$rc" -eq 0 ] || [ "$rc" -eq 124 ]; then
+  say "namenode accepted -shards 8 over a 4-shard WAL (rc=$rc) — FAIL"
+  exit 1
+fi
+grep -qi "shard" "$WORK/reshard.err"
+say "reshard attempt correctly refused: $(cat "$WORK/reshard.err")"
+say "PASS"
