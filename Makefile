@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-github lint-json build test test-short race race-all race-engine race-svc race-wal race-sched race-wire race-shard sched-verify svc-smoke crash-smoke soak bench bench-smoke fuzz-smoke bench-svc-smoke bench-meta-smoke
+.PHONY: ci vet lint lint-github lint-json build test test-short race race-all race-engine race-svc race-wal race-sched race-wire race-shard race-load sched-verify svc-smoke crash-smoke soak bench bench-smoke fuzz-smoke bench-svc-smoke bench-meta-smoke bench-load-smoke
 
 # Full CI gate: static checks, build, the race-enabled test suite
 # (includes the churn-soak test), and the wire-protocol gates.
@@ -88,6 +88,15 @@ race-shard:
 	$(GO) test -race ./internal/shard/... ./internal/wal/...
 	$(GO) test -race -run 'Shard|BenchMeta|Tenant|Ring|Hashring' ./internal/svc/ ./internal/dfs/ ./internal/placement/
 
+# Focused race gate for the overload/gray-failure robustness stack:
+# admission control, circuit breakers, hedged reads, pool-release on
+# cancelled streams, and the headline overload soak (10x offered load
+# + gray nodes, goodput >= 70% of unloaded, zero acked writes lost),
+# all under the race detector.
+race-load:
+	$(GO) test -race -run 'Admission|Breaker|Hedge|Overload|StreamGetAbandoned|ServeWriteTorn|ClassOf' \
+		./internal/svc/ ./internal/dfs/
+
 # Coverage-guided fuzz smoke for the v2 frame codec: the decoder fuzz
 # target (arbitrary bytes must never crash, leak pooled buffers, or
 # yield an invalid frame) and the chunk-reassembly round-trip target,
@@ -115,6 +124,16 @@ bench-meta-smoke:
 		-meta-shards 1,4 -meta-ops 240 -meta-workers 8 \
 		-meta-out /tmp/BENCH_meta_smoke.json
 	$(GO) run ./cmd/adapt-bench -meta-verify /tmp/BENCH_meta_smoke.json
+
+# Tiny end-to-end run of the overload benchmark: baseline vs 8x
+# offered load with gray DataNodes must produce a BENCH_load.json that
+# -load-verify accepts (goodput >= 0.70x baseline, every shed typed
+# and fast, zero acknowledged writes lost).
+bench-load-smoke:
+	$(GO) run ./cmd/adapt-bench -exp load \
+		-load-workers 3 -load-factor 8 -load-duration 1500ms \
+		-load-out /tmp/BENCH_load_smoke.json
+	$(GO) run ./cmd/adapt-bench -load-verify /tmp/BENCH_load_smoke.json
 
 # Determinism gate for the headline scheduling experiment: the full
 # policy x replication x Table-2 grid must fingerprint identically at

@@ -36,6 +36,15 @@
 //	adapt-bench -exp meta                            # shard sweep -> BENCH_meta.json
 //	adapt-bench -exp meta -meta-shards 1,4 -meta-ops 400
 //	adapt-bench -meta-verify BENCH_meta.json         # honesty + 2x scaling gate
+//
+// The overload benchmark drives a loopback cluster at a load-factor
+// multiple of its baseline offered load with a fraction of the
+// DataNodes gray (alive heartbeats, crawling service), and gates on
+// the robustness stack holding goodput:
+//
+//	adapt-bench -exp load                            # baseline + overload -> BENCH_load.json
+//	adapt-bench -exp load -load-workers 2 -load-factor 8 -load-duration 1s
+//	adapt-bench -load-verify BENCH_load.json         # goodput/durability/fast-shed gates
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	adapt "github.com/adaptsim/adapt"
 	"github.com/adaptsim/adapt/internal/svc"
@@ -87,6 +97,13 @@ type options struct {
 	metaOut     string
 	metaVerify  string
 
+	loadWorkers  int
+	loadFactor   int
+	loadGray     float64
+	loadDuration time.Duration
+	loadOut      string
+	loadVerify   string
+
 	speculation string
 	redundancy  int
 	dynamicRF   string
@@ -120,6 +137,12 @@ func run(args []string) error {
 	fs.IntVar(&opt.metaWorkers, "meta-workers", 0, "meta mode: concurrent clients (default 8)")
 	fs.StringVar(&opt.metaOut, "meta-out", "BENCH_meta.json", "meta mode: report output path (empty = stdout table only)")
 	fs.StringVar(&opt.metaVerify, "meta-verify", "", "verify an existing meta bench report (schema + honesty + 2x scaling gate) and exit")
+	fs.IntVar(&opt.loadWorkers, "load-workers", 0, "load mode: baseline closed-loop client count (default 4)")
+	fs.IntVar(&opt.loadFactor, "load-factor", 0, "load mode: offered-load multiplier for the overload cell (default 10)")
+	fs.Float64Var(&opt.loadGray, "load-gray", 0, "load mode: fraction of DataNodes turned gray under overload (default 0.3)")
+	fs.DurationVar(&opt.loadDuration, "load-duration", 0, "load mode: measurement window per cell (default 2s)")
+	fs.StringVar(&opt.loadOut, "load-out", "BENCH_load.json", "load mode: report output path (empty = stdout table only)")
+	fs.StringVar(&opt.loadVerify, "load-verify", "", "verify an existing load report (goodput >= 0.70x, zero lost acked writes, fast sheds) and exit")
 	fs.StringVar(&opt.speculation, "speculation", "", "sched mode: restrict to one policy (reactive | predictive | redundant; empty = all)")
 	fs.IntVar(&opt.redundancy, "redundancy", 0, "sched mode: attempts per task for the redundant policy (0 = default 2)")
 	fs.StringVar(&opt.dynamicRF, "dynamic-rf", "both", "sched mode: replication arms to run (both | on | off)")
@@ -136,6 +159,9 @@ func run(args []string) error {
 	}
 	if opt.metaVerify != "" {
 		return verifyBenchMeta(opt.metaVerify)
+	}
+	if opt.loadVerify != "" {
+		return verifyBenchLoad(opt.loadVerify)
 	}
 
 	ids := []string{opt.exp}
@@ -162,6 +188,12 @@ func run(args []string) error {
 		if strings.ToLower(id) == "meta" {
 			if err := runBenchMeta(opt); err != nil {
 				return fmt.Errorf("meta: %w", err)
+			}
+			continue
+		}
+		if strings.ToLower(id) == "load" {
+			if err := runBenchLoad(opt); err != nil {
+				return fmt.Errorf("load: %w", err)
 			}
 			continue
 		}
@@ -338,6 +370,60 @@ func runBenchMeta(opt options) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d runs)\n", opt.metaOut, len(report.Runs))
+	return nil
+}
+
+// runBenchLoad executes the overload benchmark (baseline vs LoadFactor
+// x offered load with gray DataNodes) and writes BENCH_load.json. The
+// report's own gates run before it is written: a build whose goodput
+// collapses, whose sheds crawl, or which loses acknowledged writes
+// fails its own benchmark.
+func runBenchLoad(opt options) error {
+	report, err := svc.BenchLoad(context.Background(), svc.BenchLoadConfig{
+		Workers:    opt.loadWorkers,
+		LoadFactor: opt.loadFactor,
+		GrayFrac:   opt.loadGray,
+		Duration:   opt.loadDuration,
+		Seed:       opt.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(svc.BenchLoadText(report))
+	if err := report.Validate(); err != nil {
+		return err
+	}
+	if opt.loadOut == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(opt.loadOut, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (goodput ratio %.2fx)\n", opt.loadOut, report.GoodputRatio)
+	return nil
+}
+
+// verifyBenchLoad parses an existing load report and re-runs its
+// robustness gates — the bench-load-smoke CI gate.
+func verifyBenchLoad(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var report svc.BenchLoadReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := report.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: ok (schema %s, goodput ratio %.2fx >= 0.70x, %d acked writes, 0 lost)\n",
+		path, report.Schema, report.GoodputRatio, report.Overload.AckedWrites)
 	return nil
 }
 

@@ -33,7 +33,10 @@ const serviceHelp = `adapt-fs service subcommands:
   serve-namenode  -listen ADDR -datanodes A,B,...  [-http ADDR] [-replicas N] [-block-size N] [-seed N]
                   [-data-path binary|json] [-wal-dir DIR] [-snapshot-every N] [-shards P]
                   [-suspect-after DUR] [-dead-after DUR] [-repair-interval DUR]
+                  [-max-inflight N] [-queue-depth N] [-brownout-pct N]
+                  [-breaker-threshold N] [-breaker-cooldown DUR] [-hedge-reads]
   serve-datanode  -id N -listen ADDR -namenode ADDR [-heartbeat DUR]
+                  [-max-inflight N] [-queue-depth N] [-brownout-pct N]
   put             -namenode ADDR [-adapt] [-tenant T] LOCAL NAME
   get             -namenode ADDR [-tenant T] NAME [LOCAL]
   ls              -namenode ADDR
@@ -53,6 +56,15 @@ namespace is hash-partitioned into P independently locked and
 journaled shards (the WAL directory remembers P; restart with the
 same value). -tenant T rewrites NAME to the "@T/NAME" form that
 tenant quotas are accounted against.
+
+With -max-inflight N the server admits at most N concurrent requests;
+excess waits in a bounded queue of -queue-depth (default 4N) and is
+shed with a typed, retryable overload error past that. -brownout-pct
+sheds background traffic first once inflight crosses that percentage
+of the limit. -breaker-threshold/-breaker-cooldown arm per-DataNode
+circuit breakers on the NameNode's client side, and -hedge-reads
+fires a backup read at a slow replica's p95. All overload decisions
+surface as adapt_* counters on the -http /metrics endpoint.
 
 Flag-only invocation (no subcommand) runs the in-memory placement or
 -chaos demo; see adapt-fs -h.`
@@ -107,6 +119,13 @@ func serveNameNode(args []string) error {
 		suspectAfter = fs.Duration("suspect-after", 0, "heartbeat silence declaring a DataNode suspect (0 = default)")
 		deadAfter    = fs.Duration("dead-after", 0, "heartbeat silence declaring a DataNode dead (0 = default)")
 		repairEvery  = fs.Duration("repair-interval", 0, "auto-repair scan cadence (0 = default)")
+
+		maxInflight = fs.Int("max-inflight", 0, "admission concurrency limit (0 = admission control disabled)")
+		queueDepth  = fs.Int("queue-depth", 0, "bounded admission wait queue (0 = 4x max-inflight)")
+		brownoutPct = fs.Int("brownout-pct", 0, "percent of max-inflight at which background traffic is shed (0 = default 75)")
+		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive DataNode failures opening its circuit breaker (0 = breakers disabled)")
+		brkCooldown = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default)")
+		hedgeReads  = fs.Bool("hedge-reads", false, "fire a backup read at another replica when the first is slower than its p95")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,6 +147,16 @@ func serveNameNode(args []string) error {
 		WALDir:        *walDir,
 		SnapshotEvery: *snapEvery,
 		Shards:        *shards,
+		Admission: svc.AdmissionConfig{
+			MaxInflight: *maxInflight,
+			Queue:       *queueDepth,
+			BrownoutPct: *brownoutPct,
+		},
+		Breaker: svc.BreakerConfig{
+			Threshold: *brkThresh,
+			Cooldown:  *brkCooldown,
+		},
+		HedgeReads: *hedgeReads,
 	})
 	if err != nil {
 		return err
@@ -174,11 +203,20 @@ func serveDataNode(args []string) error {
 		listen    = fs.String("listen", "127.0.0.1:9864", "block-service listen address")
 		namenode  = fs.String("namenode", "127.0.0.1:9870", "NameNode address for heartbeats")
 		heartbeat = fs.Duration("heartbeat", 3*time.Second, "heartbeat interval")
+
+		maxInflight = fs.Int("max-inflight", 0, "admission concurrency limit (0 = admission control disabled)")
+		queueDepth  = fs.Int("queue-depth", 0, "bounded admission wait queue (0 = 4x max-inflight)")
+		brownoutPct = fs.Int("brownout-pct", 0, "percent of max-inflight at which background traffic is shed (0 = default 75)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	dn := svc.NewDataNodeServer(cluster.NodeID(*id), nil)
+	dn.SetAdmission(svc.AdmissionConfig{
+		MaxInflight: *maxInflight,
+		Queue:       *queueDepth,
+		BrownoutPct: *brownoutPct,
+	})
 	if err := dn.Listen(*listen); err != nil {
 		return err
 	}

@@ -102,10 +102,10 @@ func TestTaintPropagation(t *testing.T) {
 		display string
 		tainted bool
 	}{
-		{"internal/util.backoff", true},        // direct source
-		{"internal/util.Jitter", true},         // one static hop
-		{"internal/graph.Clocky.Work", true},   // direct source
-		{"internal/graph.Drive", true},         // via dynamic dispatch
+		{"internal/util.backoff", true},         // direct source
+		{"internal/util.Jitter", true},          // one static hop
+		{"internal/graph.Clocky.Work", true},    // direct source
+		{"internal/graph.Drive", true},          // via dynamic dispatch
 		{"internal/util.Pure", false},           // no sources at all
 		{"internal/util.BlessedDelay", false},   // suppressed source kills taint
 		{"internal/experiments.RunPure", false}, // clean transitively

@@ -53,3 +53,68 @@ func Scan() error {
 	defer cancel()
 	return FetchContext(ctx)
 }
+
+// call is the fixture's JSON RPC chokepoint — wire-crossing by name.
+func call(ctx context.Context, method string) error {
+	_ = ctx
+	_ = method
+	return nil
+}
+
+// Client stands in for the svc client — wire-crossing by receiver.
+type Client struct{}
+
+// ReadFile is a client RPC.
+func (c *Client) ReadFile(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// Pump hands its lifecycle root straight to an RPC — flagged: the
+// root is allowed to exist (WithCancel idiom), but crossing the wire
+// without a deadline lets one gray peer stall the call forever.
+func Pump() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return call(ctx, "nn.read")
+}
+
+type tagKey struct{}
+
+// Tag derives a value-carrying context from the root and passes it to
+// a Client RPC — flagged: WithValue does not add a deadline.
+func Tag(c *Client) error {
+	root, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := context.WithValue(root, tagKey{}, "v")
+	return c.ReadFile(ctx, "f")
+}
+
+// Bounded budgets the boundary: the lifecycle root stays local and
+// the wire call gets a WithTimeout child — clean.
+func Bounded() error {
+	root, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx, tcancel := context.WithTimeout(root, time.Second)
+	defer tcancel()
+	return call(ctx, "nn.read")
+}
+
+// Relay forwards its caller's context — clean: the caller may well
+// have set a deadline, only provably deadline-free chains are flagged.
+func Relay(ctx context.Context) error {
+	return call(ctx, "dn.get")
+}
+
+// server holds a lifecycle context in a field.
+type server struct {
+	lifeCtx context.Context
+}
+
+// scrubLoop passes a context of unknown provenance (selector) to an
+// RPC — clean: field contexts are the component's documented
+// lifecycle idiom and may be bounded elsewhere.
+func (s *server) scrubLoop() error {
+	return call(s.lifeCtx, "dn.delete")
+}

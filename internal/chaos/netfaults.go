@@ -45,6 +45,7 @@ type NetFaults struct {
 	latency     stats.Distribution
 	maxDelay    time.Duration
 	partitioned map[string]bool
+	gray        map[string]time.Duration
 	drops       int64
 }
 
@@ -53,7 +54,11 @@ func NewNetFaults(g *stats.RNG) (*NetFaults, error) {
 	if g == nil {
 		return nil, ErrNilRNG
 	}
-	return &NetFaults{g: g, partitioned: make(map[string]bool)}, nil
+	return &NetFaults{
+		g:           g,
+		partitioned: make(map[string]bool),
+		gray:        make(map[string]time.Duration),
+	}, nil
 }
 
 // SetDropProb sets the per-message drop probability.
@@ -95,6 +100,37 @@ func (f *NetFaults) Partitioned(endpoint string) bool {
 	return f.partitioned[endpoint]
 }
 
+// SetGray turns the named endpoint into a gray failure: every message
+// sent TO it is delayed by d (stacked on any latency distribution),
+// while messages FROM it — its heartbeats — flow normally. The node
+// looks alive to the failure detector and serves requests 10-100x
+// slower, the failure mode that kills throughput without tripping
+// liveness checks. Clear with ClearGray.
+func (f *NetFaults) SetGray(endpoint string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d <= 0 {
+		delete(f.gray, endpoint)
+		return
+	}
+	f.gray[endpoint] = d
+}
+
+// ClearGray restores the endpoint to normal service latency.
+func (f *NetFaults) ClearGray(endpoint string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.gray, endpoint)
+}
+
+// Gray reports whether the endpoint is currently a gray failure.
+func (f *NetFaults) Gray(endpoint string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.gray[endpoint]
+	return ok
+}
+
 // Drops returns how many messages were injected-failed (partitions
 // and probabilistic drops combined).
 func (f *NetFaults) Drops() int64 {
@@ -127,15 +163,19 @@ func (f *NetFaults) FailMessage(from, to string) error {
 func (f *NetFaults) MessageDelay(from, to string) time.Duration {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Gray-failure delay is directional: traffic toward a gray node
+	// crawls, but the node's own outbound heartbeats stay prompt —
+	// that asymmetry is what keeps it looking alive.
+	delay := f.gray[to]
 	if f.latency == nil {
-		return 0
+		return delay
 	}
 	d := time.Duration(f.latency.Sample(f.g) * float64(time.Second))
 	if d < 0 {
-		return 0
+		d = 0
 	}
 	if f.maxDelay > 0 && d > f.maxDelay {
-		return f.maxDelay
+		d = f.maxDelay
 	}
-	return d
+	return delay + d
 }

@@ -96,6 +96,13 @@ var (
 	// ErrBadConfig marks an invalid dynamic-replication configuration;
 	// always a caller bug.
 	ErrBadConfig = errors.New("dfs: bad dynamic replication config")
+	// ErrOverload marks a request shed by server-side admission
+	// control: a concurrency limit was saturated and the bounded wait
+	// queue could not hold (or outwait) the request. Transient — the
+	// identical request succeeds once load drains — and deliberately
+	// fast: shedding replies immediately instead of queueing into
+	// collapse.
+	ErrOverload = errors.New("dfs: server overloaded, request shed")
 )
 
 // Op identifies a DataNode operation for fault injection.
@@ -325,6 +332,10 @@ type NameNode struct {
 	// dynamic, when non-nil, is the availability/popularity replication
 	// controller; loaded lock-free on the block read path.
 	dynamic atomic.Pointer[dynRF]
+
+	// hedge, when non-nil, is the hedged-read latency tracker; loaded
+	// lock-free on the block read path. See hedge.go.
+	hedge atomic.Pointer[hedger]
 }
 
 // NewNameNode builds a single-shard NameNode and one in-process
@@ -815,14 +826,26 @@ func (nn *NameNode) writeBlockReplicas(ctx context.Context, id BlockID, chunk []
 		// Only acked nodes count as tried — a severed chain fails every
 		// deeper hop collaterally, and those nodes deserve the direct
 		// attempt the loop below gives them, so a mid-chain partition
-		// degrades the write no further than fan-out would.
+		// degrades the write no further than fan-out would. The chain
+		// carries only nodes currently believed up: a down-believed (or
+		// breaker-opened) holder would stall or sever the stream for
+		// every healthy node behind it, and the direct attempts below
+		// still give it its fast-failing probe.
 		if len(want) > 0 {
-			if pp, ok := nn.stores[want[0]].(PipelinePutter); ok {
-				if res, active := pp.PutChain(ctx, id, chunk, want[1:]); active {
-					for _, h := range res.Acked {
-						tried[h] = true
+			chain := want[:0:0]
+			for _, h := range want {
+				if nn.stores[h].Up() {
+					chain = append(chain, h)
+				}
+			}
+			if len(chain) > 0 {
+				if pp, ok := nn.stores[chain[0]].(PipelinePutter); ok {
+					if res, active := pp.PutChain(ctx, id, chunk, chain[1:]); active {
+						for _, h := range res.Acked {
+							tried[h] = true
+						}
+						placed = append(placed, res.Acked...)
 					}
-					placed = append(placed, res.Acked...)
 				}
 			}
 		}
@@ -869,6 +892,9 @@ func (nn *NameNode) ReadBlock(bm BlockMeta) ([]byte, error) {
 func (nn *NameNode) ReadBlockContext(ctx context.Context, bm BlockMeta) ([]byte, error) {
 	if d := nn.dynamic.Load(); d != nil {
 		d.observeRead(bm.File)
+	}
+	if h := nn.hedge.Load(); h != nil {
+		return nn.readBlockHedged(ctx, h, bm)
 	}
 	var lastErr error
 	attempted := 0

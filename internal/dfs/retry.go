@@ -98,7 +98,8 @@ func IsTransient(err error) bool {
 	return errors.Is(err, ErrNodeDown) ||
 		errors.Is(err, ErrChecksum) ||
 		errors.Is(err, ErrNoReplica) ||
-		errors.Is(err, ErrNoLiveNodes)
+		errors.Is(err, ErrNoLiveNodes) ||
+		errors.Is(err, ErrOverload)
 }
 
 // WriteReport describes how a file write fared under failures: the

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+
+	"github.com/adaptsim/adapt/internal/cluster"
 )
 
 // Streaming shell surface: block-at-a-time writes from an io.Reader
@@ -137,4 +139,31 @@ func (nn *NameNode) ScrubOrphans(ctx context.Context) (int, error) {
 		}
 	}
 	return removed, nil
+}
+
+// BlockReferenced reports whether current metadata lists node n as a
+// holder of block id. The torn-pipeline scrubber consults it right
+// before deleting a possibly-committed deep replica: a write that
+// recovered by retrying the same block directly onto a chain node has
+// published that node as a holder, and deleting its replica then would
+// turn a recovered write into data loss.
+func (nn *NameNode) BlockReferenced(id BlockID, n cluster.NodeID) bool {
+	for _, sh := range nn.shards {
+		sh.mu.Lock()
+		for _, fm := range sh.files {
+			for _, bm := range fm.Blocks {
+				if bm.ID != id {
+					continue
+				}
+				for _, r := range bm.Replicas {
+					if r == n {
+						sh.mu.Unlock()
+						return true
+					}
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return false
 }

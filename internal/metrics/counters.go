@@ -70,6 +70,13 @@ type ResilienceCounters struct {
 	// PrunedReplicas counts surplus replicas retired when a file's
 	// dynamic replication target dropped below its live replica count.
 	PrunedReplicas atomic.Int64
+	// HedgedReads counts backup block fetches launched because the
+	// primary outlived the hedge threshold.
+	HedgedReads atomic.Int64
+	// HedgeWins counts hedged reads where the backup finished first.
+	HedgeWins atomic.Int64
+	// HedgeLosses counts hedged reads where the primary still won.
+	HedgeLosses atomic.Int64
 }
 
 // ResilienceSnapshot is a plain-value copy of the counters, safe to
@@ -96,6 +103,9 @@ type ResilienceSnapshot struct {
 	RFRaises              int64
 	RFLowers              int64
 	PrunedReplicas        int64
+	HedgedReads           int64
+	HedgeWins             int64
+	HedgeLosses           int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy (each field
@@ -124,6 +134,9 @@ func (c *ResilienceCounters) Snapshot() ResilienceSnapshot {
 		RFRaises:              c.RFRaises.Load(),
 		RFLowers:              c.RFLowers.Load(),
 		PrunedReplicas:        c.PrunedReplicas.Load(),
+		HedgedReads:           c.HedgedReads.Load(),
+		HedgeWins:             c.HedgeWins.Load(),
+		HedgeLosses:           c.HedgeLosses.Load(),
 	}
 }
 
@@ -150,16 +163,21 @@ func (c *ResilienceCounters) Reset() {
 	c.RFRaises.Store(0)
 	c.RFLowers.Store(0)
 	c.PrunedReplicas.Store(0)
+	c.HedgedReads.Store(0)
+	c.HedgeWins.Store(0)
+	c.HedgeLosses.Store(0)
 }
 
 func (s ResilienceSnapshot) String() string {
 	return fmt.Sprintf(
 		"reads: retries=%d failovers=%d checksum=%d | writes: failovers=%d retries=%d degraded=%d | "+
 			"repair: replicas=%d unrepairable=%d moved=%d scans=%d | down-errors=%d dead=%d | injected: faults=%d corruptions=%d latency=%s | "+
-			"speculation: attempts=%d cancelled=%d wasted=%s | dynamic-rf: raises=%d lowers=%d pruned=%d",
+			"speculation: attempts=%d cancelled=%d wasted=%s | dynamic-rf: raises=%d lowers=%d pruned=%d | "+
+			"hedge: launched=%d wins=%d losses=%d",
 		s.ReadRetries, s.ReadFailovers, s.ChecksumFailures,
 		s.WriteFailovers, s.WriteRetries, s.DegradedWrites,
 		s.RepairedReplicas, s.UnrepairableBlocks, s.RedistributedReplicas, s.RepairScans,
 		s.NodeDownErrors, s.NodesDeclaredDead, s.InjectedFaults, s.InjectedCorruptions, s.InjectedLatency,
-		s.SpeculativeAttempts, s.CancelledAttempts, s.WastedCompute, s.RFRaises, s.RFLowers, s.PrunedReplicas)
+		s.SpeculativeAttempts, s.CancelledAttempts, s.WastedCompute, s.RFRaises, s.RFLowers, s.PrunedReplicas,
+		s.HedgedReads, s.HedgeWins, s.HedgeLosses)
 }

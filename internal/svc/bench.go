@@ -123,11 +123,11 @@ type BenchSvcReportConfig struct {
 
 // BenchSvcReport is the BENCH_svc.json document.
 type BenchSvcReport struct {
-	Schema     string              `json:"schema"`
-	NumCPU     int                 `json:"numCPU"`
-	GoMaxProcs int                 `json:"goMaxProcs"`
+	Schema     string               `json:"schema"`
+	NumCPU     int                  `json:"numCPU"`
+	GoMaxProcs int                  `json:"goMaxProcs"`
 	Config     BenchSvcReportConfig `json:"config"`
-	Runs       []BenchSvcRun       `json:"runs"`
+	Runs       []BenchSvcRun        `json:"runs"`
 }
 
 // ErrBenchSvcSchema reports a BENCH_svc.json that does not match the

@@ -19,7 +19,7 @@ import (
 // rewind the estimator.
 type heartbeatParams struct {
 	Node          cluster.NodeID `json:"node"`
-	Epoch         uint64         `json:"epoch"`         // DataNode incarnation marker
+	Epoch         uint64         `json:"epoch"` // DataNode incarnation marker
 	Seq           uint64         `json:"seq"`
 	Uptime        float64        `json:"uptime"`        // cumulative observed uptime, seconds
 	Interruptions int64          `json:"interruptions"` // cumulative interruption count
@@ -106,6 +106,13 @@ func (d *DataNodeServer) peer() *peerConn {
 	defer d.mu.Unlock()
 	return d.nn
 }
+
+// SetAdmission installs admission control on the block service: JSON
+// RPCs and v2 streams compete for the same budget. Call before Listen.
+func (d *DataNodeServer) SetAdmission(cfg AdmissionConfig) { d.srv.SetAdmission(cfg) }
+
+// Admission exposes the controller (nil when disabled).
+func (d *DataNodeServer) Admission() *admission { return d.srv.Admission() }
 
 // Listen binds the block service (use "127.0.0.1:0" for tests).
 func (d *DataNodeServer) Listen(addr string) error {

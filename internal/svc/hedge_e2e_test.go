@@ -1,0 +1,143 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/chaos"
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// hedgeCluster boots a 4-node cluster with hedged reads enabled and no
+// breakers, so the hedge path alone must cope with a gray replica.
+func hedgeCluster(t *testing.T, hedge HedgeConfig) (*LocalCluster, *chaos.NetFaults) {
+	t.Helper()
+	c, err := cluster.New(make([]cluster.Node, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := chaos.NewNetFaults(stats.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := StartLocalCluster(c, stats.NewRNG(7), faults, NameNodeConfig{
+		BlockSize:   4096,
+		Replication: 2,
+		HedgeReads:  true,
+		Hedge:       hedge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = lc.Close(ctx)
+	})
+	return lc, faults
+}
+
+// TestHedgedReadWinsAgainstGrayReplica grays the primary replica of a
+// block and requires the hedge to rescue every read: the backup fetch
+// fires after the threshold, wins, returns byte-identical data fast,
+// and the cancelled loser neither leaks pooled buffers nor poisons the
+// primary's liveness (proved by the reads continuing to hedge — a
+// down-marked primary would drop out of the live list and the reads
+// would stop needing hedges at all).
+func TestHedgedReadWinsAgainstGrayReplica(t *testing.T) {
+	lc, faults := hedgeCluster(t, HedgeConfig{
+		Quantile:   0.5,
+		Multiplier: 2,
+		MinDelay:   10 * time.Millisecond,
+		Window:     32,
+		MinSamples: 4,
+	})
+	start := frameBufs.balance()
+	cl := lc.Client("hedge")
+	defer cl.Close()
+	ctx := context.Background()
+
+	data := payload(4096) // one block
+	if _, _, err := cl.CopyFromLocal(ctx, "h", data, true); err != nil {
+		t.Fatal(err)
+	}
+	// Warm reads fill the latency window past MinSamples; on loopback
+	// the threshold settles at the MinDelay floor.
+	for i := 0; i < 6; i++ {
+		if _, err := cl.ReadFile(ctx, "h"); err != nil {
+			t.Fatalf("warm read %d: %v", i, err)
+		}
+	}
+	fm, err := cl.Stat(ctx, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := fm.Blocks[0].Replicas[0]
+	faults.SetGray(endpointName(primary), 2*time.Second)
+	base := lc.Engine().Resilience().Snapshot()
+
+	for i := 0; i < 3; i++ {
+		rctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		t0 := time.Now()
+		got, err := cl.ReadFile(rctx, "h")
+		took := time.Since(t0)
+		cancel()
+		if err != nil {
+			t.Fatalf("read %d with gray primary: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("read %d: hedged bytes differ from written", i)
+		}
+		if took > time.Second {
+			t.Fatalf("read %d took %v: the hedge did not rescue it", i, took)
+		}
+	}
+
+	snap := lc.Engine().Resilience().Snapshot()
+	if hedged := snap.HedgedReads - base.HedgedReads; hedged < 3 {
+		t.Fatalf("hedged reads = %d, want >= 3 (one per gray read)", hedged)
+	}
+	if wins := snap.HedgeWins - base.HedgeWins; wins < 1 {
+		t.Fatalf("hedge wins = %d, want >= 1", wins)
+	}
+	// The losers' pooled stream buffers must all come back.
+	requirePoolBalance(t, start)
+}
+
+// TestHedgeQuietOnFastCluster: with a healthy cluster and a threshold
+// parked far above observed latency, reads must never hedge — hedging
+// on noise would double read traffic for nothing.
+func TestHedgeQuietOnFastCluster(t *testing.T) {
+	lc, _ := hedgeCluster(t, HedgeConfig{
+		Quantile:   0.95,
+		Multiplier: 20,
+		MinDelay:   300 * time.Millisecond,
+		Window:     32,
+		MinSamples: 4,
+	})
+	cl := lc.Client("quiet")
+	defer cl.Close()
+	ctx := context.Background()
+
+	data := payload(4096)
+	if _, _, err := cl.CopyFromLocal(ctx, "q", data, true); err != nil {
+		t.Fatal(err)
+	}
+	base := lc.Engine().Resilience().Snapshot()
+	for i := 0; i < 20; i++ {
+		got, err := cl.ReadFile(ctx, "q")
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("read %d: bytes differ", i)
+		}
+	}
+	snap := lc.Engine().Resilience().Snapshot()
+	if hedged := snap.HedgedReads - base.HedgedReads; hedged != 0 {
+		t.Fatalf("fast cluster hedged %d reads, want 0", hedged)
+	}
+}

@@ -44,6 +44,27 @@ type MetricsSnapshot struct {
 	// quota/usage rollup in tenant order.
 	Shards  int
 	Tenants []shard.TenantUsage
+
+	// Admission-control gauges and counters; exported only when the
+	// metadata service runs with admission control installed.
+	Admission     bool
+	AdmitInflight float64
+	AdmitQueue    float64
+	AdmitAdmitted float64
+	AdmitQueued   float64
+	AdmitShed     float64
+	ShedQueueFull float64
+	ShedBrownout  float64
+	ShedExpired   float64
+
+	// Per-node circuit-breaker state (0 closed, 1 open, 2 half-open)
+	// and fleet-wide transition counters; exported only when breakers
+	// are enabled.
+	Breakers         bool
+	BreakerState     map[int]float64
+	BreakerOpens     float64
+	BreakerCloses    float64
+	BreakerFastFails float64
 }
 
 // snapshotMetrics gathers the NameNode's current state for export.
@@ -75,6 +96,9 @@ func (s *NameNodeServer) snapshotMetrics(now time.Time) MetricsSnapshot {
 			"rf_raises":              rs.RFRaises,
 			"rf_lowers":              rs.RFLowers,
 			"pruned_replicas":        rs.PrunedReplicas,
+			"hedged_reads":           rs.HedgedReads,
+			"hedge_wins":             rs.HedgeWins,
+			"hedge_losses":           rs.HedgeLosses,
 		},
 		HeartbeatAge:   make(map[int]float64),
 		Lambda:         make(map[int]float64),
@@ -100,6 +124,29 @@ func (s *NameNodeServer) snapshotMetrics(now time.Time) MetricsSnapshot {
 	}
 	for id, st := range s.DetectorStates() {
 		m.NodeState[int(id)] = float64(st)
+	}
+	if adm := s.srv.Admission(); adm != nil {
+		st := adm.Stats()
+		m.Admission = true
+		m.AdmitInflight = float64(adm.Inflight())
+		m.AdmitQueue = float64(adm.QueueDepth())
+		m.AdmitAdmitted = float64(st.Admitted.Load())
+		m.AdmitQueued = float64(st.QueueWaits.Load())
+		m.AdmitShed = float64(st.Shed())
+		m.ShedQueueFull = float64(st.ShedQueueFull.Load())
+		m.ShedBrownout = float64(st.ShedBrownout.Load())
+		m.ShedExpired = float64(st.ShedExpired.Load())
+	}
+	if s.brkStats != nil {
+		states, bst := s.BreakerStates()
+		m.Breakers = true
+		m.BreakerState = make(map[int]float64, len(states))
+		for id, st := range states {
+			m.BreakerState[id] = float64(st)
+		}
+		m.BreakerOpens = float64(bst.Opens.Load())
+		m.BreakerCloses = float64(bst.Closes.Load())
+		m.BreakerFastFails = float64(bst.FastFails.Load())
 	}
 	return m
 }
@@ -169,6 +216,28 @@ func RenderMetrics(m MetricsSnapshot) string {
 			func(tu shard.TenantUsage) float64 { return float64(tu.Quota.MaxFiles) })
 		tenantSeries("adapt_namenode_tenant_max_bytes", "Tenant byte quota (0 = unlimited).",
 			func(tu shard.TenantUsage) float64 { return float64(tu.Quota.MaxBytes) })
+	}
+	if m.Admission {
+		counter := func(name, help string, v float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+		}
+		gauge("adapt_namenode_admission_inflight", "RPCs currently holding admission slots.", m.AdmitInflight)
+		gauge("adapt_namenode_admission_queue_depth", "RPCs waiting in the bounded admission queue.", m.AdmitQueue)
+		counter("adapt_namenode_admission_admitted_total", "RPCs admitted past admission control.", m.AdmitAdmitted)
+		counter("adapt_namenode_admission_queue_waits_total", "RPCs that waited in the admission queue before admission.", m.AdmitQueued)
+		counter("adapt_namenode_admission_shed_total", "RPCs shed by admission control (all causes).", m.AdmitShed)
+		counter("adapt_namenode_admission_shed_queue_full_total", "RPCs shed because the admission queue was full.", m.ShedQueueFull)
+		counter("adapt_namenode_admission_shed_brownout_total", "Background RPCs shed by brownout degradation.", m.ShedBrownout)
+		counter("adapt_namenode_admission_shed_expired_total", "Queued RPCs shed when their deadline budget expired.", m.ShedExpired)
+	}
+	if m.Breakers {
+		counter := func(name, help string, v float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+		}
+		series("adapt_namenode_breaker_state", "Circuit-breaker state per DataNode proxy (0 closed, 1 open, 2 half-open).", m.BreakerState)
+		counter("adapt_namenode_breaker_opens_total", "Circuit-breaker transitions to open.", m.BreakerOpens)
+		counter("adapt_namenode_breaker_closes_total", "Circuit-breaker recoveries to closed.", m.BreakerCloses)
+		counter("adapt_namenode_breaker_fast_fails_total", "Calls fast-failed by an open circuit breaker.", m.BreakerFastFails)
 	}
 	return b.String()
 }

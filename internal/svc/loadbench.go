@@ -1,0 +1,604 @@
+package svc
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/adaptsim/adapt/internal/chaos"
+	"github.com/adaptsim/adapt/internal/cluster"
+	"github.com/adaptsim/adapt/internal/dfs"
+	"github.com/adaptsim/adapt/internal/stats"
+)
+
+// The overload benchmark: the same loopback cluster measured unloaded
+// and then under LoadFactor x offered load with a fraction of its
+// DataNodes turned gray (alive heartbeats, crawling service). The
+// robustness stack — admission control with brownout shedding,
+// deadline-budget propagation, per-node circuit breakers, hedged
+// reads — is what keeps the overloaded cell's goodput within a
+// constant factor of the unloaded cell's, and the report gates on it:
+//
+//	goodput(overload) >= 0.70 x goodput(baseline)
+//	every shed request failed fast with dfs.ErrOverload
+//	zero acknowledged writes lost
+//
+// A build that quietly drops admission control, resets deadline
+// budgets per hop, or loses acked writes under load fails its own
+// benchmark report.
+
+// BenchLoadSchema identifies the BENCH_load.json layout. Bump only on
+// incompatible changes; trajectory tooling keys on it.
+const BenchLoadSchema = "adapt-bench-load/v1"
+
+// BenchLoadConfig parameterizes the harness. Zero fields take
+// defaults.
+type BenchLoadConfig struct {
+	// Nodes in the loopback cluster (default 6).
+	Nodes int
+	// Replication per block (default 3).
+	Replication int
+	// BlockSize of benchmark files (default 32 KiB).
+	BlockSize int64
+	// Files preloaded for the read mix (default 24; the warmup reads
+	// over them also push the hedge latency tracker past MinSamples).
+	Files int
+	// Workers is the baseline closed-loop client count — the unloaded
+	// offered load (default 4).
+	Workers int
+	// LoadFactor multiplies Workers for the overload cell (default 10).
+	LoadFactor int
+	// GrayFrac is the fraction of DataNodes turned gray in the
+	// overload cell (default 0.3, rounded, at least 1, capped so
+	// Replication healthy nodes remain).
+	GrayFrac float64
+	// GrayDelay is the injected service latency toward a gray node
+	// (default 2s — far past OpTimeout, so a request that waits it out
+	// burns its whole budget, exactly the gray-failure shape).
+	GrayDelay time.Duration
+	// OpTimeout is each request's deadline budget (default 600ms).
+	OpTimeout time.Duration
+	// Duration of each measurement window (default 2s).
+	Duration time.Duration
+	// MaxInflight is the admission concurrency limit on the NameNode
+	// (default 2×Workers; DataNodes get twice that for pipeline
+	// fan-out).
+	MaxInflight int
+	// Queue is the NameNode's bounded admission wait queue (default
+	// MaxInflight+Workers). Queued waiters sleep server-side — cheap,
+	// deadline-aware — so moderate excess smooths into queue waits
+	// instead of shed-and-retry churn, while the bound keeps the
+	// overload cell's surplus (offered load is far above
+	// MaxInflight+Queue) shedding instead of buffering into collapse.
+	Queue int
+	// Seed drives placement, payloads, and breaker jitter (default 1).
+	Seed uint64
+	// Now supplies wall-clock readings; defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c BenchLoadConfig) withDefaults() BenchLoadConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 6
+	}
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 32 << 10
+	}
+	if c.Files == 0 {
+		c.Files = 24
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 10
+	}
+	if c.GrayFrac == 0 {
+		c.GrayFrac = 0.3
+	}
+	if c.GrayDelay == 0 {
+		c.GrayDelay = 2 * time.Second
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 600 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 2 * c.Workers
+	}
+	if c.Queue == 0 {
+		c.Queue = c.MaxInflight + c.Workers
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		//lint:ignore determinism the load harness measures wall-clock goodput by design; tests inject a virtual Now
+		c.Now = time.Now
+	}
+	return c
+}
+
+// grayCount returns how many nodes the overload cell turns gray.
+func (c BenchLoadConfig) grayCount() int {
+	n := int(c.GrayFrac*float64(c.Nodes) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if max := c.Nodes - c.Replication; n > max {
+		n = max
+	}
+	return n
+}
+
+// BenchLoadCell is one measured load cell.
+type BenchLoadCell struct {
+	Name      string  `json:"name"` // "baseline" or "overload"
+	Workers   int     `json:"workers"`
+	GrayNodes int     `json:"grayNodes"`
+	Seconds   float64 `json:"seconds"`
+	// Data-plane requests (puts and gets) by outcome. Succeeded + Shed
+	// + Failed == Attempted.
+	Attempted  int     `json:"attempted"`
+	Succeeded  int     `json:"succeeded"`
+	Shed       int     `json:"shed"`   // failed with dfs.ErrOverload
+	Failed     int     `json:"failed"` // failed any other way
+	GoodputOps float64 `json:"goodputOpsPerSec"`
+	P50MS      float64 `json:"p50ms"` // successful data-plane requests
+	P99MS      float64 `json:"p99ms"`
+	ShedP50MS  float64 `json:"shedP50ms"` // shed requests: how fast they failed
+	ShedP99MS  float64 `json:"shedP99ms"`
+	// Background requests (stat) ride along to exercise brownout; they
+	// are tracked separately and never count toward goodput.
+	Background     int `json:"background"`
+	BackgroundShed int `json:"backgroundShed"`
+	// Write-durability audit: every write the cell acknowledged is
+	// read back after the window (gray injection cleared) and checked
+	// byte-identical.
+	AckedWrites int `json:"ackedWrites"`
+	LostAcked   int `json:"lostAckedWrites"`
+	// Mechanism counters observed during the cell, for the narrative:
+	// what the robustness stack actually did.
+	ShedsServer  int64 `json:"shedsServer"` // admission sheds, NameNode + DataNodes
+	BreakerOpens int64 `json:"breakerOpens"`
+	HedgedReads  int64 `json:"hedgedReads"`
+	HedgeWins    int64 `json:"hedgeWins"`
+}
+
+// BenchLoadReportConfig echoes the harness parameters into the report.
+type BenchLoadReportConfig struct {
+	Nodes       int     `json:"nodes"`
+	Replication int     `json:"replication"`
+	BlockSize   int64   `json:"blockSize"`
+	Files       int     `json:"files"`
+	Workers     int     `json:"workers"`
+	LoadFactor  int     `json:"loadFactor"`
+	GrayFrac    float64 `json:"grayFrac"`
+	GrayDelayMS int64   `json:"grayDelayMS"`
+	OpTimeoutMS int64   `json:"opTimeoutMS"`
+	DurationMS  int64   `json:"durationMS"`
+	MaxInflight int     `json:"maxInflight"`
+	Queue       int     `json:"queue"`
+	Seed        uint64  `json:"seed"`
+}
+
+// BenchLoadReport is the BENCH_load.json document.
+type BenchLoadReport struct {
+	Schema     string                `json:"schema"`
+	NumCPU     int                   `json:"numCPU"`
+	GoMaxProcs int                   `json:"goMaxProcs"`
+	Config     BenchLoadReportConfig `json:"config"`
+	Baseline   BenchLoadCell         `json:"baseline"`
+	Overload   BenchLoadCell         `json:"overload"`
+	// GoodputRatio is overload goodput over baseline goodput — the
+	// headline number, gated at 0.70 by Validate.
+	GoodputRatio float64 `json:"goodputRatio"`
+}
+
+// ErrBenchLoadSchema reports a BENCH_load.json that does not match the
+// schema this binary writes.
+var ErrBenchLoadSchema = errors.New("svc: load report schema mismatch")
+
+// ErrBenchLoadReport marks a load report that fails its honesty gates
+// (no sheds under overload, goodput collapse, lost acked writes, slow
+// sheds).
+var ErrBenchLoadReport = errors.New("svc: invalid load report")
+
+// Validate checks the report is structurally sound and that the
+// overload cell met the robustness gates.
+func (r *BenchLoadReport) Validate() error {
+	if r.Schema != BenchLoadSchema {
+		return fmt.Errorf("%w: got %q, want %q", ErrBenchLoadSchema, r.Schema, BenchLoadSchema)
+	}
+	for _, cell := range []*BenchLoadCell{&r.Baseline, &r.Overload} {
+		if cell.Attempted <= 0 || cell.Seconds <= 0 {
+			return fmt.Errorf("%w: cell %q measured nothing", ErrBenchLoadReport, cell.Name)
+		}
+		if cell.Succeeded <= 0 {
+			return fmt.Errorf("%w: cell %q had no successful requests", ErrBenchLoadReport, cell.Name)
+		}
+		if cell.Succeeded+cell.Shed+cell.Failed != cell.Attempted {
+			return fmt.Errorf("%w: cell %q outcome counts do not sum: %d+%d+%d != %d",
+				ErrBenchLoadReport, cell.Name, cell.Succeeded, cell.Shed, cell.Failed, cell.Attempted)
+		}
+	}
+	if r.Overload.GrayNodes <= 0 {
+		return fmt.Errorf("%w: overload cell ran with no gray nodes", ErrBenchLoadReport)
+	}
+	if r.Overload.Shed <= 0 {
+		return fmt.Errorf("%w: %dx offered load produced no sheds — admission control is not engaging", ErrBenchLoadReport, r.Config.LoadFactor)
+	}
+	if r.GoodputRatio < 0.70 {
+		return fmt.Errorf("%w: overload goodput is %.2fx baseline, gate is 0.70x", ErrBenchLoadReport, r.GoodputRatio)
+	}
+	if r.Overload.AckedWrites <= 0 {
+		return fmt.Errorf("%w: overload cell acknowledged no writes", ErrBenchLoadReport)
+	}
+	if r.Overload.LostAcked != 0 {
+		return fmt.Errorf("%w: %d acknowledged writes lost under overload", ErrBenchLoadReport, r.Overload.LostAcked)
+	}
+	// Sheds must fail fast: the typical shed (queue full, brownout)
+	// answers immediately, and even the slowest (a queued request
+	// whose budget expired waiting) never outlives its own deadline by
+	// much.
+	budget := float64(r.Config.OpTimeoutMS)
+	if r.Overload.ShedP50MS > budget/2 {
+		return fmt.Errorf("%w: median shed took %.1fms against a %dms budget — sheds are not failing fast",
+			ErrBenchLoadReport, r.Overload.ShedP50MS, r.Config.OpTimeoutMS)
+	}
+	if r.Overload.ShedP99MS > budget*1.5 {
+		return fmt.Errorf("%w: p99 shed took %.1fms against a %dms budget", ErrBenchLoadReport, r.Overload.ShedP99MS, r.Config.OpTimeoutMS)
+	}
+	return nil
+}
+
+// loadCluster boots one instrumented loopback cluster: admission
+// control on the NameNode and every DataNode, per-node breakers, and
+// hedged reads.
+func loadCluster(cfg BenchLoadConfig) (*LocalCluster, *chaos.NetFaults, error) {
+	c, err := cluster.New(make([]cluster.Node, cfg.Nodes))
+	if err != nil {
+		return nil, nil, err
+	}
+	faults, err := chaos.NewNetFaults(stats.NewRNG(cfg.Seed ^ 0xfa017))
+	if err != nil {
+		return nil, nil, err
+	}
+	lc, err := StartLocalCluster(c, stats.NewRNG(cfg.Seed), faults, NameNodeConfig{
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		Admission: AdmissionConfig{
+			MaxInflight: cfg.MaxInflight,
+			Queue:       cfg.Queue,
+		},
+		Breaker: BreakerConfig{
+			Threshold: 2,
+			// Longer than the measurement window: a gray node walled
+			// off stays walled off instead of burning a probe timeout
+			// per cooldown mid-cell.
+			Cooldown: 2 * cfg.Duration,
+			Probes:   1,
+		},
+		HedgeReads: true,
+		Hedge: HedgeConfig{
+			Quantile:   0.95,
+			Multiplier: 3,
+			MinDelay:   25 * time.Millisecond,
+			MinSamples: 8,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, dn := range lc.DNs {
+		// Twice the NameNode limit: one admitted client op can fan out
+		// to several pipeline/read streams across the DataNodes.
+		dn.SetAdmission(AdmissionConfig{MaxInflight: 2 * cfg.MaxInflight, Queue: 2 * cfg.Queue})
+	}
+	return lc, faults, nil
+}
+
+// ackedWrite records one write the cluster acknowledged during the
+// window, for the post-cell durability readback.
+type ackedWrite struct {
+	name string
+	hash [32]byte
+}
+
+// loadWorkerResult accumulates one closed-loop worker's outcomes.
+// Latencies are in seconds.
+type loadWorkerResult struct {
+	okLat, shedLat []float64
+	attempted      int
+	failed         int
+	background     int
+	bgShed         int
+	acked          []ackedWrite
+}
+
+// serverSheds sums admission sheds across the NameNode and every
+// DataNode.
+func serverSheds(lc *LocalCluster) int64 {
+	var total int64
+	if st := lc.NN.Admission().Stats(); st != nil {
+		total += st.Shed()
+	}
+	for _, dn := range lc.DNs {
+		if st := dn.Admission().Stats(); st != nil {
+			total += st.Shed()
+		}
+	}
+	return total
+}
+
+// breakerOpens reads the fleet-wide breaker open count (0 when
+// breakers are disabled).
+func breakerOpens(lc *LocalCluster) int64 {
+	if _, st := lc.NN.BreakerStates(); st != nil {
+		return st.Opens.Load()
+	}
+	return 0
+}
+
+// runLoadCell boots a fresh instrumented cluster, preloads the read
+// set, warms the hedge tracker, turns the listed nodes gray, then
+// drives workers closed-loop for the window and classifies every
+// request. After the window the gray injection is cleared and every
+// acknowledged write is read back byte-identical.
+func runLoadCell(ctx context.Context, cfg BenchLoadConfig, name string, workers int, gray []cluster.NodeID) (BenchLoadCell, error) {
+	lc, faults, err := loadCluster(cfg)
+	if err != nil {
+		return BenchLoadCell{}, err
+	}
+	defer func() { _ = lc.Close(context.WithoutCancel(ctx)) }()
+
+	// Preload the read set and warm the hedge latency tracker before
+	// any gray failure or load arrives — baseline capacity is the
+	// healthy cluster's.
+	pre := lc.Client("load-pre")
+	defer pre.Close()
+	preNames := make([]string, cfg.Files)
+	preHashes := make([][32]byte, cfg.Files)
+	for i := range preNames {
+		preNames[i] = fmt.Sprintf("load-pre-%d", i)
+		data := benchPayload(cfg.BlockSize, cfg.Seed, i)
+		preHashes[i] = sha256.Sum256(data)
+		if _, _, err := pre.CopyFromLocal(ctx, preNames[i], data, true); err != nil {
+			return BenchLoadCell{}, fmt.Errorf("svc: load preload %s: %w", preNames[i], err)
+		}
+	}
+	for _, n := range preNames {
+		if _, err := pre.ReadFile(ctx, n); err != nil {
+			return BenchLoadCell{}, fmt.Errorf("svc: load warmup read %s: %w", n, err)
+		}
+	}
+
+	for _, id := range gray {
+		faults.SetGray(endpointName(id), cfg.GrayDelay)
+	}
+
+	resil := lc.Engine().Resilience()
+	hedgeBase := resil.Snapshot()
+	shedBase := serverSheds(lc)
+	opensBase := breakerOpens(lc)
+
+	results := make([]loadWorkerResult, workers)
+	t0 := cfg.Now()
+	deadline := t0.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			cl := lc.Client(fmt.Sprintf("load-%s-%d", name, w))
+			defer cl.Close()
+			g := stats.NewRNG(cfg.Seed + uint64(w)*131 + 17)
+			backoff := time.Duration(0)
+			for op := 0; cfg.Now().Before(deadline); op++ {
+				opCtx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
+				opStart := cfg.Now()
+				var err error
+				wrote := ackedWrite{}
+				background := false
+				switch {
+				case op%7 == 3:
+					// Background traffic rides along so brownout has
+					// something to shed; it never counts toward goodput.
+					background = true
+					_, err = cl.Stat(opCtx, preNames[g.Uint64()%uint64(len(preNames))])
+				case op%3 == 0:
+					data := benchPayload(cfg.BlockSize, cfg.Seed+uint64(w)+1000, op)
+					wrote = ackedWrite{
+						name: fmt.Sprintf("load-%s-w%d-%d", name, w, op),
+						hash: sha256.Sum256(data),
+					}
+					_, _, err = cl.CopyFromLocal(opCtx, wrote.name, data, true)
+				default:
+					idx := g.Uint64() % uint64(len(preNames))
+					var got []byte
+					got, err = cl.ReadFile(opCtx, preNames[idx])
+					if err == nil && sha256.Sum256(got) != preHashes[idx] {
+						err = fmt.Errorf("%w: read bytes differ from written for %s", errBenchRun, preNames[idx])
+					}
+				}
+				lat := cfg.Now().Sub(opStart).Seconds()
+				cancel()
+				if background {
+					res.background++
+					if errors.Is(err, dfs.ErrOverload) {
+						res.bgShed++
+					}
+					continue
+				}
+				res.attempted++
+				switch {
+				case err == nil:
+					res.okLat = append(res.okLat, lat)
+					if wrote.name != "" {
+						res.acked = append(res.acked, wrote)
+					}
+				case errors.Is(err, dfs.ErrOverload):
+					res.shedLat = append(res.shedLat, lat)
+					// Exponential backoff: a shed means the cluster is
+					// saturated, and immediate retries only burn CPU the
+					// admitted work needs. Surplus workers converge to long
+					// sleeps with occasional probes — the surplus keeps
+					// getting shed (Validate requires it), cheaply.
+					if backoff == 0 {
+						backoff = cfg.OpTimeout / 32
+					} else if backoff < cfg.OpTimeout {
+						backoff *= 2
+					}
+					t := time.NewTimer(backoff)
+					<-t.C
+				default:
+					res.failed++
+				}
+				if err == nil {
+					backoff = 0
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := cfg.Now().Sub(t0).Seconds()
+
+	cell := BenchLoadCell{Name: name, Workers: workers, GrayNodes: len(gray), Seconds: elapsed}
+	var okLat, shedLat []float64
+	var acked []ackedWrite
+	for i := range results {
+		res := &results[i]
+		cell.Attempted += res.attempted
+		cell.Failed += res.failed
+		cell.Background += res.background
+		cell.BackgroundShed += res.bgShed
+		okLat = append(okLat, res.okLat...)
+		shedLat = append(shedLat, res.shedLat...)
+		acked = append(acked, res.acked...)
+	}
+	cell.Succeeded = len(okLat)
+	cell.Shed = len(shedLat)
+	if elapsed > 0 {
+		cell.GoodputOps = float64(cell.Succeeded) / elapsed
+	}
+	cell.P50MS, cell.P99MS = sortedQuantiles(okLat)
+	cell.ShedP50MS, cell.ShedP99MS = sortedQuantiles(shedLat)
+
+	hedgeNow := resil.Snapshot()
+	cell.HedgedReads = hedgeNow.HedgedReads - hedgeBase.HedgedReads
+	cell.HedgeWins = hedgeNow.HedgeWins - hedgeBase.HedgeWins
+	cell.ShedsServer = serverSheds(lc) - shedBase
+	cell.BreakerOpens = breakerOpens(lc) - opensBase
+
+	// Durability audit: with the gray injection cleared, every write
+	// acknowledged during the window must read back byte-identical.
+	// Replicas only ever landed on healthy nodes (a gray hop stalls
+	// past the op deadline and fails), so open breakers on the gray
+	// nodes cannot mask a lost write here.
+	for _, id := range gray {
+		faults.ClearGray(endpointName(id))
+	}
+	verify := lc.Client("load-verify")
+	defer verify.Close()
+	cell.AckedWrites = len(acked)
+	for _, aw := range acked {
+		rbCtx, cancel := context.WithTimeout(ctx, cfg.GrayDelay+2*cfg.OpTimeout)
+		got, rerr := verify.ReadFile(rbCtx, aw.name)
+		cancel()
+		if rerr != nil || sha256.Sum256(got) != aw.hash {
+			cell.LostAcked++
+		}
+	}
+	return cell, nil
+}
+
+// BenchLoad runs the harness: a baseline cell at the unloaded offered
+// load, then an overload cell at LoadFactor x that with GrayFrac of
+// the DataNodes gray, each on a fresh cluster.
+func BenchLoad(ctx context.Context, cfg BenchLoadConfig) (*BenchLoadReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.grayCount() < 1 || cfg.Nodes < cfg.Replication+cfg.grayCount() {
+		return nil, fmt.Errorf("%w: load bench needs %d nodes for replication %d with %d gray, got %d",
+			dfs.ErrBadConfig, cfg.Replication+cfg.grayCount(), cfg.Replication, cfg.grayCount(), cfg.Nodes)
+	}
+	report := &BenchLoadReport{
+		Schema: BenchLoadSchema,
+		//lint:ignore determinism the report records the host environment honestly; goodput numbers are env-dependent by nature
+		NumCPU: runtime.NumCPU(),
+		//lint:ignore determinism same: GOMAXPROCS is reported metadata, not a benchmark input
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config: BenchLoadReportConfig{
+			Nodes:       cfg.Nodes,
+			Replication: cfg.Replication,
+			BlockSize:   cfg.BlockSize,
+			Files:       cfg.Files,
+			Workers:     cfg.Workers,
+			LoadFactor:  cfg.LoadFactor,
+			GrayFrac:    cfg.GrayFrac,
+			GrayDelayMS: cfg.GrayDelay.Milliseconds(),
+			OpTimeoutMS: cfg.OpTimeout.Milliseconds(),
+			DurationMS:  cfg.Duration.Milliseconds(),
+			MaxInflight: cfg.MaxInflight,
+			Queue:       cfg.Queue,
+			Seed:        cfg.Seed,
+		},
+	}
+
+	baseline, err := runLoadCell(ctx, cfg, "baseline", cfg.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	report.Baseline = baseline
+
+	gray := make([]cluster.NodeID, cfg.grayCount())
+	for i := range gray {
+		gray[i] = cluster.NodeID(i)
+	}
+	overload, err := runLoadCell(ctx, cfg, "overload", cfg.Workers*cfg.LoadFactor, gray)
+	if err != nil {
+		return nil, err
+	}
+	report.Overload = overload
+
+	if baseline.GoodputOps > 0 {
+		report.GoodputRatio = overload.GoodputOps / baseline.GoodputOps
+	}
+	return report, nil
+}
+
+// BenchLoadText renders the load report for the terminal.
+func BenchLoadText(r *BenchLoadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Overload benchmark (%d CPU / GOMAXPROCS %d; %d nodes, replication %d, %dx load, %d gray)\n",
+		r.NumCPU, r.GoMaxProcs, r.Config.Nodes, r.Config.Replication, r.Config.LoadFactor, r.Overload.GrayNodes)
+	fmt.Fprintf(&b, "%-9s %7s %5s %9s %9s %7s %6s %6s %8s %8s %7s %5s\n",
+		"cell", "workers", "gray", "goodput/s", "attempted", "ok", "shed", "fail", "p50 ms", "p99 ms", "acked", "lost")
+	for _, cell := range []BenchLoadCell{r.Baseline, r.Overload} {
+		fmt.Fprintf(&b, "%-9s %7d %5d %9.1f %9d %7d %6d %6d %8.2f %8.2f %7d %5d\n",
+			cell.Name, cell.Workers, cell.GrayNodes, cell.GoodputOps, cell.Attempted,
+			cell.Succeeded, cell.Shed, cell.Failed, cell.P50MS, cell.P99MS, cell.AckedWrites, cell.LostAcked)
+	}
+	fmt.Fprintf(&b, "goodput ratio %.2fx (gate 0.70x); overload mechanisms: server sheds=%d breaker opens=%d hedged reads=%d hedge wins=%d brownout sheds=%d/%d background\n",
+		r.GoodputRatio, r.Overload.ShedsServer, r.Overload.BreakerOpens, r.Overload.HedgedReads,
+		r.Overload.HedgeWins, r.Overload.BackgroundShed, r.Overload.Background)
+	return b.String()
+}
+
+// sortedQuantiles sorts latencies (seconds) in place and returns
+// (p50, p99) in milliseconds.
+func sortedQuantiles(lat []float64) (float64, float64) {
+	sort.Float64s(lat)
+	return quantileMS(lat, 0.50), quantileMS(lat, 0.99)
+}

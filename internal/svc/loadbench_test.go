@@ -1,0 +1,147 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOverloadSoak is the headline robustness claim: at several times
+// the unloaded offered load, with a fraction of the DataNodes gray
+// (alive heartbeats, crawling service), the cluster keeps goodput
+// within the gated factor of its unloaded capacity, every shed fails
+// fast with the overload taxonomy, and no acknowledged write is lost.
+// The BenchLoad harness runs both cells and its Validate() carries the
+// gates; the extra asserts here pin the mechanisms that must have
+// engaged to get there.
+func TestOverloadSoak(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := BenchLoad(ctx, BenchLoadConfig{
+		Nodes:       6,
+		Replication: 3,
+		BlockSize:   8 << 10,
+		Files:       12,
+		Workers:     3,
+		LoadFactor:  8,
+		GrayFrac:    0.3,
+		GrayDelay:   1500 * time.Millisecond,
+		OpTimeout:   300 * time.Millisecond,
+		Duration:    2 * time.Second,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("%v\n%s", err, BenchLoadText(rep))
+	}
+	if rep.Overload.BreakerOpens == 0 {
+		t.Errorf("no breaker ever opened: gray nodes were never walled off\n%s", BenchLoadText(rep))
+	}
+	if rep.Overload.ShedsServer == 0 {
+		t.Errorf("server-side admission counted no sheds\n%s", BenchLoadText(rep))
+	}
+	// The report must survive its own serialization: the committed
+	// BENCH_load.json is validated after a JSON round trip.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchLoadReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("report does not survive a JSON round trip: %v", err)
+	}
+	t.Logf("\n%s", BenchLoadText(rep))
+}
+
+// validLoadReport fabricates a report that passes every gate, for the
+// Validate tests to break one gate at a time.
+func validLoadReport() *BenchLoadReport {
+	cell := func(name string, gray int) BenchLoadCell {
+		return BenchLoadCell{
+			Name: name, Workers: 4, GrayNodes: gray, Seconds: 2,
+			Attempted: 100, Succeeded: 80, Shed: 15, Failed: 5,
+			GoodputOps: 40, ShedP50MS: 1, ShedP99MS: 50,
+			AckedWrites: 20, LostAcked: 0,
+		}
+	}
+	r := &BenchLoadReport{
+		Schema:   BenchLoadSchema,
+		Config:   BenchLoadReportConfig{LoadFactor: 10, OpTimeoutMS: 600},
+		Baseline: cell("baseline", 0),
+		Overload: cell("overload", 2),
+	}
+	r.GoodputRatio = 0.85
+	return r
+}
+
+func TestBenchLoadValidateGates(t *testing.T) {
+	if err := validLoadReport().Validate(); err != nil {
+		t.Fatalf("fabricated-valid report rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		mutl  func(*BenchLoadReport)
+		want  error
+		wantS string
+	}{
+		{"schema", func(r *BenchLoadReport) { r.Schema = "adapt-bench-load/v0" }, ErrBenchLoadSchema, ""},
+		{"nothing measured", func(r *BenchLoadReport) { r.Baseline.Attempted = 0 }, ErrBenchLoadReport, "measured nothing"},
+		{"no successes", func(r *BenchLoadReport) { r.Overload.Succeeded = 0; r.Overload.Failed = 85 }, ErrBenchLoadReport, "no successful"},
+		{"counts do not sum", func(r *BenchLoadReport) { r.Overload.Failed = 6 }, ErrBenchLoadReport, "do not sum"},
+		{"no gray nodes", func(r *BenchLoadReport) { r.Overload.GrayNodes = 0 }, ErrBenchLoadReport, "no gray nodes"},
+		{"no sheds", func(r *BenchLoadReport) { r.Overload.Shed = 0; r.Overload.Succeeded = 95 }, ErrBenchLoadReport, "no sheds"},
+		{"goodput collapse", func(r *BenchLoadReport) { r.GoodputRatio = 0.69 }, ErrBenchLoadReport, "gate is 0.70x"},
+		{"no acked writes", func(r *BenchLoadReport) { r.Overload.AckedWrites = 0 }, ErrBenchLoadReport, "acknowledged no writes"},
+		{"lost acked write", func(r *BenchLoadReport) { r.Overload.LostAcked = 1 }, ErrBenchLoadReport, "lost"},
+		{"slow median shed", func(r *BenchLoadReport) { r.Overload.ShedP50MS = 400 }, ErrBenchLoadReport, "not failing fast"},
+		{"slow p99 shed", func(r *BenchLoadReport) { r.Overload.ShedP99MS = 1000 }, ErrBenchLoadReport, "p99 shed"},
+	}
+	for _, tc := range cases {
+		r := validLoadReport()
+		tc.mutl(r)
+		err := r.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+			continue
+		}
+		if tc.wantS != "" && !strings.Contains(err.Error(), tc.wantS) {
+			t.Errorf("%s: err %q does not mention %q", tc.name, err, tc.wantS)
+		}
+	}
+}
+
+func TestBenchLoadGrayCount(t *testing.T) {
+	cases := []struct {
+		nodes int
+		frac  float64
+		repl  int
+		want  int
+	}{
+		{6, 0.3, 3, 2},  // rounds 1.8 up
+		{6, 0.01, 3, 1}, // at least one
+		{4, 0.9, 3, 1},  // capped: replication needs 3 healthy
+		{10, 0.5, 3, 5},
+	}
+	for _, tc := range cases {
+		c := BenchLoadConfig{Nodes: tc.nodes, GrayFrac: tc.frac, Replication: tc.repl}
+		if got := c.grayCount(); got != tc.want {
+			t.Errorf("grayCount(%d nodes, %.2f, repl %d) = %d, want %d", tc.nodes, tc.frac, tc.repl, got, tc.want)
+		}
+	}
+}
+
+func TestBenchLoadRejectsImpossibleTopology(t *testing.T) {
+	ctx := context.Background()
+	_, err := BenchLoad(ctx, BenchLoadConfig{Nodes: 3, Replication: 3, GrayFrac: 0.5})
+	if err == nil {
+		t.Fatal("3 nodes with replication 3 plus gray accepted")
+	}
+}

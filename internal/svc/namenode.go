@@ -120,6 +120,10 @@ type NameNodeServer struct {
 	// work instead of waiting out its timeouts.
 	lifeCtx    context.Context
 	lifeCancel context.CancelFunc
+
+	// brkStats aggregates the per-store circuit breakers' transitions
+	// and fast-fails for /metrics (nil when breakers are disabled).
+	brkStats *BreakerStats
 }
 
 // DataPath values for NameNodeConfig: how block bytes cross the wire.
@@ -163,7 +167,37 @@ type NameNodeConfig struct {
 	// replication-factor ceiling), keyed by tenant name ("@tenant/…"
 	// namespace prefixes). Enforced at the shard layer on create.
 	TenantQuotas map[string]shard.Quota
+	// Admission, when MaxInflight > 0, installs server-side admission
+	// control on the metadata service: per-class concurrency limits, a
+	// bounded wait queue, and brownout shedding of background traffic.
+	// The zero value admits everything (historical behavior).
+	Admission AdmissionConfig
+	// Breaker, when Threshold > 0, gives every DataNode proxy a
+	// client-side circuit breaker so a run of transport failures
+	// fast-fails and routes reads around the node until a half-open
+	// probe succeeds. The zero value disables breakers.
+	Breaker BreakerConfig
+	// Hedge, when HedgeReads is set, enables hedged block reads on the
+	// engine's read path with these thresholds.
+	Hedge HedgeConfig
+	// HedgeReads turns hedged reads on (Hedge supplies the tuning;
+	// its zero value takes the documented defaults).
+	HedgeReads bool
 }
+
+// HedgeConfig re-exports the engine's hedged-read tuning so service
+// construction is configured in one place.
+type HedgeConfig = dfs.HedgeConfig
+
+// Torn-pipeline scrub tuning: scrubGrace bounds how long a deferred
+// scrub waits for its originating op to settle before giving up (the
+// residue then belongs to ScrubOrphans); scrubBudget bounds the
+// best-effort delete itself, so a scrub toward a gray holder costs a
+// background goroutine a bounded wait instead of pinning it.
+const (
+	scrubGrace  = 5 * time.Second
+	scrubBudget = 2 * time.Second
+)
 
 // NewNameNodeServer creates the master for cluster c whose DataNodes
 // serve blocks at dnAddrs (indexed by NodeID; length must equal
@@ -191,16 +225,6 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 		stores[i].binary = binary
 		stores[i].resolve = resolve
 		ifaces[i] = stores[i]
-	}
-	// After a torn pipeline a deep chain node may hold a committed
-	// replica whose ack was lost; the writer scrubs it through the
-	// node's own control-plane proxy.
-	for i := range stores {
-		stores[i].scrub = func(ctx context.Context, n cluster.NodeID, id dfs.BlockID) {
-			if int(n) >= 0 && int(n) < len(stores) {
-				_ = stores[n].Delete(ctx, id)
-			}
-		}
 	}
 	shards := cfg.Shards
 	if shards == 0 {
@@ -235,7 +259,67 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 		stopCh:     make(chan struct{}),
 		repairKick: make(chan struct{}, 1),
 	}
+	if cfg.Breaker.Threshold > 0 {
+		// Breakers draw probe jitter from split streams of the
+		// placement RNG; splitting only when enabled keeps the default
+		// configuration's placement sequence bit-identical to PR 9.
+		s.brkStats = &BreakerStats{}
+		for i := range stores {
+			stores[i].brk = newBreaker(cfg.Breaker, g.Split(), s.brkStats)
+		}
+		// Deep-pipeline evidence: when a commit or setup ack names
+		// another chain node's hop as down (or working), that node's own
+		// breaker accumulates the outcome exactly like a direct call —
+		// without this, a gray node that never heads a chain would stall
+		// every pipeline that includes it and never get walled off.
+		notePeer := func(n cluster.NodeID, ok bool) {
+			if int(n) >= 0 && int(n) < len(stores) {
+				stores[n].brk.record(false, ok)
+			}
+		}
+		for i := range stores {
+			stores[i].notePeer = notePeer
+		}
+	}
+	if cfg.HedgeReads {
+		if err := nn.SetHedge(cfg.Hedge); err != nil {
+			return nil, err
+		}
+	}
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
+	// After a torn pipeline a deep chain node may hold a committed
+	// replica whose ack was lost; the writer scrubs it through the
+	// node's own control-plane proxy. PutChain spawns the scrub with the
+	// live op context, and the hook defers the delete until the op has
+	// settled — until then the engine may still recover by retrying the
+	// same block directly onto a chain node, and deleting that replica
+	// afterward would turn a recovered write into data loss. Once
+	// settled, only replicas the final metadata does not reference are
+	// deleted, under a bounded deadline so a gray holder cannot pin the
+	// goroutine. An op that has not settled within the grace window
+	// (deadline-free contexts) leaves its residue to ScrubOrphans.
+	for i := range stores {
+		stores[i].scrub = func(opCtx context.Context, n cluster.NodeID, id dfs.BlockID) {
+			if int(n) < 0 || int(n) >= len(stores) {
+				return
+			}
+			grace := time.NewTimer(scrubGrace)
+			defer grace.Stop()
+			select {
+			case <-opCtx.Done():
+			case <-s.lifeCtx.Done():
+				return
+			case <-grace.C:
+				return
+			}
+			if nn.BlockReferenced(id, n) {
+				return
+			}
+			dctx, cancel := context.WithTimeout(s.lifeCtx, scrubBudget)
+			defer cancel()
+			_ = stores[n].Delete(dctx, id)
+		}
+	}
 	if cfg.WALDir != "" {
 		dirs, err := wal.ShardDirs(cfg.WALDir, shards)
 		if err != nil {
@@ -277,7 +361,25 @@ func NewNameNodeServer(c *cluster.Cluster, dnAddrs []string, g *stats.RNG, fault
 		}
 	}
 	s.srv = NewServer("namenode", faults, s.handle)
+	if cfg.Admission.MaxInflight > 0 {
+		s.srv.SetAdmission(cfg.Admission)
+	}
 	return s, nil
+}
+
+// Admission exposes the metadata service's admission controller (nil
+// when disabled).
+func (s *NameNodeServer) Admission() *admission { return s.srv.Admission() }
+
+// BreakerStates returns each DataNode proxy's current breaker state,
+// indexed by NodeID, and the fleet-wide transition stats. stats is nil
+// when breakers are disabled.
+func (s *NameNodeServer) BreakerStates() (states []breakerState, stats *BreakerStats) {
+	states = make([]breakerState, len(s.stores))
+	for i, st := range s.stores {
+		states[i] = st.brk.State()
+	}
+	return states, s.brkStats
 }
 
 // sortedQuotaKeys returns the tenant names of a quota map in sorted

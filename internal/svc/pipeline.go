@@ -53,16 +53,19 @@ func streamCtx(ctx context.Context, nc net.Conn, deadlineMS int64) (context.Cont
 	}
 }
 
-// nodeDownAcks marks every chain node failed with an ErrNodeDown
-// wrap — the outcome when the hop to chain[0] is severed and nothing
-// deeper is reachable.
+// nodeDownAcks reports a severed hop: chain[0] — the node this relay
+// actually failed to reach — is marked failed with an ErrNodeDown
+// wrap, and deeper nodes are omitted. An omitted node reads as
+// "commit outcome unknown" at the writer, which still counts the
+// replica as failed for placement but records no transport evidence:
+// blaming the whole suffix would let one gray hop feed false breaker
+// failures against every healthy node placed behind it.
 func nodeDownAcks(chain []chainEntry, cause error) []ackEntry {
-	acks := make([]ackEntry, 0, len(chain))
-	for _, ce := range chain {
-		acks = append(acks, failedAck(ce.Node,
-			fmt.Errorf("%w: datanode %d unreachable in pipeline: %v", dfs.ErrNodeDown, ce.Node, cause)))
+	if len(chain) == 0 {
+		return nil
 	}
-	return acks
+	return []ackEntry{failedAck(chain[0].Node,
+		fmt.Errorf("%w: datanode %d unreachable in pipeline: %v", dfs.ErrNodeDown, chain[0].Node, cause))}
 }
 
 func (d *DataNodeServer) serveWrite(ctx context.Context, nc net.Conn, br *bufio.Reader, f frame2) {
@@ -84,15 +87,38 @@ func (d *DataNodeServer) serveWrite(ctx context.Context, nc net.Conn, br *bufio.
 	defer done()
 	bw := bufio.NewWriterSize(nc, 32<<10)
 
+	// A write stream is a put: it competes for the same admission
+	// budget as JSON dn.put, and a shed stream answers with a setup ack
+	// marking every chain node overloaded (wire taxonomy intact), which
+	// the writer's pipelinePut early-aborts on — fail fast, no bytes.
+	release, aerr := d.srv.admit.Load().acquire(ctx, classPut)
+	if aerr != nil {
+		shed := make([]ackEntry, 0, 1+len(ow.Chain))
+		shed = append(shed, failedAck(d.id, aerr))
+		for _, ce := range ow.Chain {
+			shed = append(shed, failedAck(ce.Node, aerr))
+		}
+		if writeFrame2(bw, frameSetupAck, 0, sid, encodeAcks(shed)) == nil {
+			_ = bw.Flush()
+		}
+		return
+	}
+	defer release()
+
 	// Set up the downstream hop before admitting the stream, so the
 	// writer's setup ack already reflects which chain nodes are in.
 	var down *dataConn
 	var downAcks []ackEntry
 	if len(ow.Chain) > 0 {
 		next := ow.Chain[0]
-		dc, derr := dialData(ctx, next.Addr, name, endpointName(next.Node), d.faults)
+		dc, derr := dialDataSetup(ctx, next.Addr, name, endpointName(next.Node), d.faults)
 		if derr == nil {
-			fw := openWrite{Block: ow.Block, Size: ow.Size, DeadlineMS: ow.DeadlineMS, From: name, Chain: ow.Chain[1:]}
+			// The forwarded budget is recomputed from this hop's derived
+			// context, not copied from the open frame: whatever this node
+			// already spent is gone, so an N-deep chain shares one budget
+			// instead of re-arming it per hop.
+			//lint:ignore determinism encoding the ctx deadline as a wire budget needs the wall clock; simulations drive the transport with deadline-free contexts
+			fw := openWrite{Block: ow.Block, Size: ow.Size, DeadlineMS: deadlineBudget(ctx, time.Now()), From: name, Chain: ow.Chain[1:]}
 			derr = writeFrame2(dc.bw, frameOpenWrite, 0, sid, encodeOpenWrite(fw))
 			if derr == nil {
 				derr = dc.bw.Flush()
@@ -218,9 +244,20 @@ func (d *DataNodeServer) serveRead(ctx context.Context, nc net.Conn, br *bufio.R
 			return
 		}
 	}
-	_, done := streamCtx(ctx, nc, or.DeadlineMS)
+	ctx, done := streamCtx(ctx, nc, or.DeadlineMS)
 	defer done()
 	bw := bufio.NewWriterSize(nc, 32<<10)
+
+	// A read stream is a get: shed requests answer with an overload
+	// error frame whose taxonomy survives rehydration on the reader.
+	release, aerr := d.srv.admit.Load().acquire(ctx, classGet)
+	if aerr != nil {
+		if writeFrame2(bw, frameError, flagLast, sid, encodeErrorFrame(aerr)) == nil {
+			_ = bw.Flush()
+		}
+		return
+	}
+	defer release()
 
 	data, gerr := d.dn.Get(or.Block)
 	if gerr != nil {

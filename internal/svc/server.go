@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,6 +31,11 @@ type Server struct {
 	faults  TransportFaults
 	handler Handler
 	data    DataHandler // v2 stream handler; nil endpoints drop v2 dials
+
+	// admit is the admission controller; a nil load admits everything.
+	// Atomic so SetAdmission works on a serving endpoint (tests and
+	// benches install limits on already-listening DataNodes).
+	admit atomic.Pointer[admission]
 
 	ln net.Listener
 
@@ -62,6 +68,15 @@ func NewServer(name string, faults TransportFaults, handler Handler) *Server {
 // SetDataHandler installs the v2 binary stream handler. Call before
 // Listen; endpoints without one close v2 connections on arrival.
 func (s *Server) SetDataHandler(h DataHandler) { s.data = h }
+
+// SetAdmission installs admission control (see AdmissionConfig); a
+// zero config disables it. Safe on a serving endpoint — requests
+// already admitted finish under the controller that admitted them.
+func (s *Server) SetAdmission(cfg AdmissionConfig) { s.admit.Store(newAdmission(cfg)) }
+
+// Admission exposes the controller for metrics export (nil when
+// admission control is disabled).
+func (s *Server) Admission() *admission { return s.admit.Load() }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
 // background goroutine.
@@ -174,6 +189,15 @@ func (s *Server) serveConn(nc net.Conn) {
 				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 				defer cancel()
 			}
+			// Admission happens inside the request goroutine so a queued
+			// wait never blocks the connection's read loop, and the wait
+			// is bounded by the request's own deadline budget.
+			release, aerr := s.admit.Load().acquire(ctx, classOf(req.Method))
+			if aerr != nil {
+				s.reply(nc, &wmu, req.ID, nil, fmt.Errorf("svc: %s shedding %s: %w", s.name, req.Method, aerr))
+				return
+			}
+			defer release()
 			result, err := s.handler(ctx, req.From, req.Method, req.Params)
 			s.reply(nc, &wmu, req.ID, result, err)
 		}(req)

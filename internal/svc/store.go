@@ -54,11 +54,30 @@ type remoteStore struct {
 	// block bytes; resolve maps chain node ids to data addresses for
 	// pipeline writes; scrub best-effort deletes a possibly-committed
 	// replica on another chain node after a torn pipeline, so deep
-	// commits whose acks were lost do not linger as orphans. The JSON
-	// control plane (deletes, inventory, liveness) is untouched.
+	// commits whose acks were lost do not linger as orphans. scrub is
+	// invoked from a goroutine with the (live) op context: the hook
+	// waits for the op to settle before acting, so it never races the
+	// engine's same-block retry, and bounds its own deadline so a gray
+	// holder cannot pin the goroutine. The JSON control plane (deletes,
+	// inventory, liveness) is untouched.
 	binary  bool
 	resolve func(cluster.NodeID) (string, bool)
 	scrub   func(ctx context.Context, node cluster.NodeID, id dfs.BlockID)
+
+	// brk, when non-nil, is this node's client-side circuit breaker:
+	// a run of transport failures opens it, fast-failing further calls
+	// (one nil check instead of one deadline each) and flipping Up()
+	// false so the availability-aware replica ordering routes around
+	// the node until a half-open probe succeeds. See breaker.go.
+	brk *breaker
+
+	// notePeer, when set, routes deep-pipeline evidence to the fleet:
+	// commit and setup acks name OTHER chain nodes whose hop failed (or
+	// worked), and that evidence must reach those nodes' breakers — a
+	// gray node that never heads a chain would otherwise stall every
+	// write that includes it, forever, because only head-of-chain
+	// failures are observed directly.
+	notePeer func(node cluster.NodeID, ok bool)
 
 	mu sync.Mutex
 	up bool
@@ -75,6 +94,9 @@ func newRemoteStore(id cluster.NodeID, addr, local, peerName string, faults Tran
 func (s *remoteStore) ID() cluster.NodeID { return s.id }
 
 func (s *remoteStore) Up() bool {
+	if s.brk.blocked() {
+		return false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.up
@@ -91,14 +113,29 @@ func (s *remoteStore) SetUp(up bool) {
 // store down and come back wrapping dfs.ErrNodeDown; errors the peer
 // itself returned pass through with their own taxonomy.
 func (s *remoteStore) call(ctx context.Context, method string, params, result any) error {
+	probe, admitted := s.brk.admit()
+	if !admitted {
+		return fmt.Errorf("%w: datanode %d circuit open, fast-failing", dfs.ErrNodeDown, s.id)
+	}
 	err := s.peer.call(ctx, method, params, result)
 	if err == nil {
+		s.brk.record(probe, true)
 		return nil
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return err // the peer answered; its error speaks for itself
+		// The peer answered: the wire works, whatever it said.
+		s.brk.record(probe, true)
+		return err
 	}
+	if errors.Is(ctx.Err(), context.Canceled) {
+		// The caller abandoned the call (a hedge race lost, an
+		// operation cancelled): the failure proves nothing about the
+		// node, so neither the breaker nor the liveness belief moves.
+		s.brk.forget(probe)
+		return fmt.Errorf("svc: %s to datanode %d abandoned: %w", method, s.id, err)
+	}
+	s.brk.record(probe, false)
 	s.SetUp(false)
 	return fmt.Errorf("%w: datanode %d unreachable: %v", dfs.ErrNodeDown, s.id, err)
 }
@@ -139,18 +176,40 @@ func (s *remoteStore) PutChain(ctx context.Context, id dfs.BlockID, data []byte,
 		}
 		chain = append(chain, chainEntry{Node: n, Addr: addr})
 	}
+	probe, admitted := s.brk.admit()
+	if !admitted {
+		cause := fmt.Errorf("%w: datanode %d circuit open, fast-failing", dfs.ErrNodeDown, s.id)
+		for _, ce := range chain {
+			res.Failed[ce.Node] = cause
+		}
+		return res, true
+	}
 	acks, err := pipelinePut(ctx, s.peer.local, s.peer.faults, chain, id, data)
+	s.brk.record(probe, err == nil)
 	if err != nil {
 		// The stream broke: no commit acks, so whether any chain node
-		// committed is unknown. Mark everything down-failed and delete
-		// best-effort wherever a deep commit might have landed.
+		// committed is unknown. Mark everything down-failed; cleanup of
+		// possibly-committed deep replicas happens off the request path —
+		// a scrub toward the very node that stalled the pipeline stalls
+		// just as long, and running it inline would hold the caller's
+		// admission slot (and the writer's remaining budget) hostage.
+		// The scrub hook owns the deferral: it waits for the op to
+		// settle, re-checks metadata, and bounds its own deadline.
 		s.SetUp(false)
 		cause := fmt.Errorf("%w: datanode %d pipeline unreachable: %v", dfs.ErrNodeDown, s.id, err)
 		for _, ce := range chain {
 			res.Failed[ce.Node] = cause
-			if s.scrub != nil {
-				s.scrub(context.WithoutCancel(ctx), ce.Node, id)
+		}
+		if s.scrub != nil {
+			nodes := make([]cluster.NodeID, len(chain))
+			for i, ce := range chain {
+				nodes[i] = ce.Node
 			}
+			go func() {
+				for _, n := range nodes {
+					s.scrub(ctx, n, id)
+				}
+			}()
 		}
 		return res, true
 	}
@@ -158,8 +217,13 @@ func (s *remoteStore) PutChain(ctx context.Context, id dfs.BlockID, data []byte,
 	for _, e := range acks {
 		if e.OK {
 			acked[e.Node] = true
+			s.peerEvidence(e.Node, true)
 		} else if rerr := e.err(); rerr != nil {
 			res.Failed[e.Node] = fmt.Errorf("svc: pipeline put block %d on datanode %d: %w", id, e.Node, rerr)
+			// A node-down ack is transport evidence about that node; an
+			// application error (overload shed, full disk) means its
+			// wire works fine.
+			s.peerEvidence(e.Node, !errors.Is(rerr, dfs.ErrNodeDown))
 		}
 	}
 	// Acked in chain order, so the engine's replica lists match what
@@ -174,16 +238,39 @@ func (s *remoteStore) PutChain(ctx context.Context, id dfs.BlockID, data []byte,
 	return res, true
 }
 
+// peerEvidence forwards one other chain node's hop outcome to the
+// fleet (no-op for this node itself or when unwired).
+func (s *remoteStore) peerEvidence(n cluster.NodeID, ok bool) {
+	if s.notePeer != nil && n != s.id {
+		s.notePeer(n, ok)
+	}
+}
+
 func (s *remoteStore) Get(ctx context.Context, id dfs.BlockID) ([]byte, error) {
 	if s.binary {
+		probe, admitted := s.brk.admit()
+		if !admitted {
+			return nil, fmt.Errorf("%w: datanode %d circuit open, fast-failing", dfs.ErrNodeDown, s.id)
+		}
 		data, err := streamGet(ctx, s.peer.local, s.peer.faults, s.peer.addr, s.peer.peer, id)
 		if err == nil {
+			s.brk.record(probe, true)
 			return data, nil
 		}
 		var re *RemoteError
 		if errors.As(err, &re) {
-			return nil, err // the peer answered; its error speaks for itself
+			// The peer answered: the wire works, whatever it said.
+			s.brk.record(probe, true)
+			return nil, err
 		}
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// A lost hedge race or abandoned read: the cancellation is
+			// ours, not the node's, so its breaker and liveness belief
+			// stay put.
+			s.brk.forget(probe)
+			return nil, fmt.Errorf("svc: get block %d from datanode %d abandoned: %w", id, s.id, err)
+		}
+		s.brk.record(probe, false)
 		s.SetUp(false)
 		return nil, fmt.Errorf("%w: datanode %d unreachable: %v", dfs.ErrNodeDown, s.id, err)
 	}

@@ -81,6 +81,58 @@ func (c *dataConn) close() {
 	_ = c.nc.Close()
 }
 
+// rearm detaches the conn's current context watchdog and re-arms it on
+// parent: deadline from parent, cancellation poisons as before. Used
+// when a sub-budget phase (stream setup) completes and the connection
+// graduates to the stream's full budget. Reports false when the old
+// watchdog already fired — the sub-budget expired and the conn is
+// poisoned, so the caller must treat the setup as failed.
+func (c *dataConn) rearm(parent context.Context) bool {
+	if !c.stop() {
+		return false
+	}
+	if dl, ok := parent.Deadline(); ok {
+		_ = c.nc.SetDeadline(dl)
+	} else {
+		_ = c.nc.SetDeadline(time.Time{})
+	}
+	c.stop = context.AfterFunc(parent, func() { _ = c.nc.SetDeadline(connPast) })
+	return true
+}
+
+// dialDataSetup dials a v2 stream under a setup budget — a quarter of
+// ctx's remaining deadline — then re-arms the connection on the full
+// budget. Dialing is where a gray peer (alive heartbeats, crawling
+// service) stalls, and without the sub-budget one gray hop silently
+// eats the caller's whole deadline: the op times out, the failure gets
+// blamed on whatever node the caller dialed, and no budget is left to
+// fail over. Bounding setup keeps a gray hop's cost to a slice of the
+// budget, leaves the rest for alternates, and — for pipeline relays —
+// lets the setup ack naming the actual stalled node reach the writer
+// in time. Deadline-free contexts dial without a sub-budget.
+func dialDataSetup(ctx context.Context, addr, local, peer string, faults TransportFaults) (*dataConn, error) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return dialData(ctx, addr, local, peer, faults)
+	}
+	//lint:ignore determinism carving a setup slice out of a wall-clock deadline needs the wall clock; deadline-free contexts take the branch above
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return nil, fmt.Errorf("svc: data dial %s: %w", addr, context.DeadlineExceeded)
+	}
+	setupCtx, cancel := context.WithTimeout(ctx, rem/4)
+	defer cancel()
+	dc, err := dialData(setupCtx, addr, local, peer, faults)
+	if err != nil {
+		return nil, err
+	}
+	if !dc.rearm(ctx) {
+		dc.close()
+		return nil, fmt.Errorf("svc: data dial %s: setup budget: %w", addr, context.DeadlineExceeded)
+	}
+	return dc, nil
+}
+
 // pipelinePut streams one block through the replication chain
 // (chain[0] is dialed; the rest ride in the open frame for the relays)
 // and returns the commit-phase ack entries, one per chain node, in
@@ -90,7 +142,7 @@ func (c *dataConn) close() {
 // is unknown: the caller must treat all of them as unacked and clean
 // up best-effort.
 func pipelinePut(ctx context.Context, local string, faults TransportFaults, chain []chainEntry, id dfs.BlockID, data []byte) ([]ackEntry, error) {
-	dc, err := dialData(ctx, chain[0].Addr, local, endpointName(chain[0].Node), faults)
+	dc, err := dialDataSetup(ctx, chain[0].Addr, local, endpointName(chain[0].Node), faults)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +239,7 @@ func pipelinePut(ctx context.Context, local string, faults TransportFaults, chai
 // the caller. A server-side failure arrives as an error frame whose
 // taxonomy survives rehydration (errors.Is, IsTransient).
 func streamGet(ctx context.Context, local string, faults TransportFaults, addr, peer string, id dfs.BlockID) ([]byte, error) {
-	dc, err := dialData(ctx, addr, local, peer, faults)
+	dc, err := dialDataSetup(ctx, addr, local, peer, faults)
 	if err != nil {
 		return nil, err
 	}

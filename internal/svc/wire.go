@@ -164,6 +164,7 @@ func init() {
 	registerCode("inconsistent", dfs.ErrInconsistent)
 	registerCode("not_local", dfs.ErrNotLocal)
 	registerCode("journal", dfs.ErrJournal)
+	registerCode("overload", dfs.ErrOverload)
 	registerCode("quota", shard.ErrQuota)
 	registerCode("deadline", context.DeadlineExceeded)
 	registerCode("canceled", context.Canceled)

@@ -109,7 +109,7 @@ func TestReadFrame2Rejects(t *testing.T) {
 		{"flipped flag", corrupt(2, 0xFF), ErrBadFrame},
 		{"flipped stream id", corrupt(4, 0xFF), ErrBadFrame},
 		{"payload corruption", corrupt(headerSize+3, 'X'), ErrBadFrame},
-		{"crc corruption", corrupt(16, valid[16] ^ 0x80), ErrBadFrame},
+		{"crc corruption", corrupt(16, valid[16]^0x80), ErrBadFrame},
 		{"oversize payload length", func() []byte {
 			c := bytes.Clone(valid)
 			binary.BigEndian.PutUint32(c[12:16], MaxChunkPayload+1)
